@@ -1,0 +1,117 @@
+// Ablation: computation/data distribution choice (paper §4.1 lists block,
+// row-block, and tiled schemes). A 5-point Jacobi stencil (two grids,
+// alternating sweeps) exchanges one halo ring per sweep: row-block moves 2
+// full rows per node, a tiled mesh moves 2(w+h) shorter edges — the classic
+// surface-to-volume trade, measured under both Stache and the predictive
+// protocol.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "runtime/aggregate.h"
+#include "runtime/system.h"
+
+using namespace presto;
+
+namespace {
+
+struct Result {
+  stats::Report report;
+  double checksum = 0.0;
+};
+
+template <typename Agg, typename OwnedFn>
+Result run_stencil(const std::string& label, runtime::ProtocolKind kind,
+                   bool directives, int nodes, std::size_t n, int iters,
+                   OwnedFn owned) {
+  auto machine = runtime::MachineConfig::cm5_blizzard(nodes, 32);
+  runtime::System sys(machine, kind);
+  Agg a = Agg::create(sys.space(), n, n);
+  Agg b = Agg::create(sys.space(), n, n);
+  Result result;
+  sys.run([&](runtime::NodeCtx& c) {
+    owned(c, a, [&](std::size_t i, std::size_t j) {
+      a.set(c, i, j, static_cast<float>(i * 31 + j));
+      b.set(c, i, j, 0.0f);
+    });
+    c.barrier();
+    const Agg* cur = &b;
+    const Agg* prev = &a;
+    for (int it = 0; it < iters; ++it) {
+      if (directives) c.phase(it % 2);
+      owned(c, *cur, [&](std::size_t i, std::size_t j) {
+        const float up = i > 0 ? prev->get(c, i - 1, j) : 0.0f;
+        const float down = i + 1 < n ? prev->get(c, i + 1, j) : 0.0f;
+        const float left = j > 0 ? prev->get(c, i, j - 1) : 0.0f;
+        const float right = j + 1 < n ? prev->get(c, i, j + 1) : 0.0f;
+        c.charge_flops(4);
+        cur->set(c, i, j, 0.25f * (up + down + left + right));
+      });
+      c.barrier();
+      std::swap(cur, prev);
+    }
+    double local = 0.0;
+    owned(c, *prev, [&](std::size_t i, std::size_t j) {
+      local += prev->get(c, i, j);
+    });
+    const double total = c.reduce_sum(local);
+    if (c.id() == 0) result.checksum = total;
+  });
+  result.report = sys.report(label);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto scale = bench::Scale::from_cli(cli);
+  const std::size_t n =
+      static_cast<std::size_t>(cli.get_int("mesh", 128) /
+                               (scale.divide > 1 ? 2 : 1));
+  // At least 6 sweeps so the schedules have repetition to exploit.
+  const int iters = std::max<int>(
+      6, static_cast<int>(cli.get_int("iters", 20) / scale.divide));
+
+  auto rowblock_owned = [](runtime::NodeCtx& c,
+                           const runtime::Aggregate2D<float>& agg,
+                           auto&& fn) {
+    const auto [lo, hi] = agg.row_range(c.id());
+    for (std::size_t i = lo; i < hi; ++i)
+      for (std::size_t j = 0; j < agg.cols(); ++j) fn(i, j);
+  };
+  auto tiled_owned = [](runtime::NodeCtx& c,
+                        const runtime::TiledAggregate2D<float>& agg,
+                        auto&& fn) {
+    const auto t = agg.tile(c.id());
+    for (std::size_t i = t.row_lo; i < t.row_hi; ++i)
+      for (std::size_t j = t.col_lo; j < t.col_hi; ++j) fn(i, j);
+  };
+
+  std::vector<stats::Report> reports;
+  std::vector<double> checksums;
+  for (const bool opt : {false, true}) {
+    const auto kind = opt ? runtime::ProtocolKind::kPredictive
+                          : runtime::ProtocolKind::kStache;
+    const char* suffix = opt ? " + predictive" : " (stache)";
+    auto rb = run_stencil<runtime::Aggregate2D<float>>(
+        std::string("row-block") + suffix, kind, opt, scale.nodes, n, iters,
+        rowblock_owned);
+    auto ti = run_stencil<runtime::TiledAggregate2D<float>>(
+        std::string("tiled") + suffix, kind, opt, scale.nodes, n, iters,
+        tiled_owned);
+    reports.push_back(rb.report);
+    reports.push_back(ti.report);
+    checksums.push_back(rb.checksum);
+    checksums.push_back(ti.checksum);
+  }
+  for (double cs : checksums)
+    if (cs != checksums.front())
+      std::fprintf(stderr, "CHECKSUM MISMATCH across distributions!\n");
+
+  bench::print_results(
+      "Ablation: data distribution (Jacobi stencil, " + std::to_string(n) +
+          "x" + std::to_string(n) + ", " + std::to_string(iters) +
+          " sweeps, " + std::to_string(scale.nodes) + " nodes)",
+      reports);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared helpers for the figure benches: CLI scaling flags and report
+// printing in the paper's format (stacked bars normalized to the fastest
+// version + a counter table).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/common/versions.h"
+#include "stats/report.h"
+#include "util/cli.h"
+
+namespace presto::bench {
+
+// --quick shrinks every workload for smoke runs (used by ctest); --scale=N
+// divides the paper's problem sizes by N.
+struct Scale {
+  std::int64_t divide = 1;
+  int nodes = 32;
+
+  static Scale from_cli(const util::Cli& cli) {
+    Scale s;
+    if (cli.get_bool("quick")) s.divide = 8;
+    s.divide = cli.get_int("scale", s.divide);
+    if (s.divide < 1) s.divide = 1;
+    s.nodes = static_cast<int>(cli.get_int("nodes", 32));
+    return s;
+  }
+};
+
+inline void print_results(const std::string& title,
+                          const std::vector<stats::Report>& reports) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%s", stats::Report::bars(reports).c_str());
+  std::printf("%s", stats::Report::table(reports).c_str());
+  std::fflush(stdout);
+}
+
+inline void check_equal_checksums(const std::vector<apps::AppResult>& rs,
+                                  double rel_tol = 0.0) {
+  if (rs.empty()) return;
+  const double base = rs.front().checksum;
+  for (const auto& r : rs) {
+    const double diff = r.checksum > base ? r.checksum - base
+                                          : base - r.checksum;
+    const double tol = rel_tol * (base < 0 ? -base : base);
+    if (diff > tol) {
+      std::fprintf(stderr,
+                   "CHECKSUM MISMATCH: %.12g vs %.12g — versions computed "
+                   "different answers!\n",
+                   r.checksum, base);
+    }
+  }
+}
+
+}  // namespace presto::bench

@@ -1,0 +1,50 @@
+// Figure 4: the compiler's view of the Barnes-Hut main loop — the annotated
+// CFG (a), and the runtime phase directives placed by the reaching-
+// unstructured-accesses analysis with hoisting and coalescing (b). Also
+// prints the paper's Figure 2 (stencil) and Figure 3 (unstructured mesh)
+// analyses for completeness.
+#include <cstdio>
+
+#include "cstar/compiler.h"
+#include "cstar/printer.h"
+#include "cstar/samples.h"
+
+using namespace presto::cstar;
+
+namespace {
+
+void show(const char* title, const char* source) {
+  std::printf("==== %s ====\n", title);
+  auto r = compile(source);
+  if (!r.ok()) {
+    for (const auto& e : r.errors) std::printf("error: %s\n", e.c_str());
+    return;
+  }
+  std::printf("-- access summaries (Fig. 4a annotations) --\n");
+  for (const auto& f : r.program->functions) {
+    if (!f.parallel) continue;
+    const AccessSummary* s = r.access->summary(f.name);
+    std::printf("  %s:", f.name.c_str());
+    for (const auto& [idx, bits] : s->param_bits)
+      std::printf(" (%s: %s)",
+                  f.params[static_cast<std::size_t>(idx)].name.c_str(),
+                  access_bits_name(bits).c_str());
+    std::printf("\n");
+  }
+  std::printf("-- sequential CFG --\n%s", r.cfg.to_string().c_str());
+  std::printf("-- dataflow: %d fixpoint iterations --\n", r.flow.iterations);
+  std::printf("-- directives (Fig. 4b) --\n");
+  for (const auto& d : r.placement.directives)
+    std::printf("  phase %d at line %d%s: %s\n", d.phase, d.line,
+                d.hoisted ? " [hoisted]" : "", d.reason.c_str());
+  std::printf("-- annotated main --\n%s\n", r.annotated.c_str());
+}
+
+}  // namespace
+
+int main() {
+  show("Figure 2: 4-point stencil", samples::kStencil);
+  show("Figure 3: unstructured mesh update", samples::kUnstructuredMesh);
+  show("Figure 4: Barnes-Hut main loop", samples::kBarnesMain);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Custom-protocol example: using the Tempest-style user-level protocol API
+// directly. A producer node repeatedly updates a table that every other
+// node reads; we compare three coherence strategies on the same program:
+//
+//   * stache        — demand-fetch write-invalidate (4-hop misses),
+//   * predictive    — schedule built in iteration 1, data pre-sent after,
+//   * write-update  — application publishes explicitly (no consistency
+//                     guarantees beyond the program's own barriers).
+//
+//   $ ./build/examples/custom_protocol
+#include <cstdio>
+
+#include "runtime/system.h"
+#include "stats/report.h"
+
+using namespace presto;
+
+namespace {
+
+stats::Report run(runtime::ProtocolKind kind) {
+  constexpr std::size_t kEntries = 256;  // 8-byte table entries
+  constexpr int kIters = 10;
+
+  auto machine = runtime::MachineConfig::cm5_blizzard(8, 32);
+  runtime::System sys(machine, kind);
+  const auto table = sys.space().alloc_on_node(0, kEntries * 8);
+
+  sys.run([&](runtime::NodeCtx& c) {
+    auto* wu = sys.writeupdate();
+    for (int it = 0; it < kIters; ++it) {
+      if (kind == runtime::ProtocolKind::kPredictive) c.phase(0);
+      if (c.id() == 0)
+        for (std::size_t e = 0; e < kEntries; ++e)
+          c.write<std::uint64_t>(table + e * 8,
+                                 static_cast<std::uint64_t>(it) * 1000 + e);
+      if (wu != nullptr) wu->wu_publish(c.id(), table, kEntries * 8);
+      c.barrier();
+      if (kind == runtime::ProtocolKind::kPredictive) c.phase(1);
+      std::uint64_t sum = 0;
+      for (std::size_t e = 0; e < kEntries; ++e)
+        sum += c.read<std::uint64_t>(table + e * 8);
+      c.charge_flops(kEntries);
+      if (sum == 1) c.charge(1);  // keep live
+      c.barrier();
+    }
+  });
+  return sys.report(runtime::protocol_kind_name(kind));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("custom protocols on a broadcast table (8 nodes, 10 iters)\n\n");
+  std::vector<stats::Report> reports;
+  for (auto kind :
+       {runtime::ProtocolKind::kStache, runtime::ProtocolKind::kPredictive,
+        runtime::ProtocolKind::kWriteUpdate})
+    reports.push_back(run(kind));
+  std::printf("%s", stats::Report::bars(reports).c_str());
+  std::printf("%s", stats::Report::table(reports).c_str());
+  std::printf(
+      "\nstache re-fetches every block on demand each iteration;\n"
+      "predictive pre-sends them from the recorded schedule;\n"
+      "write-update pushes them eagerly at publish time.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: build a simulated 8-node DSM machine, run a Jacobi-style
+// stencil under the default Stache protocol and under the predictive
+// protocol with phase directives, and compare the communication behaviour.
+//
+//   $ ./build/examples/quickstart
+//
+// This is the smallest end-to-end tour of the public API: MachineConfig,
+// System, Aggregate2D, NodeCtx reads/writes, barriers, phase directives,
+// and run reports.
+#include <cstdio>
+
+#include "runtime/aggregate.h"
+#include "runtime/system.h"
+#include "stats/report.h"
+
+using namespace presto;
+
+namespace {
+
+// One red/black-free Jacobi sweep pair on an n x n grid: `cur` is computed
+// from `prev`, then the roles swap. Each node owns a block of rows; reads
+// of the rows just outside its block fault to a neighbour node.
+stats::Report run_stencil(runtime::ProtocolKind kind, bool directives) {
+  constexpr std::size_t kN = 64;
+  constexpr int kIters = 20;
+
+  auto machine = runtime::MachineConfig::cm5_blizzard(/*nodes=*/8,
+                                                      /*block_size=*/32);
+  runtime::System sys(machine, kind);
+  auto a = runtime::Aggregate2D<float>::create(sys.space(), kN, kN);
+  auto b = runtime::Aggregate2D<float>::create(sys.space(), kN, kN);
+
+  sys.run([&](runtime::NodeCtx& c) {
+    // Initialize own rows: hot left column.
+    const auto [lo, hi] = a.row_range(c.id());
+    for (std::size_t i = lo; i < hi; ++i)
+      for (std::size_t j = 0; j < kN; ++j) {
+        a.set(c, i, j, j == 0 ? 100.0f : 0.0f);
+        b.set(c, i, j, 0.0f);
+      }
+    c.barrier();
+
+    const runtime::Aggregate2D<float>* cur = &b;
+    const runtime::Aggregate2D<float>* prev = &a;
+    for (int it = 0; it < kIters; ++it) {
+      // The compiler places one schedule/presend directive per sweep
+      // (see bench/fig4_compiler); here we inline its output.
+      if (directives) c.phase(it % 2);
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t j = 0; j < kN; ++j) {
+          const float up = i > 0 ? prev->get(c, i - 1, j) : 0.0f;
+          const float down = i + 1 < kN ? prev->get(c, i + 1, j) : 0.0f;
+          const float left = j > 0 ? prev->get(c, i, j - 1) : 100.0f;
+          const float right = j + 1 < kN ? prev->get(c, i, j + 1) : 0.0f;
+          cur->set(c, i, j, 0.25f * (up + down + left + right));
+          c.charge_flops(4);
+        }
+      }
+      c.barrier();
+      std::swap(cur, prev);
+    }
+  });
+  return sys.report(directives ? "predictive + directives" : "stache");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("presto quickstart: 64x64 Jacobi stencil, 8 nodes, 32B blocks\n\n");
+  std::vector<stats::Report> reports;
+  reports.push_back(run_stencil(runtime::ProtocolKind::kStache, false));
+  reports.push_back(run_stencil(runtime::ProtocolKind::kPredictive, true));
+  std::printf("%s", stats::Report::bars(reports).c_str());
+  std::printf("%s", stats::Report::table(reports).c_str());
+  std::printf(
+      "\nThe predictive protocol records which boundary blocks each node\n"
+      "fetched during one sweep and pre-sends them before the next, so\n"
+      "most shared reads hit locally (higher 'local hit %%', less remote\n"
+      "wait), at the cost of a small presend phase.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Adaptive: structured adaptive mesh relaxation (paper §5.1).
+//
+// Computes electric potentials in a box: a red-black sweep averages each
+// point's four neighbours; where the gradient is steep the cell subdivides
+// into a dynamically allocated quad-tree for finer detail, and the sweep
+// updates the tree values reading neighbouring points. The quad-trees are
+// the communication the predictive protocol targets: neighbour reads chase
+// pointers into cells allocated (and homed) on other nodes — unanalyzable
+// statically, but repetitive with small incremental changes as refinement
+// spreads across iterations.
+//
+// Layout notes: red and black cells live in separate planes so that a cache
+// block never mixes cells written in one phase with cells read in the same
+// phase (which would mark the whole block "conflict"); this is the layout a
+// data-parallel compiler picks for red-black methods. Quad-tree nodes are
+// arena-allocated on the owning node during that cell's colour phase.
+#pragma once
+
+#include "apps/common/versions.h"
+
+namespace presto::apps {
+
+struct AdaptiveParams {
+  std::size_t n = 128;       // mesh is n x n (paper: 128x128)
+  int iters = 100;           // paper: 100 iterations
+  float hot = 1000.0f;       // boundary potential on the left edge
+  float refine_threshold = 40.0f;  // gradient that triggers subdivision
+  int max_depth = 2;         // quad-tree depth limit
+  int flush_every = 0;       // rebuild schedules every k iterations
+                             // (0 = never; the paper's §3.3 suggestion for
+                             // patterns with many deletions)
+};
+
+AppResult run_adaptive(const AdaptiveParams& params,
+                       const runtime::MachineConfig& machine,
+                       runtime::ProtocolKind kind, bool directives);
+
+}  // namespace presto::apps

@@ -1,0 +1,45 @@
+// Barnes: gravitational N-body simulation with a Barnes–Hut oct-tree
+// (paper §5.2).
+//
+// Bodies are block-distributed by index; positions are generated along a
+// Morton (Z-order) curve with jitter, so index locality implies spatial
+// locality — the spatial locality that lets the unoptimized version exploit
+// 1024-byte cache blocks in the paper's Figure 6. Each step:
+//
+//   1. tree build   — every node rebuilds an oct-tree over its own bodies
+//                     in its arena (same addresses every step, so the
+//                     communication schedule stays valid); subtree roots are
+//                     published in a shared array. Writes to cells that
+//                     remote nodes cached last step fault locally and are
+//                     pre-invalidated by the predictive protocol.
+//   2. center of mass — upward pass over the node's own subtree. Home
+//                     accesses only: the compiler hoists this loop out of
+//                     the schedule (Fig. 4), so no directive is placed.
+//   3. force        — each body traverses all subtrees with the opening
+//                     criterion, reading remote cells: unstructured,
+//                     repetitive communication (the presend target).
+//   4. advance      — leapfrog update of own bodies.
+//
+// Versions: C** on Stache (unoptimized), C** + directives on the predictive
+// protocol (optimized), and a hand-optimized SPMD variant on the
+// write-update protocol that explicitly publishes its subtree after the
+// build (the baseline of Falsafi et al. [5]).
+#pragma once
+
+#include "apps/common/versions.h"
+
+namespace presto::apps {
+
+struct BarnesParams {
+  std::size_t bodies = 16384;  // paper: 16384 bodies
+  int steps = 3;               // paper: 3 iterations
+  double theta = 0.8;          // opening criterion
+  double dt = 0.025;
+  double eps = 0.05;           // gravitational softening
+};
+
+AppResult run_barnes(const BarnesParams& params,
+                     const runtime::MachineConfig& machine,
+                     runtime::ProtocolKind kind, bool directives);
+
+}  // namespace presto::apps

@@ -1,0 +1,9 @@
+#include "apps/common/versions.h"
+
+namespace presto::apps {
+
+std::string version_label(const std::string& base, std::uint32_t block_size) {
+  return base + " (" + std::to_string(block_size) + ")";
+}
+
+}  // namespace presto::apps

@@ -1,0 +1,27 @@
+// Shared harness types for the benchmark applications.
+//
+// Every application runs in several "versions" (paper §5): unoptimized C**
+// (Stache), optimized C** (predictive protocol + compiler directives), and —
+// per application — a hand-optimized SPMD baseline or a Splash-style shared
+// memory variant. A version is (protocol kind, directives on/off, machine
+// config); results carry a numeric checksum so tests can assert that every
+// version computes identical (or physically equivalent) answers.
+#pragma once
+
+#include <string>
+
+#include "runtime/machine.h"
+#include "stats/report.h"
+
+namespace presto::apps {
+
+struct AppResult {
+  stats::Report report;
+  double checksum = 0.0;
+};
+
+// Convenience: builds the label used in the paper's figures, e.g.
+// "C** opt (32)" — numbers in parentheses are cache block sizes.
+std::string version_label(const std::string& base, std::uint32_t block_size);
+
+}  // namespace presto::apps

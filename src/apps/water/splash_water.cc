@@ -1,0 +1,136 @@
+#include "apps/water/splash_water.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "apps/water/water_common.h"
+#include "runtime/aggregate.h"
+#include "runtime/lock.h"
+#include "runtime/system.h"
+
+namespace presto::apps {
+namespace {
+
+using runtime::Aggregate1D;
+using runtime::NodeCtx;
+using runtime::SharedLock;
+using namespace water_detail;
+
+constexpr std::size_t kMolsPerLock = 16;
+
+}  // namespace
+
+AppResult run_water_splash(const WaterParams& params,
+                           const runtime::MachineConfig& machine) {
+  runtime::System sys(machine, runtime::ProtocolKind::kStache);
+  const std::size_t n = params.molecules;
+  const Box box = make_box(n, params.density);
+
+  auto pos = Aggregate1D<Vec3>::create(sys.space(), n);
+  auto force = Aggregate1D<Vec3>::create(sys.space(), n);
+  const std::size_t nlocks = (n + kMolsPerLock - 1) / kMolsPerLock;
+  std::vector<SharedLock> locks;
+  for (std::size_t l = 0; l < nlocks; ++l)
+    locks.push_back(SharedLock::create(
+        sys.space(), static_cast<int>(l % static_cast<std::size_t>(machine.nodes))));
+
+  double checksum = 0.0;
+
+  sys.run([&](NodeCtx& c) {
+    const auto [lo, hi] = pos.range(c.id());
+    std::vector<Vec3> vel(hi - lo);
+
+    for (std::size_t i = lo; i < hi; ++i) {
+      pos.set(c, i, lattice_position(i, n, box.length));
+      force.set(c, i, Vec3{});
+      vel[i - lo] = thermal_velocity(i, c.machine().seed);
+    }
+    c.barrier();
+
+    double energy_trace = 0.0;
+    for (int step = 0; step < params.steps; ++step) {
+      double pe = 0.0;
+      // As in SPLASH-2 Water: pair contributions accumulate into a private
+      // per-processor array, then flush into the *shared* force array under
+      // per-molecule-group locks — the lock and force-block migration
+      // traffic the data-parallel C** version avoids via reductions.
+      std::vector<Vec3> partial(n);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Vec3 pi = pos.get(c, i);
+        for (std::size_t k = 1; k <= n / 2; ++k) {
+          const std::size_t j = (i + k) % n;
+          if (2 * k == n && i > j) continue;
+          const Vec3 pj = pos.get(c, j);
+          const double dx = min_image(pi.x - pj.x, box.length);
+          const double dy = min_image(pi.y - pj.y, box.length);
+          const double dz = min_image(pi.z - pj.z, box.length);
+          const double r2 = dx * dx + dy * dy + dz * dz;
+          c.charge_flops(11);
+          if (r2 >= box.cutoff2 || r2 == 0.0) continue;
+          const double f = lj_pair(r2, pe);
+          c.charge_flops(20);
+          partial[i].x += f * dx;
+          partial[i].y += f * dy;
+          partial[i].z += f * dz;
+          partial[j].x -= f * dx;
+          partial[j].y -= f * dy;
+          partial[j].z -= f * dz;
+        }
+      }
+      for (std::size_t g = 0; g < nlocks; ++g) {
+        const std::size_t glo = g * kMolsPerLock;
+        const std::size_t ghi = std::min(n, glo + kMolsPerLock);
+        bool any = false;
+        for (std::size_t j = glo; j < ghi && !any; ++j)
+          any = partial[j].x != 0 || partial[j].y != 0 || partial[j].z != 0;
+        if (!any) continue;
+        locks[g].acquire(c);
+        for (std::size_t j = glo; j < ghi; ++j) {
+          const Vec3& pf = partial[j];
+          if (pf.x == 0 && pf.y == 0 && pf.z == 0) continue;
+          c.rmw<double>(force.addr(j) + 0, [&](double& v) { v += pf.x; });
+          c.rmw<double>(force.addr(j) + 8, [&](double& v) { v += pf.y; });
+          c.rmw<double>(force.addr(j) + 16, [&](double& v) { v += pf.z; });
+        }
+        locks[g].release(c);
+      }
+      c.barrier();
+
+      // Advance from the shared force array, then reset it for next step.
+      double ke = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Vec3 f = force.get(c, i);
+        Vec3 p = pos.get(c, i);
+        Vec3& v = vel[i - lo];
+        v.x += f.x * params.dt;
+        v.y += f.y * params.dt;
+        v.z += f.z * params.dt;
+        auto wrap = [&](double x) {
+          if (x < 0) return x + box.length;
+          if (x >= box.length) return x - box.length;
+          return x;
+        };
+        p.x = wrap(p.x + v.x * params.dt);
+        p.y = wrap(p.y + v.y * params.dt);
+        p.z = wrap(p.z + v.z * params.dt);
+        c.charge_flops(15);
+        pos.set(c, i, p);
+        force.set(c, i, Vec3{});
+        ke += 0.5 * (v.x * v.x + v.y * v.y + v.z * v.z);
+      }
+      const double total_ke = c.reduce_sum(ke);
+      const double total_pe = c.reduce_sum(pe);
+      energy_trace += total_ke + total_pe;
+      c.barrier();
+    }
+
+    if (c.id() == 0) checksum = energy_trace;
+  });
+
+  AppResult result;
+  result.report = sys.report("");
+  result.checksum = checksum;
+  return result;
+}
+
+}  // namespace presto::apps

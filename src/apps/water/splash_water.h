@@ -1,0 +1,19 @@
+// Splash-style Water (paper §5.3's third bar).
+//
+// Same physics as run_water, but structured the way the SPLASH-2 code is
+// written for transparent shared memory: forces live in a *shared* array and
+// both sides of every pair interaction are accumulated in place, guarded by
+// per-molecule-group locks. No custom protocols, no message-passing
+// primitives, no compiler directives — it runs on plain Stache at whatever
+// cache block size suits it best.
+#pragma once
+
+#include "apps/common/versions.h"
+#include "apps/water/water.h"
+
+namespace presto::apps {
+
+AppResult run_water_splash(const WaterParams& params,
+                           const runtime::MachineConfig& machine);
+
+}  // namespace presto::apps

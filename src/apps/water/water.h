@@ -1,0 +1,33 @@
+// Water: molecular dynamics over a box of molecules (paper §5.3).
+//
+// Interactions are computed between all pairs within a spherical cutoff of
+// half the box length; in the data-parallel formulation each molecule
+// computes interactions with the n/2 molecules following it in the ordered
+// data set, accumulating forces privately and combining them with the
+// control network's vector reduction (C**'s language-level reduction
+// support). The communication the predictive protocol optimizes is the
+// *static repetitive producer-consumer* pattern on positions: a position
+// written by its owner in one iteration is read by n/2 other molecules in
+// the next.
+//
+// The Splash-style variant (splash_water.h) accumulates into shared force
+// arrays guarded by locks instead, as the SPLASH-2 code does on transparent
+// shared memory.
+#pragma once
+
+#include "apps/common/versions.h"
+
+namespace presto::apps {
+
+struct WaterParams {
+  std::size_t molecules = 512;  // paper: 512 molecules
+  int steps = 20;               // paper: 20 time steps
+  double dt = 0.002;
+  double density = 0.8;         // reduced LJ units
+};
+
+AppResult run_water(const WaterParams& params,
+                    const runtime::MachineConfig& machine,
+                    runtime::ProtocolKind kind, bool directives);
+
+}  // namespace presto::apps

@@ -1,0 +1,65 @@
+// Shared pieces of the two Water implementations.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace presto::apps::water_detail {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+};
+static_assert(sizeof(Vec3) == 24);
+
+struct Box {
+  double length = 0;   // cube edge
+  double cutoff2 = 0;  // (length/2)^2, the paper's spherical cutoff
+};
+
+inline Box make_box(std::size_t n, double density) {
+  Box b;
+  b.length = std::cbrt(static_cast<double>(n) / density);
+  const double rc = b.length / 2.0;
+  b.cutoff2 = rc * rc;
+  return b;
+}
+
+// Minimum-image displacement component.
+inline double min_image(double d, double length) {
+  if (d > length / 2) return d - length;
+  if (d < -length / 2) return d + length;
+  return d;
+}
+
+// Lennard-Jones force and potential at squared distance r2 (< cutoff2).
+// Returns the scalar force factor f such that F = f * dr, and adds the pair
+// potential into `pe`.
+inline double lj_pair(double r2, double& pe) {
+  const double inv2 = 1.0 / r2;
+  const double inv6 = inv2 * inv2 * inv2;
+  pe += 4.0 * inv6 * (inv6 - 1.0);
+  return 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+}
+
+// Deterministic initial state: simple-cubic lattice with seeded thermal
+// velocities (zero net momentum is not enforced; energies are still a good
+// cross-version fingerprint because every version starts identically).
+inline Vec3 lattice_position(std::size_t i, std::size_t n, double length) {
+  std::size_t side = 1;
+  while (side * side * side < n) ++side;
+  const double a = length / static_cast<double>(side);
+  const std::size_t x = i % side, y = (i / side) % side, z = i / (side * side);
+  return Vec3{(static_cast<double>(x) + 0.5) * a,
+              (static_cast<double>(y) + 0.5) * a,
+              (static_cast<double>(z) + 0.5) * a};
+}
+
+inline Vec3 thermal_velocity(std::size_t i, std::uint64_t seed) {
+  util::Rng rng(seed ^ (0xAC1DULL * (i + 7)));
+  return Vec3{0.1 * rng.next_normal(), 0.1 * rng.next_normal(),
+              0.1 * rng.next_normal()};
+}
+
+}  // namespace presto::apps::water_detail

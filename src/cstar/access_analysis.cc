@@ -1,0 +1,189 @@
+#include "cstar/access_analysis.h"
+
+namespace presto::cstar {
+
+std::string access_bits_name(unsigned bits) {
+  std::string s;
+  auto add = [&](const char* what) {
+    if (!s.empty()) s += "+";
+    s += what;
+  };
+  if (bits & kHomeRead) add("home-read");
+  if (bits & kHomeWrite) add("home-write");
+  if (bits & kRemoteRead) add("unstructured-read");
+  if (bits & kRemoteWrite) add("unstructured-write");
+  return s.empty() ? "none" : s;
+}
+
+AccessAnalysis::AccessAnalysis(const Program& prog) : prog_(prog) {
+  // Collect Aggregate instances: globals plus main-local declarations.
+  auto add_instance = [&](const std::string& type, const std::string& name) {
+    const AggregateDecl* d = prog_.find_aggregate_type(type);
+    if (d == nullptr) return;
+    instances_.push_back(name);
+    instance_dims_[name] = d->dims;
+  };
+  for (const auto& g : prog.globals) add_instance(g.type, g.name);
+  if (const FuncDecl* mn = prog.find_function("main");
+      mn != nullptr && mn->body != nullptr) {
+    // Only top-level declarations in main are treated as instances.
+    for (const auto& s : mn->body->body)
+      if (s->kind == Stmt::Kind::kVarDecl) add_instance(s->var_type, s->var_name);
+  }
+  for (const auto& f : prog.functions)
+    if (f.parallel) analyze_function(f);
+}
+
+const AccessSummary* AccessAnalysis::summary(const std::string& func) const {
+  const auto it = summaries_.find(func);
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+bool AccessAnalysis::is_aggregate_instance(const std::string& name) const {
+  return instance_dims_.count(name) > 0;
+}
+
+void AccessAnalysis::analyze_function(const FuncDecl& f) {
+  FuncEnv env;
+  env.decl = &f;
+  for (std::size_t i = 0; i < f.params.size(); ++i) {
+    const Param& p = f.params[i];
+    const AggregateDecl* d = prog_.find_aggregate_type(p.type);
+    if (d == nullptr) continue;
+    env.aggregate_params[p.name] = static_cast<int>(i);
+    if (p.parallel) {
+      env.parallel_param = p.name;
+      env.parallel_dims = d->dims;
+    }
+  }
+  if (env.parallel_param.empty())
+    errors_.push_back("parallel function '" + f.name +
+                      "' has no parallel Aggregate parameter");
+  AccessSummary out;
+  if (f.body) walk_stmt(*f.body, env, out);
+  summaries_[f.name] = std::move(out);
+}
+
+void AccessAnalysis::walk_stmt(const Stmt& s, const FuncEnv& env,
+                               AccessSummary& out) {
+  switch (s.kind) {
+    case Stmt::Kind::kExpr:
+    case Stmt::Kind::kReturn:
+    case Stmt::Kind::kVarDecl:
+      if (s.expr) walk_expr(*s.expr, env, out, false, false);
+      break;
+    case Stmt::Kind::kBlock:
+      for (const auto& inner : s.body) walk_stmt(*inner, env, out);
+      break;
+    case Stmt::Kind::kIf:
+      walk_expr(*s.expr, env, out, false, false);
+      if (s.then_stmt) walk_stmt(*s.then_stmt, env, out);
+      if (s.else_stmt) walk_stmt(*s.else_stmt, env, out);
+      break;
+    case Stmt::Kind::kFor:
+      if (s.for_init) walk_stmt(*s.for_init, env, out);
+      if (s.for_cond) walk_expr(*s.for_cond, env, out, false, false);
+      if (s.for_step) walk_expr(*s.for_step, env, out, false, false);
+      if (s.loop_body) walk_stmt(*s.loop_body, env, out);
+      break;
+    case Stmt::Kind::kWhile:
+      walk_expr(*s.expr, env, out, false, false);
+      if (s.loop_body) walk_stmt(*s.loop_body, env, out);
+      break;
+  }
+}
+
+bool AccessAnalysis::is_home_access(const Expr& call,
+                                    const FuncEnv& env) const {
+  // Home iff the index expressions are exactly (#0, …, #D-1) where D is the
+  // rank of the parallel Aggregate (the invocation's own position).
+  if (static_cast<int>(call.args.size()) != env.parallel_dims) return false;
+  for (int k = 0; k < env.parallel_dims; ++k) {
+    const Expr& a = *call.args[static_cast<std::size_t>(k)];
+    if (a.kind != Expr::Kind::kHashIndex || a.hash_index != k) return false;
+  }
+  return true;
+}
+
+void AccessAnalysis::record(const Expr& access, const FuncEnv& env,
+                            AccessSummary& out, bool store, bool compound) {
+  const bool home = is_home_access(access, env);
+  unsigned bits = 0;
+  const bool read = !store || compound;
+  const bool write = store;
+  if (read) bits |= home ? kHomeRead : kRemoteRead;
+  if (write) bits |= home ? kHomeWrite : kRemoteWrite;
+
+  const auto pit = env.aggregate_params.find(access.name);
+  if (pit != env.aggregate_params.end()) {
+    out.param_bits[pit->second] |= bits;
+  } else if (is_aggregate_instance(access.name)) {
+    out.global_bits[access.name] |= bits;
+  }
+}
+
+void AccessAnalysis::walk_expr(const Expr& e, const FuncEnv& env,
+                               AccessSummary& out, bool store,
+                               bool compound) {
+  switch (e.kind) {
+    case Expr::Kind::kNumber:
+    case Expr::Kind::kVar:
+    case Expr::Kind::kHashIndex:
+      return;
+    case Expr::Kind::kUnary:
+      walk_expr(*e.rhs, env, out, false, false);
+      return;
+    case Expr::Kind::kBinary:
+      walk_expr(*e.lhs, env, out, false, false);
+      walk_expr(*e.rhs, env, out, false, false);
+      return;
+    case Expr::Kind::kAssign: {
+      const bool comp = e.op != Tok::kAssign;
+      walk_expr(*e.lhs, env, out, /*store=*/true, comp);
+      walk_expr(*e.rhs, env, out, false, false);
+      return;
+    }
+    case Expr::Kind::kMember:
+      // The store flag flows through to the underlying aggregate access.
+      walk_expr(*e.lhs, env, out, store, compound);
+      return;
+    case Expr::Kind::kIndex:
+      walk_expr(*e.lhs, env, out, store, compound);
+      for (const auto& a : e.args) walk_expr(*a, env, out, false, false);
+      return;
+    case Expr::Kind::kCall: {
+      const bool is_aggregate =
+          env.aggregate_params.count(e.name) > 0 ||
+          is_aggregate_instance(e.name);
+      if (is_aggregate) {
+        record(e, env, out, store, compound);
+      } else if (prog_.find_function(e.name) != nullptr) {
+        errors_.push_back(
+            "line " + std::to_string(e.line) + ": call to '" + e.name +
+            "' inside a parallel function (no interprocedural analysis)");
+      }
+      // Index expressions are reads regardless of the access direction.
+      for (const auto& a : e.args) walk_expr(*a, env, out, false, false);
+      return;
+    }
+  }
+}
+
+std::map<std::string, unsigned> AccessAnalysis::resolve_call(
+    const Expr& call) const {
+  std::map<std::string, unsigned> out;
+  const FuncDecl* f = prog_.find_function(call.name);
+  if (f == nullptr || !f->parallel) return out;
+  const AccessSummary* sum = summary(call.name);
+  if (sum == nullptr) return out;
+  for (const auto& [idx, bits] : sum->param_bits) {
+    if (idx < 0 || static_cast<std::size_t>(idx) >= call.args.size()) continue;
+    const Expr& arg = *call.args[static_cast<std::size_t>(idx)];
+    if (arg.kind == Expr::Kind::kVar && is_aggregate_instance(arg.name))
+      out[arg.name] |= bits;
+  }
+  for (const auto& [name, bits] : sum->global_bits) out[name] |= bits;
+  return out;
+}
+
+}  // namespace presto::cstar

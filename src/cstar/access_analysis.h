@@ -1,0 +1,82 @@
+// Parallel-function access-pattern analysis (paper §4.2).
+//
+// For each parallel function the analysis compiles a context-insensitive
+// summary of every Aggregate member access, conservatively categorized as
+// Home (an access at exactly (#0, …, #D-1) — the invocation's own element;
+// C** aligns equal-shape aggregates, so an identical-index access to any
+// aggregate is local to the owner) or Non-Home (everything else, including
+// all indirection through values read from the mesh). Reads and writes are
+// distinguished by assignment position; compound assignments count as both.
+//
+// Summaries are keyed by parameter index and resolved at call sites in the
+// sequential program onto the actual Aggregate instances (e.g. the summary
+// of `sweep(parallel Grid cur, Grid prev)` applied at `sweep(a, b)` yields
+// accesses on instances a and b).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cstar/ast.h"
+
+namespace presto::cstar {
+
+enum AccessBit : unsigned {
+  kHomeRead = 1u,
+  kHomeWrite = 2u,
+  kRemoteRead = 4u,
+  kRemoteWrite = 8u,
+};
+inline bool has_remote(unsigned bits) {
+  return (bits & (kRemoteRead | kRemoteWrite)) != 0;
+}
+std::string access_bits_name(unsigned bits);
+
+struct AccessSummary {
+  std::map<int, unsigned> param_bits;            // aggregate param index -> bits
+  std::map<std::string, unsigned> global_bits;   // global instance -> bits
+};
+
+class AccessAnalysis {
+ public:
+  explicit AccessAnalysis(const Program& prog);
+
+  const std::vector<std::string>& errors() const { return errors_; }
+
+  // Summary of a parallel function (computed on construction).
+  const AccessSummary* summary(const std::string& func) const;
+
+  // All Aggregate instances visible to the sequential program (globals and
+  // main-local declarations), in declaration order.
+  const std::vector<std::string>& instances() const { return instances_; }
+  bool is_aggregate_instance(const std::string& name) const;
+
+  // Binds a call site in main to instance-level access bits. Non-parallel
+  // or unknown callees yield an empty map.
+  std::map<std::string, unsigned> resolve_call(const Expr& call) const;
+
+ private:
+  struct FuncEnv {
+    const FuncDecl* decl = nullptr;
+    std::map<std::string, int> aggregate_params;  // name -> param index
+    std::string parallel_param;                   // the `parallel` argument
+    int parallel_dims = 0;
+  };
+
+  void analyze_function(const FuncDecl& f);
+  void walk_stmt(const Stmt& s, const FuncEnv& env, AccessSummary& out);
+  void walk_expr(const Expr& e, const FuncEnv& env, AccessSummary& out,
+                 bool store, bool compound);
+  void record(const Expr& access, const FuncEnv& env, AccessSummary& out,
+              bool store, bool compound);
+  bool is_home_access(const Expr& call, const FuncEnv& env) const;
+
+  const Program& prog_;
+  std::map<std::string, AccessSummary> summaries_;
+  std::vector<std::string> instances_;
+  std::map<std::string, int> instance_dims_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace presto::cstar

@@ -1,0 +1,108 @@
+// Abstract syntax tree for the C**-subset language.
+//
+// The subset covers what the paper's analyses need: global Aggregate type
+// declarations and instances, parallel functions with `parallel`-marked
+// Aggregate parameters and #k position pseudo-variables (§4.1), and a
+// sequential main with loops and branches whose parallel call sites the
+// placement pass annotates with predictive-protocol directives (§4.3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cstar/token.h"
+
+namespace presto::cstar {
+
+struct Expr {
+  enum class Kind {
+    kNumber,
+    kVar,
+    kHashIndex,  // #k
+    kUnary,      // op rhs
+    kBinary,     // lhs op rhs
+    kAssign,     // lhs op(=,+=,-=) rhs
+    kCall,       // name(args) — function call or Aggregate element access
+    kMember,     // lhs . name
+    kIndex,      // lhs [ args[0] ]
+  };
+
+  Kind kind{};
+  double num = 0;
+  std::string name;     // kVar, kCall (callee), kMember (field)
+  int hash_index = -1;  // kHashIndex
+  Tok op{};             // kUnary, kBinary, kAssign
+  std::unique_ptr<Expr> lhs, rhs;
+  std::vector<std::unique_ptr<Expr>> args;
+  int line = 0;
+};
+
+struct Stmt {
+  enum class Kind { kExpr, kBlock, kIf, kFor, kWhile, kVarDecl, kReturn };
+
+  Kind kind{};
+  int line = 0;
+
+  std::unique_ptr<Expr> expr;  // kExpr; kIf/kWhile condition; kReturn value;
+                               // kVarDecl initializer (may be null)
+  std::vector<std::unique_ptr<Stmt>> body;  // kBlock
+  std::unique_ptr<Stmt> then_stmt, else_stmt;  // kIf
+  std::unique_ptr<Stmt> loop_body;             // kFor / kWhile
+  std::unique_ptr<Stmt> for_init;              // kFor (may be null)
+  std::unique_ptr<Expr> for_cond, for_step;    // kFor (may be null)
+  std::string var_type, var_name;              // kVarDecl
+
+  // ---- Placement annotations (filled by the placement pass) --------------
+  int directive_phase = -1;  // >= 0: presend directive precedes this stmt
+  bool directive_hoisted = false;  // directive was hoisted out of this loop
+};
+
+struct Param {
+  std::string type;
+  std::string name;
+  bool parallel = false;  // the Aggregate this function is applied over
+};
+
+struct FuncDecl {
+  bool parallel = false;
+  std::string ret_type;
+  std::string name;
+  std::vector<Param> params;
+  std::unique_ptr<Stmt> body;
+  int line = 0;
+};
+
+// `aggregate float Grid[][];` — an Aggregate *type* of rank dims.
+struct AggregateDecl {
+  std::string elem_type;
+  std::string name;
+  int dims = 0;
+  int line = 0;
+};
+
+// `Grid a;` at top level — an Aggregate *instance* the dataflow tracks.
+struct GlobalVar {
+  std::string type;
+  std::string name;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<AggregateDecl> aggregates;
+  std::vector<GlobalVar> globals;
+  std::vector<FuncDecl> functions;
+
+  const FuncDecl* find_function(const std::string& name) const {
+    for (const auto& f : functions)
+      if (f.name == name) return &f;
+    return nullptr;
+  }
+  const AggregateDecl* find_aggregate_type(const std::string& name) const {
+    for (const auto& a : aggregates)
+      if (a.name == name) return &a;
+    return nullptr;
+  }
+};
+
+}  // namespace presto::cstar

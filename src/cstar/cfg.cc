@@ -1,0 +1,161 @@
+#include "cstar/cfg.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace presto::cstar {
+
+namespace {
+
+// Finds the parallel call expression within a statement's expression, if
+// any (the subset allows one parallel call per expression statement).
+const Expr* find_call(const Expr* e) {
+  if (e == nullptr) return nullptr;
+  if (e->kind == Expr::Kind::kCall) return e;
+  if (e->kind == Expr::Kind::kAssign || e->kind == Expr::Kind::kBinary) {
+    if (const Expr* c = find_call(e->lhs.get())) return c;
+    return find_call(e->rhs.get());
+  }
+  if (e->kind == Expr::Kind::kUnary) return find_call(e->rhs.get());
+  return nullptr;
+}
+
+class Builder {
+ public:
+  Builder(const AccessAnalysis& access) : access_(access) {}
+
+  Cfg build(const FuncDecl& fn) {
+    cfg_.entry = add_node(CfgNode::Kind::kEntry, nullptr, "entry");
+    cfg_.exit = add_node(CfgNode::Kind::kExit, nullptr, "exit");
+    std::vector<int> tails = {cfg_.entry};
+    if (fn.body) tails = lower_stmt(*fn.body, tails);
+    for (int t : tails) link(t, cfg_.exit);
+    return std::move(cfg_);
+  }
+
+ private:
+  int add_node(CfgNode::Kind kind, const Stmt* stmt, std::string label) {
+    CfgNode n;
+    n.id = static_cast<int>(cfg_.nodes.size());
+    n.kind = kind;
+    n.stmt = stmt;
+    n.label = std::move(label);
+    cfg_.nodes.push_back(std::move(n));
+    return cfg_.nodes.back().id;
+  }
+
+  void link(int from, int to) {
+    cfg_.nodes[static_cast<std::size_t>(from)].succ.push_back(to);
+    cfg_.nodes[static_cast<std::size_t>(to)].pred.push_back(from);
+  }
+
+  std::vector<int> link_all(const std::vector<int>& froms, int to) {
+    for (int f : froms) link(f, to);
+    return {to};
+  }
+
+  // Lowers a statement; `in` is the set of predecessor tails. Returns the
+  // statement's fall-through tails.
+  std::vector<int> lower_stmt(const Stmt& s, std::vector<int> in) {
+    switch (s.kind) {
+      case Stmt::Kind::kBlock: {
+        for (const auto& inner : s.body) in = lower_stmt(*inner, std::move(in));
+        return in;
+      }
+      case Stmt::Kind::kExpr: {
+        const Expr* call = find_call(s.expr.get());
+        if (call != nullptr && access_.resolve_call(*call).size() > 0) {
+          const int n =
+              add_node(CfgNode::Kind::kCall, &s, call->name + "(...)");
+          cfg_.nodes[static_cast<std::size_t>(n)].call = call;
+          cfg_.nodes[static_cast<std::size_t>(n)].access =
+              access_.resolve_call(*call);
+          cfg_.call_nodes[call] = n;
+          return link_all(in, n);
+        }
+        const int n = add_node(CfgNode::Kind::kStmt, &s, "stmt");
+        return link_all(in, n);
+      }
+      case Stmt::Kind::kVarDecl: {
+        const int n = add_node(CfgNode::Kind::kStmt, &s, s.var_name + " decl");
+        return link_all(in, n);
+      }
+      case Stmt::Kind::kReturn: {
+        const int n = add_node(CfgNode::Kind::kStmt, &s, "return");
+        link_all(in, n);
+        link(n, cfg_.exit);
+        return {};  // no fall-through
+      }
+      case Stmt::Kind::kIf: {
+        const int cond = add_node(CfgNode::Kind::kStmt, &s, "if-cond");
+        link_all(in, cond);
+        std::vector<int> tails;
+        if (s.then_stmt) {
+          auto t = lower_stmt(*s.then_stmt, {cond});
+          tails.insert(tails.end(), t.begin(), t.end());
+        }
+        if (s.else_stmt) {
+          auto t = lower_stmt(*s.else_stmt, {cond});
+          tails.insert(tails.end(), t.begin(), t.end());
+        } else {
+          tails.push_back(cond);  // condition false falls through
+        }
+        return tails;
+      }
+      case Stmt::Kind::kFor: {
+        std::vector<int> pre = std::move(in);
+        if (s.for_init) pre = lower_stmt(*s.for_init, std::move(pre));
+        const int cond = add_node(CfgNode::Kind::kStmt, &s, "for-cond");
+        link_all(pre, cond);
+        std::vector<int> body_tails = {cond};
+        if (s.loop_body) body_tails = lower_stmt(*s.loop_body, {cond});
+        const int step = add_node(CfgNode::Kind::kStmt, &s, "for-step");
+        for (int t : body_tails) link(t, step);
+        link(step, cond);  // back edge
+        return {cond};     // loop exit
+      }
+      case Stmt::Kind::kWhile: {
+        const int cond = add_node(CfgNode::Kind::kStmt, &s, "while-cond");
+        link_all(in, cond);
+        std::vector<int> body_tails = {cond};
+        if (s.loop_body) body_tails = lower_stmt(*s.loop_body, {cond});
+        for (int t : body_tails) link(t, cond);  // back edge
+        return {cond};
+      }
+    }
+    PRESTO_FAIL("unhandled statement kind");
+  }
+
+  const AccessAnalysis& access_;
+  Cfg cfg_;
+};
+
+}  // namespace
+
+Cfg build_cfg(const FuncDecl& fn, const AccessAnalysis& access) {
+  return Builder(access).build(fn);
+}
+
+std::string Cfg::to_string() const {
+  std::ostringstream os;
+  for (const auto& n : nodes) {
+    os << "  n" << n.id << " [" << n.label << "]";
+    if (!n.access.empty()) {
+      os << " {";
+      bool first = true;
+      for (const auto& [inst, bits] : n.access) {
+        if (!first) os << "; ";
+        first = false;
+        os << inst << ": " << access_bits_name(bits);
+      }
+      os << "}";
+    }
+    os << " ->";
+    for (int s : n.succ) os << " n" << s;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace presto::cstar

@@ -1,0 +1,42 @@
+// Control-flow graph of the sequential program (main), with parallel call
+// sites annotated by their resolved Aggregate access bits — Figure 4(a) of
+// the paper.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cstar/access_analysis.h"
+#include "cstar/ast.h"
+
+namespace presto::cstar {
+
+struct CfgNode {
+  enum class Kind { kEntry, kExit, kStmt, kCall };
+
+  int id = -1;
+  Kind kind = Kind::kStmt;
+  const Stmt* stmt = nullptr;   // owning statement (kStmt/kCall)
+  const Expr* call = nullptr;   // the parallel call expression (kCall)
+  std::string label;
+  std::map<std::string, unsigned> access;  // instance -> AccessBit mask
+  std::vector<int> succ;
+  std::vector<int> pred;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  int entry = -1;
+  int exit = -1;
+  std::map<const Expr*, int> call_nodes;  // call expr -> node id
+
+  std::string to_string() const;  // printable adjacency + annotations
+};
+
+// Builds the CFG of `fn` (normally main). Statements containing a parallel
+// call become kCall nodes carrying resolved access bits; everything else
+// lowers to kStmt nodes (or pure structure).
+Cfg build_cfg(const FuncDecl& fn, const AccessAnalysis& access);
+
+}  // namespace presto::cstar

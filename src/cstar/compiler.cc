@@ -1,0 +1,42 @@
+#include "cstar/compiler.h"
+
+#include "cstar/lexer.h"
+#include "cstar/parser.h"
+#include "cstar/printer.h"
+
+namespace presto::cstar {
+
+CompileResult compile(const std::string& source) {
+  CompileResult r;
+
+  Lexer lexer(source);
+  auto tokens = lexer.tokenize();
+  r.errors.insert(r.errors.end(), lexer.errors().begin(),
+                  lexer.errors().end());
+
+  Parser parser(std::move(tokens));
+  r.program = parser.parse();
+  r.errors.insert(r.errors.end(), parser.errors().begin(),
+                  parser.errors().end());
+  if (!r.errors.empty()) return r;
+
+  r.access = std::make_unique<AccessAnalysis>(*r.program);
+  r.errors.insert(r.errors.end(), r.access->errors().begin(),
+                  r.access->errors().end());
+
+  FuncDecl* main_fn = nullptr;
+  for (auto& f : r.program->functions)
+    if (f.name == "main" && !f.parallel) main_fn = &f;
+  if (main_fn == nullptr) {
+    r.errors.push_back("no sequential 'main' function");
+    return r;
+  }
+
+  r.cfg = build_cfg(*main_fn, *r.access);
+  r.flow = reaching_unstructured(r.cfg, r.access->instances());
+  r.placement = place_directives(*main_fn, r.cfg, r.flow, *r.access);
+  r.annotated = print_function(*main_fn);
+  return r;
+}
+
+}  // namespace presto::cstar

@@ -1,0 +1,33 @@
+// Compiler driver: source text -> lexer -> parser -> access-pattern
+// analysis (§4.2) -> sequential CFG -> reaching-unstructured-accesses
+// dataflow -> directive placement with hoisting/coalescing (§4.3) ->
+// annotated listing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cstar/access_analysis.h"
+#include "cstar/ast.h"
+#include "cstar/cfg.h"
+#include "cstar/dataflow.h"
+#include "cstar/placement.h"
+
+namespace presto::cstar {
+
+struct CompileResult {
+  std::unique_ptr<Program> program;
+  std::unique_ptr<AccessAnalysis> access;
+  Cfg cfg;                 // of main, annotated with access bits (Fig. 4a)
+  DataflowResult flow;     // reaching unstructured accesses
+  PlacementResult placement;
+  std::string annotated;   // main with directives (Fig. 4b)
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+CompileResult compile(const std::string& source);
+
+}  // namespace presto::cstar

@@ -1,0 +1,61 @@
+#include "cstar/dataflow.h"
+
+#include <deque>
+
+namespace presto::cstar {
+
+DataflowResult reaching_unstructured(
+    const Cfg& cfg, const std::vector<std::string>& instances) {
+  DataflowResult r;
+  for (std::size_t i = 0; i < instances.size(); ++i)
+    r.instance_bit[instances[i]] = i;
+  const std::size_t nbits = instances.size();
+  r.in.assign(cfg.nodes.size(), util::Bitset(nbits));
+  r.out.assign(cfg.nodes.size(), util::Bitset(nbits));
+
+  auto transfer = [&](const CfgNode& n, const util::Bitset& in) {
+    util::Bitset out = in;
+    for (const auto& [inst, bits] : n.access) {
+      const auto it = r.instance_bit.find(inst);
+      if (it == r.instance_bit.end()) continue;
+      if (has_remote(bits)) {
+        out.set(it->second);  // rules 2 & 3: gen (kill+gen for writes)
+      } else if (bits & kHomeWrite) {
+        out.reset(it->second);  // rule 1: owner writes invalidate copies
+      }
+    }
+    return out;
+  };
+
+  // Worklist iteration to fixpoint.
+  std::deque<int> work;
+  std::vector<bool> queued(cfg.nodes.size(), false);
+  for (const auto& n : cfg.nodes) {
+    work.push_back(n.id);
+    queued[static_cast<std::size_t>(n.id)] = true;
+  }
+  while (!work.empty()) {
+    const int id = work.front();
+    work.pop_front();
+    queued[static_cast<std::size_t>(id)] = false;
+    ++r.iterations;
+    const CfgNode& n = cfg.nodes[static_cast<std::size_t>(id)];
+
+    util::Bitset in(nbits);
+    for (int p : n.pred) in.union_with(r.out[static_cast<std::size_t>(p)]);
+    r.in[static_cast<std::size_t>(id)] = in;
+    util::Bitset out = transfer(n, in);
+    if (!(out == r.out[static_cast<std::size_t>(id)])) {
+      r.out[static_cast<std::size_t>(id)] = std::move(out);
+      for (int s : n.succ) {
+        if (!queued[static_cast<std::size_t>(s)]) {
+          queued[static_cast<std::size_t>(s)] = true;
+          work.push_back(s);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace presto::cstar

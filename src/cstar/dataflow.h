@@ -1,0 +1,37 @@
+// Reaching-unstructured-accesses dataflow (paper §4.3).
+//
+// A forward, any-path (union at joins), iterative bit-vector analysis over
+// the sequential CFG: for each Aggregate instance at each program point, the
+// bit is set when cached copies of its elements may exist on remote
+// processors. Transfer functions at parallel call nodes:
+//   1. owner (home) writes kill the bit — remote copies are invalidated;
+//   2. unstructured writes kill and gen — the bit stays set;
+//   3. unstructured reads gen without killing (multiple readers).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cstar/cfg.h"
+#include "util/bitset.h"
+
+namespace presto::cstar {
+
+struct DataflowResult {
+  std::map<std::string, std::size_t> instance_bit;  // instance -> bit index
+  std::vector<util::Bitset> in;   // per CFG node
+  std::vector<util::Bitset> out;  // per CFG node
+  int iterations = 0;             // fixpoint iterations (diagnostics)
+
+  bool reaches(int node, const std::string& inst) const {
+    const auto it = instance_bit.find(inst);
+    return it != instance_bit.end() &&
+           in[static_cast<std::size_t>(node)].test(it->second);
+  }
+};
+
+DataflowResult reaching_unstructured(const Cfg& cfg,
+                                     const std::vector<std::string>& instances);
+
+}  // namespace presto::cstar

@@ -1,0 +1,397 @@
+#include "cstar/interp.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "runtime/aggregate.h"
+#include "util/check.h"
+
+namespace presto::cstar {
+
+namespace {
+
+constexpr std::size_t kDefaultExtent = 32;
+constexpr std::int64_t kLoopCap = 10'000'000;
+
+// Per-node scalar environment with block scoping.
+class Env {
+ public:
+  void push() { scopes_.emplace_back(); }
+  void pop() { scopes_.pop_back(); }
+  void declare(const std::string& name, double v) {
+    scopes_.back()[name] = v;
+  }
+  double* find(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto f = it->find(name);
+      if (f != it->end()) return &f->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::map<std::string, double>> scopes_;
+};
+
+struct AggStorage {
+  int dims = 0;
+  runtime::Aggregate1D<double> a1;
+  runtime::Aggregate2D<double> a2;
+  std::size_t extent = 0;
+};
+
+class Interp {
+ public:
+  Interp(const CompileResult& cr, runtime::System& sys,
+         const InterpOptions& opt)
+      : cr_(cr), sys_(sys), opt_(opt) {
+    for (const auto& g : cr.program->globals) {
+      const AggregateDecl* d = cr.program->find_aggregate_type(g.type);
+      if (d != nullptr) create_aggregate(g.name, d->dims);
+    }
+    const FuncDecl* mn = cr.program->find_function("main");
+    PRESTO_CHECK(mn != nullptr, "interp: no main");
+    if (mn->body) {
+      for (const auto& s : mn->body->body) {
+        if (s->kind != Stmt::Kind::kVarDecl) continue;
+        const AggregateDecl* d =
+            cr.program->find_aggregate_type(s->var_type);
+        if (d != nullptr) create_aggregate(s->var_name, d->dims);
+      }
+    }
+  }
+
+  void run_main(runtime::NodeCtx& c) {
+    const FuncDecl* mn = cr_.program->find_function("main");
+    Env env;
+    env.push();
+    bool returned = false;
+    exec_stmt(c, *mn->body, env, nullptr, returned);
+    c.barrier();
+  }
+
+  std::map<std::string, double> checksums(runtime::NodeCtx& c) {
+    std::map<std::string, double> out;
+    for (auto& [name, agg] : aggs_) {
+      double local = 0.0;
+      if (agg.dims == 1) {
+        const auto [lo, hi] = agg.a1.range(c.id());
+        for (std::size_t i = lo; i < hi; ++i) local += agg.a1.get(c, i);
+      } else {
+        const auto [lo, hi] = agg.a2.row_range(c.id());
+        for (std::size_t i = lo; i < hi; ++i)
+          for (std::size_t j = 0; j < agg.extent; ++j)
+            local += agg.a2.get(c, i, j);
+      }
+      out[name] = c.reduce_sum(local);
+    }
+    return out;
+  }
+
+ private:
+  void create_aggregate(const std::string& name, int dims) {
+    PRESTO_CHECK(dims == 1 || dims == 2,
+                 "interp: unsupported aggregate rank " << dims);
+    AggStorage st;
+    st.dims = dims;
+    st.extent = kDefaultExtent;
+    if (dims == 1)
+      st.a1 = runtime::Aggregate1D<double>::create(sys_.space(), st.extent);
+    else
+      st.a2 = runtime::Aggregate2D<double>::create(sys_.space(), st.extent,
+                                                   st.extent);
+    aggs_[name] = st;
+  }
+
+  // Resolves an aggregate name in the current parallel-function context
+  // (parameter name -> bound instance) or as a global instance.
+  AggStorage* resolve_agg(const std::string& name,
+                          const std::map<std::string, std::string>* binding) {
+    std::string inst = name;
+    if (binding != nullptr) {
+      const auto it = binding->find(name);
+      if (it != binding->end()) inst = it->second;
+    }
+    const auto it = aggs_.find(inst);
+    return it == aggs_.end() ? nullptr : &it->second;
+  }
+
+  // ---- Parallel-invocation context ----------------------------------------
+
+  struct PCtx {
+    std::map<std::string, std::string> binding;  // param -> instance
+    std::size_t pos[2] = {0, 0};                 // #0, #1
+  };
+
+  std::size_t clamp_index(double v, std::size_t extent) const {
+    if (!(v > 0)) return 0;
+    const auto i = static_cast<std::size_t>(v);
+    return i >= extent ? extent - 1 : i;
+  }
+
+  double read_element(runtime::NodeCtx& c, AggStorage& agg,
+                      const Expr& call, Env& env, const PCtx* p) {
+    return element_access(c, agg, call, env, p, nullptr);
+  }
+
+  // Reads or writes (when `write` non-null) the element addressed by call's
+  // index expressions.
+  double element_access(runtime::NodeCtx& c, AggStorage& agg,
+                        const Expr& call, Env& env, const PCtx* p,
+                        const double* write) {
+    PRESTO_CHECK(static_cast<int>(call.args.size()) == agg.dims,
+                 "interp: rank mismatch on '" << call.name << "'");
+    std::size_t idx[2] = {0, 0};
+    for (int k = 0; k < agg.dims; ++k)
+      idx[k] = clamp_index(
+          eval(c, *call.args[static_cast<std::size_t>(k)], env, p),
+          agg.extent);
+    if (agg.dims == 1) {
+      if (write != nullptr) {
+        agg.a1.set(c, idx[0], *write);
+        return *write;
+      }
+      return agg.a1.get(c, idx[0]);
+    }
+    if (write != nullptr) {
+      agg.a2.set(c, idx[0], idx[1], *write);
+      return *write;
+    }
+    return agg.a2.get(c, idx[0], idx[1]);
+  }
+
+  double eval(runtime::NodeCtx& c, const Expr& e, Env& env, const PCtx* p) {
+    switch (e.kind) {
+      case Expr::Kind::kNumber:
+        return e.num;
+      case Expr::Kind::kHashIndex: {
+        PRESTO_CHECK(p != nullptr && e.hash_index >= 0 && e.hash_index < 2,
+                     "interp: #index outside a parallel function");
+        return static_cast<double>(p->pos[e.hash_index]);
+      }
+      case Expr::Kind::kVar: {
+        double* v = env.find(e.name);
+        PRESTO_CHECK(v != nullptr, "interp: undefined variable '" << e.name
+                                                                  << "'");
+        return *v;
+      }
+      case Expr::Kind::kUnary: {
+        const double r = eval(c, *e.rhs, env, p);
+        c.charge(opt_.op_cost);
+        return e.op == Tok::kMinus ? -r : (r == 0.0 ? 1.0 : 0.0);
+      }
+      case Expr::Kind::kBinary: {
+        const double a = eval(c, *e.lhs, env, p);
+        const double b = eval(c, *e.rhs, env, p);
+        c.charge(opt_.op_cost);
+        switch (e.op) {
+          case Tok::kPlus: return a + b;
+          case Tok::kMinus: return a - b;
+          case Tok::kStar: return a * b;
+          case Tok::kSlash: return b == 0.0 ? 0.0 : a / b;
+          case Tok::kPercent:
+            return b == 0.0 ? 0.0
+                            : static_cast<double>(
+                                  static_cast<long long>(a) %
+                                  static_cast<long long>(b));
+          case Tok::kEq: return a == b ? 1.0 : 0.0;
+          case Tok::kNe: return a != b ? 1.0 : 0.0;
+          case Tok::kLt: return a < b ? 1.0 : 0.0;
+          case Tok::kGt: return a > b ? 1.0 : 0.0;
+          case Tok::kLe: return a <= b ? 1.0 : 0.0;
+          case Tok::kGe: return a >= b ? 1.0 : 0.0;
+          case Tok::kAndAnd: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+          case Tok::kOrOr: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+          default: PRESTO_FAIL("interp: bad binary op");
+        }
+      }
+      case Expr::Kind::kAssign: {
+        double rhs = eval(c, *e.rhs, env, p);
+        // Scalar target.
+        if (e.lhs->kind == Expr::Kind::kVar) {
+          double* v = env.find(e.lhs->name);
+          PRESTO_CHECK(v != nullptr, "interp: assign to undefined '"
+                                         << e.lhs->name << "'");
+          if (e.op == Tok::kPlusAssign) rhs = *v + rhs;
+          if (e.op == Tok::kMinusAssign) rhs = *v - rhs;
+          *v = rhs;
+          return rhs;
+        }
+        // Aggregate element target.
+        PRESTO_CHECK(e.lhs->kind == Expr::Kind::kCall,
+                     "interp: unsupported assignment target");
+        AggStorage* agg =
+            resolve_agg(e.lhs->name, p ? &p->binding : nullptr);
+        PRESTO_CHECK(agg != nullptr, "interp: assign to non-aggregate '"
+                                         << e.lhs->name << "'");
+        if (e.op != Tok::kAssign) {
+          const double old = element_access(c, *agg, *e.lhs, env, p, nullptr);
+          rhs = e.op == Tok::kPlusAssign ? old + rhs : old - rhs;
+        }
+        element_access(c, *agg, *e.lhs, env, p, &rhs);
+        return rhs;
+      }
+      case Expr::Kind::kCall: {
+        AggStorage* agg = resolve_agg(e.name, p ? &p->binding : nullptr);
+        PRESTO_CHECK(agg != nullptr,
+                     "interp: call to '" << e.name
+                                         << "' is not an element access "
+                                            "(nested calls unsupported)");
+        return element_access(c, *agg, e, env, p, nullptr);
+      }
+      case Expr::Kind::kMember:
+      case Expr::Kind::kIndex:
+        PRESTO_FAIL("interp: struct members/array fields are analyzable but "
+                    "not executable (scalar aggregates only)");
+    }
+    PRESTO_FAIL("interp: bad expression kind");
+  }
+
+  // Detects a top-level parallel call in an expression statement.
+  const Expr* parallel_call(const Expr* e) const {
+    if (e == nullptr || e->kind != Expr::Kind::kCall) return nullptr;
+    const FuncDecl* f = cr_.program->find_function(e->name);
+    return (f != nullptr && f->parallel) ? e : nullptr;
+  }
+
+  void exec_parallel_call(runtime::NodeCtx& c, const Expr& call, Env& env) {
+    const FuncDecl* f = cr_.program->find_function(call.name);
+    PRESTO_CHECK(f != nullptr && f->parallel, "interp: bad parallel call");
+    PCtx p;
+    const AggStorage* par_agg = nullptr;
+    Env fenv;
+    fenv.push();
+    for (std::size_t i = 0; i < f->params.size(); ++i) {
+      const Param& prm = f->params[i];
+      const Expr& arg = *call.args[i];
+      if (cr_.program->find_aggregate_type(prm.type) != nullptr) {
+        PRESTO_CHECK(arg.kind == Expr::Kind::kVar,
+                     "interp: aggregate argument must be a name");
+        p.binding[prm.name] = arg.name;
+        if (prm.parallel) par_agg = resolve_agg(prm.name, &p.binding);
+      } else {
+        fenv.declare(prm.name, eval(c, arg, env, nullptr));
+      }
+    }
+    PRESTO_CHECK(par_agg != nullptr,
+                 "interp: no parallel aggregate bound in call to '"
+                     << call.name << "'");
+
+    // Owner-computes: iterate this node's owned elements.
+    auto run_one = [&](std::size_t i, std::size_t j) {
+      p.pos[0] = i;
+      p.pos[1] = j;
+      Env body_env = fenv;  // fresh scalar params per invocation
+      body_env.push();
+      bool returned = false;
+      exec_stmt(c, *f->body, body_env, &p, returned);
+    };
+    if (par_agg->dims == 1) {
+      const auto [lo, hi] = par_agg->a1.range(c.id());
+      for (std::size_t i = lo; i < hi; ++i) run_one(i, 0);
+    } else {
+      const auto [lo, hi] = par_agg->a2.row_range(c.id());
+      for (std::size_t i = lo; i < hi; ++i)
+        for (std::size_t j = 0; j < par_agg->extent; ++j) run_one(i, j);
+    }
+    // Implicit barrier at the end of every data-parallel operation.
+    c.barrier();
+  }
+
+  void exec_stmt(runtime::NodeCtx& c, const Stmt& s, Env& env, const PCtx* p,
+                 bool& returned) {
+    if (returned) return;
+    if (p == nullptr && opt_.use_directives && s.directive_phase >= 0)
+      c.phase(s.directive_phase);
+    switch (s.kind) {
+      case Stmt::Kind::kBlock: {
+        env.push();
+        for (const auto& inner : s.body) {
+          exec_stmt(c, *inner, env, p, returned);
+          if (returned) break;
+        }
+        env.pop();
+        return;
+      }
+      case Stmt::Kind::kExpr: {
+        if (p == nullptr) {
+          if (const Expr* call = parallel_call(s.expr.get())) {
+            exec_parallel_call(c, *call, env);
+            return;
+          }
+        }
+        eval(c, *s.expr, env, p);
+        return;
+      }
+      case Stmt::Kind::kVarDecl: {
+        // Aggregate declarations were materialized up front.
+        if (cr_.program->find_aggregate_type(s.var_type) != nullptr) return;
+        env.declare(s.var_name,
+                    s.expr ? eval(c, *s.expr, env, p) : 0.0);
+        return;
+      }
+      case Stmt::Kind::kIf: {
+        if (eval(c, *s.expr, env, p) != 0.0) {
+          if (s.then_stmt) exec_stmt(c, *s.then_stmt, env, p, returned);
+        } else if (s.else_stmt) {
+          exec_stmt(c, *s.else_stmt, env, p, returned);
+        }
+        return;
+      }
+      case Stmt::Kind::kFor: {
+        env.push();
+        if (s.for_init) exec_stmt(c, *s.for_init, env, p, returned);
+        std::int64_t guard = 0;
+        while (!returned &&
+               (!s.for_cond || eval(c, *s.for_cond, env, p) != 0.0)) {
+          PRESTO_CHECK(++guard < kLoopCap, "interp: runaway for loop");
+          if (s.loop_body) exec_stmt(c, *s.loop_body, env, p, returned);
+          if (s.for_step) eval(c, *s.for_step, env, p);
+        }
+        env.pop();
+        return;
+      }
+      case Stmt::Kind::kWhile: {
+        std::int64_t guard = 0;
+        while (!returned && eval(c, *s.expr, env, p) != 0.0) {
+          PRESTO_CHECK(++guard < kLoopCap, "interp: runaway while loop");
+          if (s.loop_body) exec_stmt(c, *s.loop_body, env, p, returned);
+        }
+        return;
+      }
+      case Stmt::Kind::kReturn: {
+        if (s.expr) eval(c, *s.expr, env, p);
+        returned = true;
+        return;
+      }
+    }
+  }
+
+  const CompileResult& cr_;
+  runtime::System& sys_;
+  const InterpOptions opt_;
+  std::map<std::string, AggStorage> aggs_;
+};
+
+}  // namespace
+
+InterpResult interpret(const CompileResult& compiled,
+                       const runtime::MachineConfig& machine,
+                       runtime::ProtocolKind kind,
+                       const InterpOptions& options) {
+  PRESTO_CHECK(compiled.ok(), "interp: program has compile errors");
+  runtime::System sys(machine, kind);
+  Interp interp(compiled, sys, options);
+  InterpResult result;
+  sys.run([&](runtime::NodeCtx& c) {
+    interp.run_main(c);
+    auto sums = interp.checksums(c);
+    if (c.id() == 0) result.checksums = std::move(sums);
+  });
+  result.report = sys.report(std::string("interp/") +
+                             runtime::protocol_kind_name(kind));
+  return result;
+}
+
+}  // namespace presto::cstar

@@ -1,0 +1,51 @@
+// C**-subset interpreter: executes a compiled program against the simulated
+// DSM runtime, closing the loop from source to machine. The compiler's
+// directive placement drives the predictive protocol: every statement
+// annotated with `directive_phase` issues the phase directive before it runs.
+//
+// SPMD lowering (what the real C** compiler emitted):
+//   * Aggregate instances become runtime Aggregates (block / row-block
+//     distributed, page-aligned).
+//   * Sequential statements in main execute redundantly on every node
+//     (locals are per-node and stay identical — the data-parallel model).
+//   * A parallel call executes its body once per owned element on the
+//     element's owner, with #0/#1 bound to the element position, followed
+//     by an implicit global barrier.
+//
+// Supported element types: int, float, double (Figure-2-style programs;
+// struct elements as in Figure 3 are analyzable but not executable).
+// Out-of-range neighbour indices clamp to the boundary.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cstar/compiler.h"
+#include "runtime/system.h"
+
+namespace presto::cstar {
+
+struct InterpOptions {
+  // Apply the compiler-placed predictive-protocol directives (they are
+  // no-ops unless the System runs the predictive protocol).
+  bool use_directives = true;
+  // Simulated cost per interpreted arithmetic operation.
+  sim::Time op_cost = 30;
+};
+
+struct InterpResult {
+  // Per-aggregate checksum (sum of all elements) after main returns.
+  std::map<std::string, double> checksums;
+  stats::Report report;
+};
+
+// Runs the compiled program's main on the given machine/protocol. The
+// CompileResult must be ok() and is not modified. Aborts on unsupported
+// constructs (aggregate element types other than scalars, calls to
+// undefined functions).
+InterpResult interpret(const CompileResult& compiled,
+                       const runtime::MachineConfig& machine,
+                       runtime::ProtocolKind kind,
+                       const InterpOptions& options = {});
+
+}  // namespace presto::cstar

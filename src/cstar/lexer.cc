@@ -1,0 +1,228 @@
+#include "cstar/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace presto::cstar {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kNumber: return "number";
+    case Tok::kHashIndex: return "#index";
+    case Tok::kAggregate: return "aggregate";
+    case Tok::kParallel: return "parallel";
+    case Tok::kVoid: return "void";
+    case Tok::kInt: return "int";
+    case Tok::kFloat: return "float";
+    case Tok::kDouble: return "double";
+    case Tok::kIf: return "if";
+    case Tok::kElse: return "else";
+    case Tok::kFor: return "for";
+    case Tok::kWhile: return "while";
+    case Tok::kReturn: return "return";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kLBracket: return "[";
+    case Tok::kRBracket: return "]";
+    case Tok::kComma: return ",";
+    case Tok::kSemi: return ";";
+    case Tok::kDot: return ".";
+    case Tok::kAssign: return "=";
+    case Tok::kPlusAssign: return "+=";
+    case Tok::kMinusAssign: return "-=";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    case Tok::kPercent: return "%";
+    case Tok::kEq: return "==";
+    case Tok::kNe: return "!=";
+    case Tok::kLt: return "<";
+    case Tok::kGt: return ">";
+    case Tok::kLe: return "<=";
+    case Tok::kGe: return ">=";
+    case Tok::kAndAnd: return "&&";
+    case Tok::kOrOr: return "||";
+    case Tok::kNot: return "!";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string source) : src_(std::move(source)) {}
+
+char Lexer::peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < src_.size() ? src_[i] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::at_end() const { return pos_ >= src_.size(); }
+
+void Lexer::skip_ws_and_comments() {
+  for (;;) {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+      continue;
+    }
+    if (peek() == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (!at_end()) {
+        advance();
+        advance();
+      } else {
+        errors_.push_back("unterminated block comment at line " +
+                          std::to_string(line_));
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::make(Tok kind, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.line = line_;
+  t.col = col_;
+  return t;
+}
+
+Token Lexer::lex_ident_or_keyword() {
+  static const std::unordered_map<std::string, Tok> kKeywords = {
+      {"aggregate", Tok::kAggregate}, {"parallel", Tok::kParallel},
+      {"void", Tok::kVoid},           {"int", Tok::kInt},
+      {"float", Tok::kFloat},         {"double", Tok::kDouble},
+      {"if", Tok::kIf},               {"else", Tok::kElse},
+      {"for", Tok::kFor},             {"while", Tok::kWhile},
+      {"return", Tok::kReturn},
+  };
+  std::string s;
+  while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_'))
+    s += advance();
+  const auto it = kKeywords.find(s);
+  Token t = make(it != kKeywords.end() ? it->second : Tok::kIdent, s);
+  return t;
+}
+
+Token Lexer::lex_number() {
+  std::string s;
+  while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                       peek() == '.'))
+    s += advance();
+  Token t = make(Tok::kNumber, s);
+  t.value = std::strtoll(s.c_str(), nullptr, 10);
+  return t;
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    skip_ws_and_comments();
+    if (at_end()) {
+      out.push_back(make(Tok::kEof));
+      return out;
+    }
+    const char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(lex_ident_or_keyword());
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back(lex_number());
+      continue;
+    }
+    if (c == '#') {
+      advance();
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        errors_.push_back("expected digit after '#' at line " +
+                          std::to_string(line_));
+        continue;
+      }
+      Token t = lex_number();
+      t.kind = Tok::kHashIndex;
+      out.push_back(t);
+      continue;
+    }
+    advance();
+    switch (c) {
+      case '(': out.push_back(make(Tok::kLParen)); break;
+      case ')': out.push_back(make(Tok::kRParen)); break;
+      case '{': out.push_back(make(Tok::kLBrace)); break;
+      case '}': out.push_back(make(Tok::kRBrace)); break;
+      case '[': out.push_back(make(Tok::kLBracket)); break;
+      case ']': out.push_back(make(Tok::kRBracket)); break;
+      case ',': out.push_back(make(Tok::kComma)); break;
+      case ';': out.push_back(make(Tok::kSemi)); break;
+      case '.': out.push_back(make(Tok::kDot)); break;
+      case '+':
+        out.push_back(peek() == '=' ? (advance(), make(Tok::kPlusAssign))
+                                    : make(Tok::kPlus));
+        break;
+      case '-':
+        out.push_back(peek() == '=' ? (advance(), make(Tok::kMinusAssign))
+                                    : make(Tok::kMinus));
+        break;
+      case '*': out.push_back(make(Tok::kStar)); break;
+      case '/': out.push_back(make(Tok::kSlash)); break;
+      case '%': out.push_back(make(Tok::kPercent)); break;
+      case '=':
+        out.push_back(peek() == '=' ? (advance(), make(Tok::kEq))
+                                    : make(Tok::kAssign));
+        break;
+      case '!':
+        out.push_back(peek() == '=' ? (advance(), make(Tok::kNe))
+                                    : make(Tok::kNot));
+        break;
+      case '<':
+        out.push_back(peek() == '=' ? (advance(), make(Tok::kLe))
+                                    : make(Tok::kLt));
+        break;
+      case '>':
+        out.push_back(peek() == '=' ? (advance(), make(Tok::kGe))
+                                    : make(Tok::kGt));
+        break;
+      case '&':
+        if (peek() == '&') {
+          advance();
+          out.push_back(make(Tok::kAndAnd));
+        } else {
+          errors_.push_back("stray '&' at line " + std::to_string(line_));
+        }
+        break;
+      case '|':
+        if (peek() == '|') {
+          advance();
+          out.push_back(make(Tok::kOrOr));
+        } else {
+          errors_.push_back("stray '|' at line " + std::to_string(line_));
+        }
+        break;
+      default:
+        errors_.push_back(std::string("unexpected character '") + c +
+                          "' at line " + std::to_string(line_));
+        break;
+    }
+  }
+}
+
+}  // namespace presto::cstar

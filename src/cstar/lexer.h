@@ -1,0 +1,39 @@
+// Hand-written lexer for the C**-subset language.
+//
+// Supports C-style // and /* */ comments, integer and floating literals,
+// identifiers, keywords, and the #k position pseudo-variables of C**
+// parallel functions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cstar/token.h"
+
+namespace presto::cstar {
+
+// Tokenizes source; on a lexical error, records a diagnostic and resumes.
+class Lexer {
+ public:
+  explicit Lexer(std::string source);
+
+  std::vector<Token> tokenize();
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  char peek(int ahead = 0) const;
+  char advance();
+  bool at_end() const;
+  void skip_ws_and_comments();
+  Token make(Tok kind, std::string text = {});
+  Token lex_ident_or_keyword();
+  Token lex_number();
+
+  std::string src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace presto::cstar

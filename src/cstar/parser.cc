@@ -1,0 +1,445 @@
+#include "cstar/parser.h"
+
+namespace presto::cstar {
+
+namespace {
+std::unique_ptr<Expr> make_expr(Expr::Kind k, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = k;
+  e->line = line;
+  return e;
+}
+std::unique_ptr<Stmt> make_stmt(Stmt::Kind k, int line) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = k;
+  s->line = line;
+  return s;
+}
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+const Token& Parser::peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < toks_.size() ? toks_[i] : toks_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ + 1 < toks_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(Tok t) {
+  if (!check(t)) return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(Tok t, const char* what) {
+  if (match(t)) return true;
+  error(std::string("expected '") + tok_name(t) + "' " + what + ", got '" +
+        tok_name(peek().kind) + "'");
+  return false;
+}
+
+void Parser::error(const std::string& msg) {
+  errors_.push_back("line " + std::to_string(peek().line) + ": " + msg);
+}
+
+void Parser::synchronize() {
+  while (!check(Tok::kEof) && !check(Tok::kSemi) && !check(Tok::kRBrace))
+    advance();
+  match(Tok::kSemi);
+}
+
+bool Parser::is_type_token(const Token& t) const {
+  return t.kind == Tok::kVoid || t.kind == Tok::kInt ||
+         t.kind == Tok::kFloat || t.kind == Tok::kDouble ||
+         t.kind == Tok::kIdent;
+}
+
+std::string Parser::parse_type_name() {
+  const Token& t = advance();
+  switch (t.kind) {
+    case Tok::kVoid: return "void";
+    case Tok::kInt: return "int";
+    case Tok::kFloat: return "float";
+    case Tok::kDouble: return "double";
+    case Tok::kIdent: return t.text;
+    default:
+      error("expected type name");
+      return "<error>";
+  }
+}
+
+std::unique_ptr<Program> Parser::parse() {
+  auto prog = std::make_unique<Program>();
+  while (!check(Tok::kEof)) {
+    if (match(Tok::kAggregate)) {
+      parse_aggregate_decl(*prog);
+    } else if (match(Tok::kParallel)) {
+      parse_func_or_global(*prog, /*parallel=*/true);
+    } else if (is_type_token(peek())) {
+      parse_func_or_global(*prog, /*parallel=*/false);
+    } else {
+      error("expected declaration");
+      synchronize();
+    }
+  }
+  return prog;
+}
+
+// aggregate <elem-type> <Name> ('[' ']')+ ';'
+void Parser::parse_aggregate_decl(Program& prog) {
+  AggregateDecl d;
+  d.line = peek().line;
+  d.elem_type = parse_type_name();
+  if (!check(Tok::kIdent)) {
+    error("expected aggregate type name");
+    synchronize();
+    return;
+  }
+  d.name = advance().text;
+  while (match(Tok::kLBracket)) {
+    expect(Tok::kRBracket, "closing aggregate dimension");
+    ++d.dims;
+  }
+  if (d.dims == 0) error("aggregate needs at least one dimension");
+  expect(Tok::kSemi, "after aggregate declaration");
+  prog.aggregates.push_back(std::move(d));
+}
+
+// <type> <name> '(' ... ')' body | <type> <name> ';' (global instance)
+void Parser::parse_func_or_global(Program& prog, bool parallel) {
+  const std::string type = parse_type_name();
+  if (!check(Tok::kIdent)) {
+    error("expected name after type");
+    synchronize();
+    return;
+  }
+  const Token& name_tok = advance();
+  if (check(Tok::kLParen)) {
+    prog.functions.push_back(parse_function(parallel, type, name_tok.text));
+    return;
+  }
+  if (parallel) error("'parallel' only applies to functions");
+  GlobalVar g;
+  g.type = type;
+  g.name = name_tok.text;
+  g.line = name_tok.line;
+  expect(Tok::kSemi, "after global declaration");
+  prog.globals.push_back(std::move(g));
+}
+
+FuncDecl Parser::parse_function(bool parallel, std::string ret_type,
+                                std::string name) {
+  FuncDecl f;
+  f.parallel = parallel;
+  f.ret_type = std::move(ret_type);
+  f.name = std::move(name);
+  f.line = peek().line;
+  expect(Tok::kLParen, "after function name");
+  if (!check(Tok::kRParen)) {
+    do {
+      Param p;
+      p.parallel = match(Tok::kParallel);
+      p.type = parse_type_name();
+      if (check(Tok::kIdent)) {
+        p.name = advance().text;
+      } else {
+        error("expected parameter name");
+      }
+      f.params.push_back(std::move(p));
+    } while (match(Tok::kComma));
+  }
+  expect(Tok::kRParen, "after parameters");
+  f.body = parse_block();
+  return f;
+}
+
+std::unique_ptr<Stmt> Parser::parse_block() {
+  auto s = make_stmt(Stmt::Kind::kBlock, peek().line);
+  expect(Tok::kLBrace, "to open block");
+  while (!check(Tok::kRBrace) && !check(Tok::kEof)) {
+    auto inner = parse_stmt();
+    if (inner) s->body.push_back(std::move(inner));
+  }
+  expect(Tok::kRBrace, "to close block");
+  return s;
+}
+
+std::unique_ptr<Stmt> Parser::parse_stmt() {
+  if (check(Tok::kLBrace)) return parse_block();
+  if (match(Tok::kIf)) return parse_if();
+  if (match(Tok::kFor)) return parse_for();
+  if (match(Tok::kWhile)) return parse_while();
+  if (match(Tok::kReturn)) {
+    auto s = make_stmt(Stmt::Kind::kReturn, peek().line);
+    if (!check(Tok::kSemi)) s->expr = parse_expr();
+    expect(Tok::kSemi, "after return");
+    return s;
+  }
+  // Variable declaration: <type> <ident> ... — disambiguate from an
+  // expression by requiring ident ident.
+  if (is_type_token(peek()) && peek(1).kind == Tok::kIdent &&
+      (peek().kind != Tok::kIdent || peek(1).kind == Tok::kIdent)) {
+    // "ident ident" or "int/float/double ident"
+    if (peek().kind != Tok::kIdent ||
+        (peek(1).kind == Tok::kIdent &&
+         (peek(2).kind == Tok::kAssign || peek(2).kind == Tok::kSemi))) {
+      const std::string type = parse_type_name();
+      return parse_var_decl(type);
+    }
+  }
+  auto s = make_stmt(Stmt::Kind::kExpr, peek().line);
+  s->expr = parse_expr();
+  expect(Tok::kSemi, "after expression");
+  return s;
+}
+
+std::unique_ptr<Stmt> Parser::parse_var_decl(std::string type) {
+  auto s = make_stmt(Stmt::Kind::kVarDecl, peek().line);
+  s->var_type = std::move(type);
+  if (check(Tok::kIdent))
+    s->var_name = advance().text;
+  else
+    error("expected variable name");
+  if (match(Tok::kAssign)) s->expr = parse_expr();
+  expect(Tok::kSemi, "after variable declaration");
+  return s;
+}
+
+std::unique_ptr<Stmt> Parser::parse_if() {
+  auto s = make_stmt(Stmt::Kind::kIf, peek().line);
+  expect(Tok::kLParen, "after 'if'");
+  s->expr = parse_expr();
+  expect(Tok::kRParen, "after if condition");
+  s->then_stmt = parse_stmt();
+  if (match(Tok::kElse)) s->else_stmt = parse_stmt();
+  return s;
+}
+
+std::unique_ptr<Stmt> Parser::parse_for() {
+  auto s = make_stmt(Stmt::Kind::kFor, peek().line);
+  expect(Tok::kLParen, "after 'for'");
+  if (!check(Tok::kSemi)) {
+    if (is_type_token(peek()) && peek(1).kind == Tok::kIdent &&
+        peek().kind != Tok::kIdent) {
+      const std::string type = parse_type_name();
+      s->for_init = parse_var_decl(type);  // consumes the ';'
+    } else if (peek().kind == Tok::kIdent && peek(1).kind == Tok::kIdent) {
+      const std::string type = parse_type_name();
+      s->for_init = parse_var_decl(type);
+    } else {
+      auto init = make_stmt(Stmt::Kind::kExpr, peek().line);
+      init->expr = parse_expr();
+      expect(Tok::kSemi, "after for initializer");
+      s->for_init = std::move(init);
+    }
+  } else {
+    advance();  // empty initializer
+  }
+  if (!check(Tok::kSemi)) s->for_cond = parse_expr();
+  expect(Tok::kSemi, "after for condition");
+  if (!check(Tok::kRParen)) s->for_step = parse_expr();
+  expect(Tok::kRParen, "after for clauses");
+  s->loop_body = parse_stmt();
+  return s;
+}
+
+std::unique_ptr<Stmt> Parser::parse_while() {
+  auto s = make_stmt(Stmt::Kind::kWhile, peek().line);
+  expect(Tok::kLParen, "after 'while'");
+  s->expr = parse_expr();
+  expect(Tok::kRParen, "after while condition");
+  s->loop_body = parse_stmt();
+  return s;
+}
+
+// ---- Expressions ------------------------------------------------------------
+
+std::unique_ptr<Expr> Parser::parse_expr() { return parse_assignment(); }
+
+std::unique_ptr<Expr> Parser::parse_assignment() {
+  auto lhs = parse_or();
+  if (check(Tok::kAssign) || check(Tok::kPlusAssign) ||
+      check(Tok::kMinusAssign)) {
+    const Tok op = advance().kind;
+    auto e = make_expr(Expr::Kind::kAssign, lhs->line);
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_assignment();
+    return e;
+  }
+  return lhs;
+}
+
+namespace {
+using ParseFn = std::unique_ptr<Expr> (Parser::*)();
+}
+
+std::unique_ptr<Expr> Parser::parse_or() {
+  auto lhs = parse_and();
+  while (check(Tok::kOrOr)) {
+    const Tok op = advance().kind;
+    auto e = make_expr(Expr::Kind::kBinary, lhs->line);
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_and();
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+std::unique_ptr<Expr> Parser::parse_and() {
+  auto lhs = parse_equality();
+  while (check(Tok::kAndAnd)) {
+    const Tok op = advance().kind;
+    auto e = make_expr(Expr::Kind::kBinary, lhs->line);
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_equality();
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+std::unique_ptr<Expr> Parser::parse_equality() {
+  auto lhs = parse_relational();
+  while (check(Tok::kEq) || check(Tok::kNe)) {
+    const Tok op = advance().kind;
+    auto e = make_expr(Expr::Kind::kBinary, lhs->line);
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_relational();
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+std::unique_ptr<Expr> Parser::parse_relational() {
+  auto lhs = parse_additive();
+  while (check(Tok::kLt) || check(Tok::kGt) || check(Tok::kLe) ||
+         check(Tok::kGe)) {
+    const Tok op = advance().kind;
+    auto e = make_expr(Expr::Kind::kBinary, lhs->line);
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_additive();
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+std::unique_ptr<Expr> Parser::parse_additive() {
+  auto lhs = parse_multiplicative();
+  while (check(Tok::kPlus) || check(Tok::kMinus)) {
+    const Tok op = advance().kind;
+    auto e = make_expr(Expr::Kind::kBinary, lhs->line);
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_multiplicative();
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+std::unique_ptr<Expr> Parser::parse_multiplicative() {
+  auto lhs = parse_unary();
+  while (check(Tok::kStar) || check(Tok::kSlash) || check(Tok::kPercent)) {
+    const Tok op = advance().kind;
+    auto e = make_expr(Expr::Kind::kBinary, lhs->line);
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = parse_unary();
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+std::unique_ptr<Expr> Parser::parse_unary() {
+  if (check(Tok::kMinus) || check(Tok::kNot)) {
+    const Token& t = advance();
+    auto e = make_expr(Expr::Kind::kUnary, t.line);
+    e->op = t.kind;
+    e->rhs = parse_unary();
+    return e;
+  }
+  return parse_postfix();
+}
+
+std::unique_ptr<Expr> Parser::parse_postfix() {
+  auto e = parse_primary();
+  for (;;) {
+    if (match(Tok::kDot)) {
+      auto m = make_expr(Expr::Kind::kMember, e->line);
+      if (check(Tok::kIdent))
+        m->name = advance().text;
+      else
+        error("expected member name after '.'");
+      m->lhs = std::move(e);
+      e = std::move(m);
+      continue;
+    }
+    if (match(Tok::kLBracket)) {
+      auto idx = make_expr(Expr::Kind::kIndex, e->line);
+      idx->lhs = std::move(e);
+      idx->args.push_back(parse_expr());
+      expect(Tok::kRBracket, "after index");
+      e = std::move(idx);
+      continue;
+    }
+    break;
+  }
+  return e;
+}
+
+std::unique_ptr<Expr> Parser::parse_primary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case Tok::kNumber: {
+      advance();
+      auto e = make_expr(Expr::Kind::kNumber, t.line);
+      e->num = std::strtod(t.text.c_str(), nullptr);
+      return e;
+    }
+    case Tok::kHashIndex: {
+      advance();
+      auto e = make_expr(Expr::Kind::kHashIndex, t.line);
+      e->hash_index = static_cast<int>(t.value);
+      return e;
+    }
+    case Tok::kIdent: {
+      advance();
+      if (check(Tok::kLParen)) {
+        advance();
+        auto e = make_expr(Expr::Kind::kCall, t.line);
+        e->name = t.text;
+        if (!check(Tok::kRParen)) {
+          do {
+            e->args.push_back(parse_expr());
+          } while (match(Tok::kComma));
+        }
+        expect(Tok::kRParen, "after arguments");
+        return e;
+      }
+      auto e = make_expr(Expr::Kind::kVar, t.line);
+      e->name = t.text;
+      return e;
+    }
+    case Tok::kLParen: {
+      advance();
+      auto e = parse_expr();
+      expect(Tok::kRParen, "after parenthesized expression");
+      return e;
+    }
+    default:
+      error(std::string("unexpected token '") + tok_name(t.kind) +
+            "' in expression");
+      advance();
+      return make_expr(Expr::Kind::kNumber, t.line);
+  }
+}
+
+}  // namespace presto::cstar

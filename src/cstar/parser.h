@@ -1,0 +1,62 @@
+// Recursive-descent parser for the C**-subset language.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cstar/ast.h"
+#include "cstar/token.h"
+
+namespace presto::cstar {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens);
+
+  // Returns the program; parse errors are collected (never throws). On
+  // unrecoverable errors the program may be partial.
+  std::unique_ptr<Program> parse();
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(Tok t) const { return peek().kind == t; }
+  bool match(Tok t);
+  bool expect(Tok t, const char* what);
+  void error(const std::string& msg);
+  void synchronize();
+
+  bool is_type_token(const Token& t) const;
+  std::string parse_type_name();
+
+  void parse_aggregate_decl(Program& prog);
+  void parse_func_or_global(Program& prog, bool parallel);
+  FuncDecl parse_function(bool parallel, std::string ret_type,
+                          std::string name);
+  std::unique_ptr<Stmt> parse_stmt();
+  std::unique_ptr<Stmt> parse_block();
+  std::unique_ptr<Stmt> parse_if();
+  std::unique_ptr<Stmt> parse_for();
+  std::unique_ptr<Stmt> parse_while();
+  std::unique_ptr<Stmt> parse_var_decl(std::string type);
+
+  std::unique_ptr<Expr> parse_expr();
+  std::unique_ptr<Expr> parse_assignment();
+  std::unique_ptr<Expr> parse_or();
+  std::unique_ptr<Expr> parse_and();
+  std::unique_ptr<Expr> parse_equality();
+  std::unique_ptr<Expr> parse_relational();
+  std::unique_ptr<Expr> parse_additive();
+  std::unique_ptr<Expr> parse_multiplicative();
+  std::unique_ptr<Expr> parse_unary();
+  std::unique_ptr<Expr> parse_postfix();
+  std::unique_ptr<Expr> parse_primary();
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace presto::cstar

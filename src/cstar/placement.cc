@@ -1,0 +1,273 @@
+#include "cstar/placement.h"
+
+#include <map>
+
+namespace presto::cstar {
+
+namespace {
+
+const Expr* find_call(const Expr* e) {
+  if (e == nullptr) return nullptr;
+  if (e->kind == Expr::Kind::kCall) return e;
+  if (e->kind == Expr::Kind::kAssign || e->kind == Expr::Kind::kBinary) {
+    if (const Expr* c = find_call(e->lhs.get())) return c;
+    return find_call(e->rhs.get());
+  }
+  if (e->kind == Expr::Kind::kUnary) return find_call(e->rhs.get());
+  return nullptr;
+}
+
+class Placer {
+ public:
+  Placer(const Cfg& cfg, const DataflowResult& flow,
+         const AccessAnalysis& access)
+      : cfg_(cfg), flow_(flow), access_(access) {}
+
+  PlacementResult run(FuncDecl& fn) {
+    if (fn.body) {
+      mark_initial(*fn.body);
+      hoist(*fn.body);
+      coalesce(*fn.body);
+      assign_phases(*fn.body);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  struct SubtreeInfo {
+    bool has_directive = false;
+    bool has_parallel_call = false;
+    bool all_home_only = true;  // every parallel call has only home accesses
+  };
+
+  // ---- Initial placement (rules 1 and 2) ----------------------------------
+
+  void mark_initial(Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kExpr: {
+        const Expr* call = find_call(s.expr.get());
+        if (call == nullptr) return;
+        const auto it = cfg_.call_nodes.find(call);
+        if (it == cfg_.call_nodes.end()) return;
+        const int node = it->second;
+        const auto& acc =
+            cfg_.nodes[static_cast<std::size_t>(node)].access;
+        std::string reason;
+        for (const auto& [inst, bits] : acc) {
+          if (has_remote(bits)) {
+            reason = "unstructured accesses on '" + inst + "'";
+            break;
+          }
+          if ((bits & kHomeWrite) && flow_.reaches(node, inst)) {
+            reason = "owner writes on '" + inst +
+                     "' reached by unstructured accesses";
+            // keep scanning: a rule-2 reason is more informative
+          }
+        }
+        if (!reason.empty()) {
+          s.directive_phase = 0;  // tentative; ids assigned later
+          ++result_.calls_needing_schedule;
+          reasons_[&s] = reason;
+        }
+        return;
+      }
+      case Stmt::Kind::kBlock:
+        for (auto& inner : s.body) mark_initial(*inner);
+        return;
+      case Stmt::Kind::kIf:
+        if (s.then_stmt) mark_initial(*s.then_stmt);
+        if (s.else_stmt) mark_initial(*s.else_stmt);
+        return;
+      case Stmt::Kind::kFor:
+      case Stmt::Kind::kWhile:
+        if (s.loop_body) mark_initial(*s.loop_body);
+        return;
+      default:
+        return;
+    }
+  }
+
+  // ---- Summaries ------------------------------------------------------------
+
+  SubtreeInfo info_of(const Stmt& s) const {
+    SubtreeInfo info;
+    collect_info(s, info);
+    return info;
+  }
+
+  void collect_info(const Stmt& s, SubtreeInfo& info) const {
+    if (s.directive_phase >= 0) info.has_directive = true;
+    switch (s.kind) {
+      case Stmt::Kind::kExpr: {
+        const Expr* call = find_call(s.expr.get());
+        if (call == nullptr) return;
+        const auto it = cfg_.call_nodes.find(call);
+        if (it == cfg_.call_nodes.end()) return;
+        info.has_parallel_call = true;
+        for (const auto& [inst, bits] :
+             cfg_.nodes[static_cast<std::size_t>(it->second)].access) {
+          (void)inst;
+          if (has_remote(bits)) info.all_home_only = false;
+        }
+        return;
+      }
+      case Stmt::Kind::kBlock:
+        for (const auto& inner : s.body) collect_info(*inner, info);
+        return;
+      case Stmt::Kind::kIf:
+        if (s.then_stmt) collect_info(*s.then_stmt, info);
+        if (s.else_stmt) collect_info(*s.else_stmt, info);
+        return;
+      case Stmt::Kind::kFor:
+      case Stmt::Kind::kWhile:
+        if (s.loop_body) collect_info(*s.loop_body, info);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void clear_directives(Stmt& s) {
+    s.directive_phase = -1;
+    s.directive_hoisted = false;
+    switch (s.kind) {
+      case Stmt::Kind::kBlock:
+        for (auto& inner : s.body) clear_directives(*inner);
+        return;
+      case Stmt::Kind::kIf:
+        if (s.then_stmt) clear_directives(*s.then_stmt);
+        if (s.else_stmt) clear_directives(*s.else_stmt);
+        return;
+      case Stmt::Kind::kFor:
+      case Stmt::Kind::kWhile:
+        if (s.loop_body) clear_directives(*s.loop_body);
+        return;
+      default:
+        return;
+    }
+  }
+
+  // ---- Hoisting (inside-out) -------------------------------------------------
+
+  void hoist(Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kBlock:
+        for (auto& inner : s.body) hoist(*inner);
+        return;
+      case Stmt::Kind::kIf:
+        if (s.then_stmt) hoist(*s.then_stmt);
+        if (s.else_stmt) hoist(*s.else_stmt);
+        return;
+      case Stmt::Kind::kFor:
+      case Stmt::Kind::kWhile: {
+        if (s.loop_body) hoist(*s.loop_body);  // innermost loops first
+        if (s.loop_body == nullptr) return;
+        const SubtreeInfo info = info_of(*s.loop_body);
+        if (info.has_directive && info.all_home_only) {
+          clear_directives(*s.loop_body);
+          s.directive_phase = 0;
+          s.directive_hoisted = true;
+          reasons_[&s] =
+              "schedule hoisted out of a loop containing only home accesses";
+        }
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  // ---- Coalescing -------------------------------------------------------------
+
+  void coalesce(Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kBlock: {
+        Stmt* prev_directive = nullptr;
+        bool calls_since_prev = false;
+        for (auto& inner : s.body) {
+          coalesce(*inner);  // nested blocks/loops first
+          const SubtreeInfo info = info_of(*inner);
+          if (inner->directive_phase >= 0) {
+            // Only phases that include exclusively home accesses may merge
+            // (merging an owner-write phase into an unstructured-read phase
+            // would record conflicting marks in one schedule).
+            if (prev_directive != nullptr && !calls_since_prev &&
+                info.all_home_only &&
+                info_of(*prev_directive).all_home_only) {
+              // Merge this phase into its neighbour: the earlier directive
+              // covers both parallel functions with one schedule.
+              reasons_[prev_directive] += "; coalesced with phase at line " +
+                                          std::to_string(inner->line);
+              inner->directive_phase = -1;
+              inner->directive_hoisted = false;
+              calls_since_prev = false;
+              continue;
+            }
+            prev_directive = inner.get();
+            calls_since_prev = false;
+            continue;
+          }
+          if (info.has_parallel_call) calls_since_prev = true;
+        }
+        return;
+      }
+      case Stmt::Kind::kIf:
+        if (s.then_stmt) coalesce(*s.then_stmt);
+        if (s.else_stmt) coalesce(*s.else_stmt);
+        return;
+      case Stmt::Kind::kFor:
+      case Stmt::Kind::kWhile:
+        if (s.loop_body) coalesce(*s.loop_body);
+        return;
+      default:
+        return;
+    }
+  }
+
+  // ---- Final phase numbering ---------------------------------------------------
+
+  void assign_phases(Stmt& s) {
+    if (s.directive_phase >= 0) {
+      s.directive_phase = next_phase_++;
+      Directive d;
+      d.phase = s.directive_phase;
+      d.stmt = &s;
+      d.line = s.line;
+      d.hoisted = s.directive_hoisted;
+      d.reason = reasons_.count(&s) ? reasons_[&s] : "";
+      result_.directives.push_back(std::move(d));
+    }
+    switch (s.kind) {
+      case Stmt::Kind::kBlock:
+        for (auto& inner : s.body) assign_phases(*inner);
+        return;
+      case Stmt::Kind::kIf:
+        if (s.then_stmt) assign_phases(*s.then_stmt);
+        if (s.else_stmt) assign_phases(*s.else_stmt);
+        return;
+      case Stmt::Kind::kFor:
+      case Stmt::Kind::kWhile:
+        if (s.loop_body) assign_phases(*s.loop_body);
+        return;
+      default:
+        return;
+    }
+  }
+
+  const Cfg& cfg_;
+  const DataflowResult& flow_;
+  const AccessAnalysis& access_;
+  PlacementResult result_;
+  std::map<const Stmt*, std::string> reasons_;
+  int next_phase_ = 1;
+};
+
+}  // namespace
+
+PlacementResult place_directives(FuncDecl& main_fn, const Cfg& cfg,
+                                 const DataflowResult& flow,
+                                 const AccessAnalysis& access) {
+  return Placer(cfg, flow, access).run(main_fn);
+}
+
+}  // namespace presto::cstar

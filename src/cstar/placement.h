@@ -1,0 +1,46 @@
+// Directive placement (paper §4.3).
+//
+// A parallel call needs a communication schedule and a preceding predictive
+// protocol phase directive when
+//   1. it is reached by unstructured accesses and includes owner (home)
+//      writes — its writes will invalidate remotely cached copies, which
+//      the presend phase can pre-invalidate — or
+//   2. it includes unstructured accesses itself.
+//
+// Two optimizations from the paper then run inside-out over the program
+// structure: directives whose loop bodies contain only home accesses are
+// hoisted out of the loop (one directive before the loop instead of one per
+// iteration — Fig. 4's single directive for the center-of-mass phase), and
+// neighbouring phases that include only home accesses are coalesced with
+// their neighbour, amortizing protocol overhead across parallel functions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cstar/ast.h"
+#include "cstar/cfg.h"
+#include "cstar/dataflow.h"
+
+namespace presto::cstar {
+
+struct Directive {
+  int phase = -1;
+  const Stmt* stmt = nullptr;  // directive immediately precedes this stmt
+  int line = 0;
+  bool hoisted = false;        // placed on a loop after hoisting
+  std::string reason;
+};
+
+struct PlacementResult {
+  std::vector<Directive> directives;
+  int calls_needing_schedule = 0;  // before hoisting/coalescing
+};
+
+// Annotates main's statements (directive_phase / directive_hoisted) and
+// returns the directive table.
+PlacementResult place_directives(FuncDecl& main_fn, const Cfg& cfg,
+                                 const DataflowResult& flow,
+                                 const AccessAnalysis& access);
+
+}  // namespace presto::cstar

@@ -1,0 +1,179 @@
+#include "cstar/printer.h"
+
+#include <sstream>
+
+namespace presto::cstar {
+
+namespace {
+
+const char* op_text(Tok t) { return tok_name(t); }
+
+void print_expr(std::ostringstream& os, const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kNumber: {
+      // Integers print without a trailing ".0".
+      if (e.num == static_cast<double>(static_cast<long long>(e.num)))
+        os << static_cast<long long>(e.num);
+      else
+        os << e.num;
+      return;
+    }
+    case Expr::Kind::kVar:
+      os << e.name;
+      return;
+    case Expr::Kind::kHashIndex:
+      os << '#' << e.hash_index;
+      return;
+    case Expr::Kind::kUnary:
+      os << op_text(e.op);
+      print_expr(os, *e.rhs);
+      return;
+    case Expr::Kind::kBinary:
+      os << '(';
+      print_expr(os, *e.lhs);
+      os << ' ' << op_text(e.op) << ' ';
+      print_expr(os, *e.rhs);
+      os << ')';
+      return;
+    case Expr::Kind::kAssign:
+      print_expr(os, *e.lhs);
+      os << ' ' << op_text(e.op) << ' ';
+      print_expr(os, *e.rhs);
+      return;
+    case Expr::Kind::kCall: {
+      os << e.name << '(';
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) os << ", ";
+        print_expr(os, *e.args[i]);
+      }
+      os << ')';
+      return;
+    }
+    case Expr::Kind::kMember:
+      print_expr(os, *e.lhs);
+      os << '.' << e.name;
+      return;
+    case Expr::Kind::kIndex:
+      print_expr(os, *e.lhs);
+      os << '[';
+      print_expr(os, *e.args[0]);
+      os << ']';
+      return;
+  }
+}
+
+void indent(std::ostringstream& os, int n) {
+  for (int i = 0; i < n; ++i) os << "  ";
+}
+
+void print_stmt(std::ostringstream& os, const Stmt& s, int depth) {
+  if (s.directive_phase >= 0) {
+    indent(os, depth);
+    os << "__schedule_phase(" << s.directive_phase << ");";
+    if (s.directive_hoisted) os << "  /* hoisted out of loop */";
+    os << '\n';
+  }
+  switch (s.kind) {
+    case Stmt::Kind::kExpr:
+      indent(os, depth);
+      print_expr(os, *s.expr);
+      os << ";\n";
+      return;
+    case Stmt::Kind::kBlock:
+      indent(os, depth);
+      os << "{\n";
+      for (const auto& inner : s.body) print_stmt(os, *inner, depth + 1);
+      indent(os, depth);
+      os << "}\n";
+      return;
+    case Stmt::Kind::kIf:
+      indent(os, depth);
+      os << "if (";
+      print_expr(os, *s.expr);
+      os << ")\n";
+      print_stmt(os, *s.then_stmt, depth + 1);
+      if (s.else_stmt) {
+        indent(os, depth);
+        os << "else\n";
+        print_stmt(os, *s.else_stmt, depth + 1);
+      }
+      return;
+    case Stmt::Kind::kFor: {
+      indent(os, depth);
+      os << "for (";
+      if (s.for_init && s.for_init->kind == Stmt::Kind::kVarDecl) {
+        os << s.for_init->var_type << ' ' << s.for_init->var_name;
+        if (s.for_init->expr) {
+          os << " = ";
+          print_expr(os, *s.for_init->expr);
+        }
+      } else if (s.for_init && s.for_init->expr) {
+        print_expr(os, *s.for_init->expr);
+      }
+      os << "; ";
+      if (s.for_cond) print_expr(os, *s.for_cond);
+      os << "; ";
+      if (s.for_step) print_expr(os, *s.for_step);
+      os << ")\n";
+      print_stmt(os, *s.loop_body, depth + 1);
+      return;
+    }
+    case Stmt::Kind::kWhile:
+      indent(os, depth);
+      os << "while (";
+      print_expr(os, *s.expr);
+      os << ")\n";
+      print_stmt(os, *s.loop_body, depth + 1);
+      return;
+    case Stmt::Kind::kVarDecl:
+      indent(os, depth);
+      os << s.var_type << ' ' << s.var_name;
+      if (s.expr) {
+        os << " = ";
+        print_expr(os, *s.expr);
+      }
+      os << ";\n";
+      return;
+    case Stmt::Kind::kReturn:
+      indent(os, depth);
+      os << "return";
+      if (s.expr) {
+        os << ' ';
+        print_expr(os, *s.expr);
+      }
+      os << ";\n";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string print_function(const FuncDecl& fn) {
+  std::ostringstream os;
+  if (fn.parallel) os << "parallel ";
+  os << fn.ret_type << ' ' << fn.name << '(';
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i > 0) os << ", ";
+    if (fn.params[i].parallel) os << "parallel ";
+    os << fn.params[i].type << ' ' << fn.params[i].name;
+  }
+  os << ")\n";
+  if (fn.body) print_stmt(os, *fn.body, 0);
+  return os.str();
+}
+
+std::string print_program(const Program& prog) {
+  std::ostringstream os;
+  for (const auto& a : prog.aggregates) {
+    os << "aggregate " << a.elem_type << ' ' << a.name;
+    for (int d = 0; d < a.dims; ++d) os << "[]";
+    os << ";\n";
+  }
+  for (const auto& g : prog.globals)
+    os << g.type << ' ' << g.name << ";\n";
+  os << '\n';
+  for (const auto& f : prog.functions) os << print_function(f) << '\n';
+  return os.str();
+}
+
+}  // namespace presto::cstar

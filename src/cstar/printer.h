@@ -1,0 +1,16 @@
+// Pretty-printer: emits the program back as annotated source, with the
+// compiler-placed predictive-protocol directives shown as
+// `__schedule_phase(k);` lines — the human-readable counterpart of
+// Figure 4(b).
+#pragma once
+
+#include <string>
+
+#include "cstar/ast.h"
+
+namespace presto::cstar {
+
+std::string print_program(const Program& prog);
+std::string print_function(const FuncDecl& fn);
+
+}  // namespace presto::cstar

@@ -1,0 +1,90 @@
+// Sample C**-subset programs used by tests, benches, and examples: the
+// paper's Figure 2 stencil, Figure 3 unstructured mesh update, and a model
+// of the Barnes-Hut main loop from Figure 4.
+#pragma once
+
+namespace presto::cstar::samples {
+
+// Figure 2: 4-point stencil (Jacobi-style red/black driver in main).
+inline constexpr const char* kStencil = R"(
+aggregate float Grid[][];
+Grid a;
+Grid b;
+
+parallel void compute(parallel Grid cur, Grid prev) {
+  cur(#0, #1) = 0.25 * (prev(#0 - 1, #1) + prev(#0 + 1, #1) +
+                        prev(#0, #1 - 1) + prev(#0, #1 + 1));
+}
+
+void main() {
+  for (int i = 0; i < 100; i = i + 1) {
+    compute(a, b);
+    compute(b, a);
+  }
+}
+)";
+
+// Figure 3: unstructured bipartite mesh update through edge descriptors.
+inline constexpr const char* kUnstructuredMesh = R"(
+aggregate Elem Mesh[][];
+Mesh primal;
+Mesh dual;
+
+parallel void update(parallel Mesh p, Mesh d) {
+  int e = 0;
+  while (e < p(#0, #1).nedges) {
+    p(#0, #1).value += p(#0, #1).edges[e].coeff *
+                       d(p(#0, #1).edges[e].row, p(#0, #1).edges[e].col).value;
+    e = e + 1;
+  }
+}
+
+void main() {
+  for (int i = 0; i < 10; i = i + 1) {
+    update(primal, dual);
+    update(dual, primal);
+  }
+}
+)";
+
+// Figure 4: the Barnes-Hut main loop. tree-build and force include
+// unstructured accesses to the tree; the center-of-mass loop touches only
+// home data, so its per-iteration directive hoists out of the loop; the
+// body update has owner writes reached by the force phase's unstructured
+// reads.
+inline constexpr const char* kBarnesMain = R"(
+aggregate Cell Tree[];
+aggregate Body Bodies[];
+Tree tree;
+Bodies bodies;
+
+parallel void build_tree(parallel Tree t, Bodies bod) {
+  t(#0).mass = bod(t(#0).first).mass;
+  t(t(#0).parent).count += 1;
+}
+
+parallel void center_of_mass(parallel Tree t) {
+  t(#0).com = t(#0).com + t(#0).mass;
+}
+
+parallel void compute_forces(parallel Bodies bod, Tree t) {
+  bod(#0).force = t(bod(#0).cell).com * bod(bod(#0).next).mass;
+}
+
+parallel void update_bodies(parallel Bodies bod) {
+  bod(#0).pos += bod(#0).force;
+}
+
+void main() {
+  for (int step = 0; step < 3; step = step + 1) {
+    build_tree(tree, bodies);
+    for (int l = 0; l < 8; l = l + 1) {
+      center_of_mass(tree);
+    }
+    compute_forces(bodies, tree);
+    update_bodies(bodies);
+  }
+}
+)";
+
+}  // namespace presto::cstar::samples

@@ -1,0 +1,65 @@
+// Tokens for the C**-subset language (paper §4.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace presto::cstar {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kIdent,
+  kNumber,
+  kHashIndex,  // #0, #1 — position pseudo-variables within an Aggregate
+  // Keywords.
+  kAggregate,
+  kParallel,
+  kVoid,
+  kInt,
+  kFloat,
+  kDouble,
+  kIf,
+  kElse,
+  kFor,
+  kWhile,
+  kReturn,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemi,
+  kDot,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kNot,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;   // identifier spelling / number literal
+  std::int64_t value = 0;  // numeric value (kNumber, kHashIndex)
+  int line = 0;
+  int col = 0;
+};
+
+const char* tok_name(Tok t);
+
+}  // namespace presto::cstar

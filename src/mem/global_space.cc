@@ -1,0 +1,160 @@
+#include "mem/global_space.h"
+
+#include <bit>
+
+namespace presto::mem {
+
+namespace {
+int log2_exact(std::uint32_t v) {
+  PRESTO_CHECK(std::has_single_bit(v), "not a power of two: " << v);
+  return std::countr_zero(v);
+}
+}  // namespace
+
+GlobalSpace::GlobalSpace(int nodes, const MemConfig& cfg)
+    : nodes_(nodes),
+      cfg_(cfg),
+      block_shift_(log2_exact(cfg.block_size)),
+      page_shift_(log2_exact(cfg.page_size)),
+      tags_(static_cast<std::size_t>(nodes)),
+      frames_(static_cast<std::size_t>(nodes)),
+      arenas_(static_cast<std::size_t>(nodes)) {
+  PRESTO_CHECK(nodes > 0 && nodes <= 64, "node count " << nodes);
+  PRESTO_CHECK(cfg.page_size % cfg.block_size == 0,
+               "page size not a multiple of block size");
+}
+
+void GlobalSpace::grow_to(std::size_t new_size) {
+  const std::size_t nblocks = new_size >> block_shift_;
+  const std::size_t npages = new_size >> page_shift_;
+  for (int n = 0; n < nodes_; ++n) {
+    tags_[static_cast<std::size_t>(n)].resize(
+        nblocks, static_cast<std::uint8_t>(Tag::Invalid));
+    frames_[static_cast<std::size_t>(n)].resize(npages);
+  }
+  page_home_.resize(npages, -1);
+  size_ = new_size;
+}
+
+Addr GlobalSpace::alloc(std::size_t bytes,
+                        const std::function<int(PageId)>& home) {
+  PRESTO_CHECK(bytes > 0, "zero-byte allocation");
+  const std::size_t pages =
+      (bytes + cfg_.page_size - 1) / cfg_.page_size;
+  const Addr base = size_;
+  const PageId first_page = base >> page_shift_;
+  grow_to(size_ + pages * cfg_.page_size);
+
+  const std::size_t blocks_per_page =
+      cfg_.page_size / cfg_.block_size;
+  for (std::size_t p = 0; p < pages; ++p) {
+    const int h = home(static_cast<PageId>(p));
+    PRESTO_CHECK(h >= 0 && h < nodes_, "bad home " << h);
+    page_home_[static_cast<std::size_t>(first_page) + p] = h;
+    // The home starts with ReadWrite permission on all its blocks.
+    const BlockId b0 =
+        (first_page + p) << (page_shift_ - block_shift_);
+    for (std::size_t b = 0; b < blocks_per_page; ++b)
+      set_tag(h, b0 + b, Tag::ReadWrite);
+  }
+  return base;
+}
+
+Addr GlobalSpace::alloc_on_node(int node, std::size_t bytes) {
+  return alloc(bytes, [node](PageId) { return node; });
+}
+
+Addr GlobalSpace::arena_alloc(int node, std::size_t bytes, std::size_t align) {
+  PRESTO_CHECK(bytes <= cfg_.page_size,
+               "arena object " << bytes << " exceeds page size");
+  auto& ar = arenas_[static_cast<std::size_t>(node)];
+  // Align the linear cursor.
+  Addr pos = (ar.cur + align - 1) & ~static_cast<Addr>(align - 1);
+  // Objects may not straddle (non-contiguous) arena chunks.
+  if ((pos & (cfg_.page_size - 1)) + bytes > cfg_.page_size)
+    pos = (pos + cfg_.page_size) & ~static_cast<Addr>(cfg_.page_size - 1);
+  const std::size_t chunk = static_cast<std::size_t>(pos >> page_shift_);
+  while (chunk >= ar.chunks.size())
+    ar.chunks.push_back(alloc_on_node(node, cfg_.page_size));
+  ar.cur = pos + bytes;
+  return ar.chunks[chunk] + (pos & (cfg_.page_size - 1));
+}
+
+std::size_t GlobalSpace::arena_mark(int node) const {
+  return static_cast<std::size_t>(arenas_[static_cast<std::size_t>(node)].cur);
+}
+
+void GlobalSpace::arena_reset(int node, std::size_t mark) {
+  auto& ar = arenas_[static_cast<std::size_t>(node)];
+  PRESTO_CHECK(mark <= ar.cur, "arena reset past current position");
+  ar.cur = mark;
+}
+
+std::byte* GlobalSpace::frame(int node, PageId p) {
+  auto& f = frames_[static_cast<std::size_t>(node)][static_cast<std::size_t>(p)];
+  if (!f) {
+    f = std::make_unique<std::byte[]>(cfg_.page_size);
+    std::memset(f.get(), 0, cfg_.page_size);
+  }
+  return f.get();
+}
+
+std::byte* GlobalSpace::block_data(int node, BlockId b) {
+  const PageId p = page_of_block(b);
+  const Addr base = block_base(b);
+  return frame(node, p) + (base & (cfg_.page_size - 1));
+}
+
+void GlobalSpace::read(int node, Addr a, void* out, std::size_t n) {
+  std::byte* dst = static_cast<std::byte*>(out);
+  while (n > 0) {
+    const BlockId b = block_of(a);
+    while (tag(node, b) == Tag::Invalid) {
+      PRESTO_CHECK(fault_, "no fault handler installed");
+      fault_(node, b, /*is_write=*/false);
+    }
+    const std::size_t in_block =
+        cfg_.block_size - static_cast<std::size_t>(a & (cfg_.block_size - 1));
+    const std::size_t chunk = n < in_block ? n : in_block;
+    const std::byte* src =
+        block_data(node, b) + (a & (cfg_.block_size - 1));
+    std::memcpy(dst, src, chunk);
+    a += chunk;
+    dst += chunk;
+    n -= chunk;
+  }
+}
+
+void GlobalSpace::write(int node, Addr a, const void* in, std::size_t n) {
+  const std::byte* src = static_cast<const std::byte*>(in);
+  while (n > 0) {
+    const BlockId b = block_of(a);
+    while (tag(node, b) != Tag::ReadWrite) {
+      PRESTO_CHECK(fault_, "no fault handler installed");
+      fault_(node, b, /*is_write=*/true);
+    }
+    const std::size_t in_block =
+        cfg_.block_size - static_cast<std::size_t>(a & (cfg_.block_size - 1));
+    const std::size_t chunk = n < in_block ? n : in_block;
+    std::byte* dst = block_data(node, b) + (a & (cfg_.block_size - 1));
+    std::memcpy(dst, src, chunk);
+    a += chunk;
+    src += chunk;
+    n -= chunk;
+  }
+}
+
+void GlobalSpace::rmw(int node, Addr a, std::size_t n,
+                      const std::function<void(void*)>& fn) {
+  const BlockId b = block_of(a);
+  PRESTO_CHECK(block_of(a + n - 1) == b, "rmw may not straddle blocks");
+  while (tag(node, b) != Tag::ReadWrite) {
+    PRESTO_CHECK(fault_, "no fault handler installed");
+    fault_(node, b, /*is_write=*/true);
+  }
+  // Holding ReadWrite and not yielding makes the read-modify-write atomic
+  // with respect to all other simulated processors.
+  fn(block_data(node, b) + (a & (cfg_.block_size - 1)));
+}
+
+}  // namespace presto::mem

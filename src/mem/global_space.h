@@ -1,0 +1,144 @@
+// Global shared address space with fine-grain access control — the Tempest
+// substrate (Reinhardt et al. [14]) that Blizzard implements on the CM-5.
+//
+// The space is carved into pages (home-assignment granularity, as in C**'s
+// page-grain data distribution) and cache blocks (coherence granularity,
+// 32–1024 bytes). Every node keeps its own copy of any page it touches plus
+// a per-block access tag {Invalid, ReadOnly, ReadWrite}; an access that the
+// tag does not permit vectors to a user-level fault handler (the coherence
+// protocol), which blocks the accessing processor until the tag is upgraded.
+// Data genuinely moves between per-node frames, so coherence-protocol bugs
+// corrupt application results and are caught by the numeric tests.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/check.h"
+
+namespace presto::mem {
+
+using Addr = std::uint64_t;
+using BlockId = std::uint64_t;
+using PageId = std::uint64_t;
+
+enum class Tag : std::uint8_t { Invalid = 0, ReadOnly = 1, ReadWrite = 2 };
+
+struct MemConfig {
+  std::uint32_t block_size = 32;   // power of two, 8..page_size
+  std::uint32_t page_size = 4096;  // power of two, multiple of block_size
+};
+
+class GlobalSpace {
+ public:
+  GlobalSpace(int nodes, const MemConfig& cfg);
+
+  int nodes() const { return nodes_; }
+  std::uint32_t block_size() const { return cfg_.block_size; }
+  std::uint32_t page_size() const { return cfg_.page_size; }
+  std::size_t size_bytes() const { return size_; }
+  std::size_t num_blocks() const { return size_ / cfg_.block_size; }
+  std::size_t num_pages() const { return size_ / cfg_.page_size; }
+
+  BlockId block_of(Addr a) const { return a >> block_shift_; }
+  PageId page_of(Addr a) const { return a >> page_shift_; }
+  PageId page_of_block(BlockId b) const {
+    return b >> (page_shift_ - block_shift_);
+  }
+  Addr block_base(BlockId b) const { return b << block_shift_; }
+
+  int home_of_page(PageId p) const {
+    return page_home_[static_cast<std::size_t>(p)];
+  }
+  int home_of_block(BlockId b) const { return home_of_page(page_of_block(b)); }
+  int home_of_addr(Addr a) const { return home_of_page(page_of(a)); }
+
+  // ---- Allocation ----------------------------------------------------------
+
+  // Allocates `bytes` rounded up to whole pages; `home(i)` gives the home
+  // node of the i-th page of the allocation. Returns the base address.
+  Addr alloc(std::size_t bytes, const std::function<int(PageId)>& home);
+
+  // Allocates all pages on one node.
+  Addr alloc_on_node(int node, std::size_t bytes);
+
+  // Small-object bump allocation from a per-node arena (pages homed at the
+  // node). Used for dynamically grown structures (quad-/oct-tree cells).
+  Addr arena_alloc(int node, std::size_t bytes, std::size_t align = 8);
+
+  // Arena mark/reset let an application rebuild a structure each iteration
+  // at the *same* addresses (Barnes rebuilds its tree every step; address
+  // stability is what makes the communication schedule repetitive).
+  std::size_t arena_mark(int node) const;
+  void arena_reset(int node, std::size_t mark);
+
+  // ---- Access control ------------------------------------------------------
+
+  Tag tag(int node, BlockId b) const {
+    return static_cast<Tag>(
+        tags_[static_cast<std::size_t>(node)][static_cast<std::size_t>(b)]);
+  }
+  void set_tag(int node, BlockId b, Tag t) {
+    tags_[static_cast<std::size_t>(node)][static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>(t);
+  }
+
+  // Pointer to the node-local bytes of block b (frame allocated on demand).
+  std::byte* block_data(int node, BlockId b);
+
+  // ---- Application access path (runs on the node's processor thread) ------
+
+  // The fault handler must block the calling processor until the access is
+  // permitted; it is installed by the coherence protocol.
+  using FaultFn = std::function<void(int node, BlockId b, bool is_write)>;
+  void set_fault_handler(FaultFn fn) { fault_ = std::move(fn); }
+
+  void read(int node, Addr a, void* out, std::size_t n);
+  void write(int node, Addr a, const void* in, std::size_t n);
+
+  // Read-modify-write executed without yielding between the read and the
+  // write once ReadWrite permission is held (the primitive shared locks are
+  // built on). `fn` mutates the bytes in place.
+  void rmw(int node, Addr a, std::size_t n,
+           const std::function<void(void*)>& fn);
+
+  template <typename T>
+  T read_value(int node, Addr a) {
+    T v;
+    read(node, a, &v, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void write_value(int node, Addr a, const T& v) {
+    write(node, a, &v, sizeof(T));
+  }
+
+ private:
+  void grow_to(std::size_t new_size);
+  std::byte* frame(int node, PageId p);
+
+  const int nodes_;
+  const MemConfig cfg_;
+  int block_shift_ = 0;
+  int page_shift_ = 0;
+  std::size_t size_ = 0;
+
+  std::vector<int> page_home_;
+  // tags_[node][block]; frames_[node][page] allocated lazily.
+  std::vector<std::vector<std::uint8_t>> tags_;
+  std::vector<std::vector<std::unique_ptr<std::byte[]>>> frames_;
+
+  struct Arena {
+    Addr cur = 0;
+    Addr end = 0;
+    std::vector<Addr> chunks;  // page-aligned chunks in allocation order
+  };
+  std::vector<Arena> arenas_;
+
+  FaultFn fault_;
+};
+
+}  // namespace presto::mem

@@ -1,0 +1,40 @@
+#include "net/network.h"
+
+#include "util/check.h"
+
+namespace presto::net {
+
+Network::Network(sim::Engine& engine, int nodes, const NetConfig& cfg)
+    : engine_(engine),
+      nodes_(nodes),
+      cfg_(cfg),
+      last_arrival_(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes), 0),
+      per_node_msgs_(static_cast<std::size_t>(nodes), 0),
+      per_node_bytes_(static_cast<std::size_t>(nodes), 0) {}
+
+sim::Time Network::send(int src, int dst, std::size_t bytes, sim::Time depart,
+                        std::function<void()> deliver) {
+  PRESTO_CHECK(src >= 0 && src < nodes_ && dst >= 0 && dst < nodes_,
+               "bad endpoints " << src << "->" << dst);
+  const sim::Time latency =
+      (src == dst ? cfg_.self_latency
+                  : cfg_.wire_latency +
+                        static_cast<sim::Time>(bytes) * cfg_.per_byte);
+  sim::Time arrival = depart + latency;
+
+  auto& fifo = last_arrival_[static_cast<std::size_t>(src) *
+                                 static_cast<std::size_t>(nodes_) +
+                             static_cast<std::size_t>(dst)];
+  if (arrival <= fifo) arrival = fifo + 1;
+  fifo = arrival;
+
+  ++messages_;
+  bytes_ += bytes;
+  ++per_node_msgs_[static_cast<std::size_t>(src)];
+  per_node_bytes_[static_cast<std::size_t>(src)] += bytes;
+
+  engine_.schedule_at(arrival, std::move(deliver));
+  return arrival;
+}
+
+}  // namespace presto::net

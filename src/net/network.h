@@ -1,0 +1,59 @@
+// Point-to-point interconnect model.
+//
+// Models a CM-5-style data network without contention: a message of b bytes
+// sent at time t arrives at t + wire_latency + b * per_byte. Delivery between
+// a fixed (src, dst) pair is FIFO — Stache's transaction serialization at the
+// home node assumes ordered channels, which we enforce by clamping arrival
+// times to be monotone per channel. Self-sends (protocol dispatch to the
+// local node) use a cheaper loopback latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/time.h"
+
+namespace presto::net {
+
+struct NetConfig {
+  sim::Time wire_latency = sim::microseconds(30);  // software messaging cost
+  sim::Time per_byte = 100;                        // ~10 MB/s effective
+  sim::Time self_latency = sim::microseconds(5);   // local protocol dispatch
+};
+
+class Network {
+ public:
+  Network(sim::Engine& engine, int nodes, const NetConfig& cfg);
+
+  // Schedules deliver() to run in engine context at the arrival time of a
+  // message of `bytes` bytes departing src at `depart`. Returns the arrival
+  // time. Callable from both engine and processor threads (depart must be
+  // the caller's current virtual time or later).
+  sim::Time send(int src, int dst, std::size_t bytes, sim::Time depart,
+                 std::function<void()> deliver);
+
+  std::uint64_t messages_sent() const { return messages_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+  std::uint64_t messages_from(int src) const {
+    return per_node_msgs_[static_cast<std::size_t>(src)];
+  }
+  std::uint64_t bytes_from(int src) const {
+    return per_node_bytes_[static_cast<std::size_t>(src)];
+  }
+  const NetConfig& config() const { return cfg_; }
+  int nodes() const { return nodes_; }
+
+ private:
+  sim::Engine& engine_;
+  const int nodes_;
+  const NetConfig cfg_;
+  std::vector<sim::Time> last_arrival_;  // [src * nodes + dst] FIFO clamp
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::vector<std::uint64_t> per_node_msgs_;
+  std::vector<std::uint64_t> per_node_bytes_;
+};
+
+}  // namespace presto::net

@@ -1,0 +1,302 @@
+#include "proto/predictive.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace presto::proto {
+
+PredictiveProtocol::PredictiveProtocol(sim::Engine& engine, net::Network& net,
+                                       mem::GlobalSpace& space,
+                                       stats::Recorder& rec,
+                                       const ProtoCosts& costs,
+                                       ConflictPolicy conflicts)
+    : StacheProtocol(engine, net, space, rec, costs),
+      sched_(static_cast<std::size_t>(space.nodes())),
+      cur_phase_(static_cast<std::size_t>(space.nodes()), -1),
+      outstanding_(static_cast<std::size_t>(space.nodes()), 0),
+      conflict_policy_(conflicts) {
+  presend_recall_.resize(static_cast<std::size_t>(space.nodes()));
+}
+
+std::size_t PredictiveProtocol::schedule_size(int home, int phase) const {
+  const auto& phases = sched_[static_cast<std::size_t>(home)];
+  const auto it = phases.find(phase);
+  return it == phases.end() ? 0 : it->second.size();
+}
+
+void PredictiveProtocol::record_request(int home, mem::BlockId b,
+                                        int requester, bool is_write) {
+  const int phase = cur_phase_[static_cast<std::size_t>(home)];
+  if (phase < 0) return;
+  auto& entries = sched_[static_cast<std::size_t>(home)][phase];
+  auto [it, inserted] = entries.try_emplace(b);
+  Entry& e = it->second;
+  if (inserted) {
+    ++stats_.entries_recorded;
+    ++rec_.node(home).schedule_entries;
+  }
+  if (!e.first_set) {
+    e.first_set = true;
+    e.first_is_write = is_write;
+  }
+  if (is_write)
+    e.writers |= bit(requester);
+  else
+    e.readers |= bit(requester);
+}
+
+PredictiveProtocol::Kind PredictiveProtocol::derive(const Entry& e) const {
+  if (e.writers == 0) return Kind::kRead;
+  if (single_bit(e.writers) && (e.readers & ~e.writers) == 0)
+    return Kind::kWrite;
+  return Kind::kConflict;
+}
+
+void PredictiveProtocol::phase_flush(int node, int phase) {
+  sched_[static_cast<std::size_t>(node)].erase(phase);
+}
+
+void PredictiveProtocol::phase_begin(int node, int phase) {
+  auto& p = proc(node);
+  const sim::Time t0 = p.now();
+  cur_phase_[static_cast<std::size_t>(node)] = phase;
+  do_presend(node, phase);
+  PRESTO_CHECK(barrier_, "predictive protocol needs a barrier callback");
+  barrier_(node);
+  rec_.node(node).presend += p.now() - t0;
+}
+
+void PredictiveProtocol::do_presend(int node, int phase) {
+  auto& phases = sched_[static_cast<std::size_t>(node)];
+  const auto sit = phases.find(phase);
+  if (sit == phases.end() || sit->second.empty()) return;
+  auto& p = proc(node);
+  auto& out = outstanding_[static_cast<std::size_t>(node)];
+  PRESTO_CHECK(out == 0, "nested presend on node " << node);
+
+  // Resolve each entry's action, applying the conflict policy.
+  auto resolve = [&](const Entry& e) -> std::pair<Kind, int> {
+    Kind k = derive(e);
+    if (k == Kind::kConflict) {
+      if (conflict_policy_ == ConflictPolicy::kAnticipate) {
+        // Anticipate the first stable state before the conflict (§3.4).
+        if (!e.first_is_write && e.readers != 0) return {Kind::kRead, -1};
+        if (e.first_is_write && single_bit(e.writers))
+          return {Kind::kWrite, bit_index(e.writers)};
+      }
+      return {Kind::kConflict, -1};
+    }
+    return {k, k == Kind::kWrite ? bit_index(e.writers) : -1};
+  };
+
+  // ---- Stage 1: recall dirty data held by remote owners --------------------
+  for (const auto& [b, e] : sit->second) {
+    p.charge(costs_.presend_per_block);
+    const auto [kind, writer] = resolve(e);
+    if (kind == Kind::kConflict) {
+      ++stats_.conflict_entries;
+      continue;
+    }
+    auto& d = dir(node, b);
+    if (d.busy || d.state != DirEntry::S::Excl) continue;
+    if (kind == Kind::kWrite && d.owner == writer) continue;  // already placed
+    d.busy = true;
+    d.req_node = node;
+    d.req_write = kind == Kind::kWrite;
+    presend_recall_[static_cast<std::size_t>(node)].insert(b);
+    Msg m;
+    m.type = kind == Kind::kWrite ? MsgType::RecallX : MsgType::RecallS;
+    m.src = node;
+    m.block = b;
+    ++out;
+    ++stats_.presend_recalls;
+    send_from_app(node, d.owner, std::move(m));
+  }
+  while (out > 0) p.block();
+
+  // ---- Stage 2: coalesced pushes and pre-invalidations ----------------------
+  std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>> push(
+      static_cast<std::size_t>(space_.nodes()));
+  std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>> inv(
+      static_cast<std::size_t>(space_.nodes()));
+
+  for (const auto& [b, e] : sit->second) {
+    const auto [kind, writer] = resolve(e);
+    if (kind == Kind::kConflict) continue;
+    auto& d = dir(node, b);
+    if (d.busy) continue;
+
+    if (kind == Kind::kRead) {
+      PRESTO_CHECK(d.state != DirEntry::S::Excl,
+                   "presend read entry still exclusive after recalls");
+      const std::uint64_t targets = e.readers & ~d.readers & ~bit(node);
+      std::uint64_t rest = targets;
+      while (rest) {
+        const int t = __builtin_ctzll(rest);
+        rest &= rest - 1;
+        push[static_cast<std::size_t>(t)].emplace_back(b, mem::Tag::ReadOnly);
+      }
+      if (targets != 0) {
+        d.readers |= targets;
+        d.state = DirEntry::S::Shared;
+        if (space_.tag(node, b) == mem::Tag::ReadWrite)
+          space_.set_tag(node, b, mem::Tag::ReadOnly);
+      }
+    } else {  // kWrite
+      if (writer == node) {
+        // Pre-invalidate remote copies so the home's writes do not stall.
+        if (d.state == DirEntry::S::Shared) {
+          std::uint64_t rest = d.readers;
+          while (rest) {
+            const int t = __builtin_ctzll(rest);
+            rest &= rest - 1;
+            inv[static_cast<std::size_t>(t)].emplace_back(b,
+                                                          mem::Tag::Invalid);
+          }
+          d.readers = 0;
+          d.state = DirEntry::S::Idle;
+          space_.set_tag(node, b, mem::Tag::ReadWrite);
+        }
+      } else {
+        if (d.state == DirEntry::S::Excl) continue;  // owner == writer
+        std::uint64_t rest = d.readers & ~bit(writer);
+        while (rest) {
+          const int t = __builtin_ctzll(rest);
+          rest &= rest - 1;
+          inv[static_cast<std::size_t>(t)].emplace_back(b, mem::Tag::Invalid);
+        }
+        push[static_cast<std::size_t>(writer)].emplace_back(
+            b, mem::Tag::ReadWrite);
+        d.readers = 0;
+        d.owner = writer;
+        d.state = DirEntry::S::Excl;
+        space_.set_tag(node, b, mem::Tag::Invalid);
+      }
+    }
+  }
+
+  for (int t = 0; t < space_.nodes(); ++t) {
+    if (!push[static_cast<std::size_t>(t)].empty())
+      send_bulk_runs(node, t, push[static_cast<std::size_t>(t)],
+                     /*invalidate=*/false);
+    if (!inv[static_cast<std::size_t>(t)].empty())
+      send_bulk_runs(node, t, inv[static_cast<std::size_t>(t)],
+                     /*invalidate=*/true);
+  }
+  while (out > 0) p.block();
+}
+
+void PredictiveProtocol::send_bulk_runs(
+    int node, int target,
+    const std::vector<std::pair<mem::BlockId, mem::Tag>>& blocks,
+    bool invalidate) {
+  auto& p = proc(node);
+  auto& out = outstanding_[static_cast<std::size_t>(node)];
+  const std::size_t bsz = space_.block_size();
+
+  std::size_t i = 0;
+  while (i < blocks.size()) {
+    // Extend a run of contiguous blocks with the same install tag.
+    std::size_t j = i + 1;
+    while (coalescing_ && j < blocks.size() &&
+           blocks[j].first == blocks[j - 1].first + 1 &&
+           blocks[j].second == blocks[i].second)
+      ++j;
+    const std::uint32_t count = static_cast<std::uint32_t>(j - i);
+
+    Msg m;
+    m.type = invalidate ? MsgType::BulkInv : MsgType::BulkData;
+    m.src = node;
+    m.block = blocks[i].first;
+    m.count = count;
+    m.tag = static_cast<std::uint8_t>(blocks[i].second);
+    if (!invalidate) {
+      m.data.resize(count * bsz);
+      for (std::uint32_t k = 0; k < count; ++k)
+        std::memcpy(m.data.data() + k * bsz,
+                    space_.block_data(node, blocks[i].first + k), bsz);
+      stats_.presend_push_blocks += count;
+      rec_.node(node).presend_blocks_sent += count;
+    } else {
+      stats_.presend_inv_blocks += count;
+    }
+    ++stats_.presend_msgs;
+    ++rec_.node(node).presend_msgs;
+    ++out;
+    p.charge(costs_.handler);  // software send cost for the bulk message
+    send_from_app(node, target, std::move(m));
+    i = j;
+  }
+}
+
+void PredictiveProtocol::handle(int self, const Msg& m) {
+  if (m.type == MsgType::RecallAckData) {
+    auto& recalls = presend_recall_[static_cast<std::size_t>(self)];
+    const auto it = recalls.find(m.block);
+    if (it != recalls.end()) {
+      recalls.erase(it);
+      auto& d = dir(self, m.block);
+      std::memcpy(space_.block_data(self, m.block), m.data.data(),
+                  space_.block_size());
+      if (d.req_write) {
+        d.owner = -1;
+        d.readers = 0;
+        d.state = DirEntry::S::Idle;
+        space_.set_tag(self, m.block, mem::Tag::ReadWrite);
+      } else {
+        d.readers |= bit(d.owner);
+        d.owner = -1;
+        d.state = DirEntry::S::Shared;
+        space_.set_tag(self, m.block, mem::Tag::ReadOnly);
+      }
+      d.busy = false;
+      d.req_node = -1;
+      if (--outstanding_[static_cast<std::size_t>(self)] == 0)
+        proc(self).wake(engine_.now());
+      return;
+    }
+  }
+  StacheProtocol::handle(self, m);
+}
+
+void PredictiveProtocol::handle_extra(int self, const Msg& m) {
+  const std::size_t bsz = space_.block_size();
+  switch (m.type) {
+    case MsgType::BulkData: {
+      for (std::uint32_t k = 0; k < m.count; ++k)
+        install_block(self, m.block + k, m.data.data() + k * bsz,
+                      static_cast<mem::Tag>(m.tag));
+      rec_.node(self).presend_blocks_received += m.count;
+      Msg r;
+      r.type = MsgType::BulkAck;
+      r.src = self;
+      r.block = m.block;
+      r.count = m.count;
+      send_from_handler(self, m.src, std::move(r));
+      break;
+    }
+    case MsgType::BulkInv: {
+      for (std::uint32_t k = 0; k < m.count; ++k)
+        space_.set_tag(self, m.block + k, mem::Tag::Invalid);
+      Msg r;
+      r.type = MsgType::BulkInvAck;
+      r.src = self;
+      r.block = m.block;
+      r.count = m.count;
+      send_from_handler(self, m.src, std::move(r));
+      break;
+    }
+    case MsgType::BulkAck:
+    case MsgType::BulkInvAck: {
+      if (--outstanding_[static_cast<std::size_t>(self)] == 0)
+        proc(self).wake(engine_.now());
+      break;
+    }
+    default:
+      StacheProtocol::handle_extra(self, m);
+      break;
+  }
+}
+
+}  // namespace presto::proto

@@ -1,0 +1,112 @@
+// C**'s predictive cache-coherence protocol (paper §3.3–3.4).
+//
+// Augments Stache in two parts:
+//
+//  1. *Schedule building.* Every request processed at a home node while a
+//     phase is active is recorded in that phase's communication schedule:
+//     entry = {readers, writers} per block. All requests reaching the home
+//     involve communication (purely local accesses never fault), including
+//     the home's own faults that trigger remote invalidations/recalls.
+//     Schedules grow incrementally — faults in later iterations extend them
+//     (adaptive applications); deletions are not tracked (paper §3.3), so
+//     phase_flush() lets applications rebuild a schedule from scratch.
+//
+//  2. *Presend.* At phase_begin(p) every node walks the phase-p entries for
+//     blocks it homes and executes the anticipated transactions early:
+//       - Read-marked blocks: recall dirty data, then forward ReadOnly
+//         copies to all recorded readers.
+//       - Write-marked blocks: invalidate other copies and forward a
+//         ReadWrite copy to the recorded writer (pre-invalidation when the
+//         writer is the home itself).
+//       - Conflict blocks (read & written by different nodes in one phase,
+//         e.g. false sharing) are skipped, or optionally anticipate the
+//         first stable state (the paper's suggested extension).
+//     Neighbouring blocks destined for the same node are coalesced into
+//     bulk messages to amortize message startup (§3.4). A global barrier
+//     stabilizes all block states before the phase's computation starts.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "proto/stache.h"
+
+namespace presto::proto {
+
+enum class ConflictPolicy {
+  kSkip,        // paper's default: no action for conflict blocks
+  kAnticipate,  // paper's suggested extension: use the first stable state
+};
+
+class PredictiveProtocol : public StacheProtocol {
+ public:
+  PredictiveProtocol(sim::Engine& engine, net::Network& net,
+                     mem::GlobalSpace& space, stats::Recorder& rec,
+                     const ProtoCosts& costs,
+                     ConflictPolicy conflicts = ConflictPolicy::kSkip);
+
+  const char* name() const override { return "predictive"; }
+
+  // Compiler-placed directive: presend phase `phase`, then global barrier.
+  // Runs on the node's processor thread.
+  void phase_begin(int node, int phase) override;
+
+  // Discards this home's schedule for `phase` (schedule rebuild, §3.3).
+  void phase_flush(int node, int phase) override;
+
+  // Aggregate protocol statistics (summed over nodes).
+  struct Stats {
+    std::uint64_t entries_recorded = 0;
+    std::uint64_t conflict_entries = 0;   // entries skipped as conflicts
+    std::uint64_t presend_recalls = 0;
+    std::uint64_t presend_push_blocks = 0;
+    std::uint64_t presend_inv_blocks = 0;
+    std::uint64_t presend_msgs = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Number of live schedule entries for (home, phase) — test/bench hook.
+  std::size_t schedule_size(int home, int phase) const;
+
+  // Ablation hook: disable bulk coalescing (§3.4) — every presend block
+  // travels in its own message.
+  void set_coalescing(bool on) { coalescing_ = on; }
+
+ protected:
+  void record_request(int home, mem::BlockId b, int requester,
+                      bool is_write) override;
+  void handle(int self, const Msg& m) override;
+  void handle_extra(int self, const Msg& m) override;
+
+ private:
+  struct Entry {
+    std::uint64_t readers = 0;
+    std::uint64_t writers = 0;
+    bool first_is_write = false;
+    bool first_set = false;
+  };
+  enum class Kind { kRead, kWrite, kConflict };
+
+  Kind derive(const Entry& e) const;
+  static bool single_bit(std::uint64_t v) { return v && !(v & (v - 1)); }
+  static int bit_index(std::uint64_t v) { return __builtin_ctzll(v); }
+
+  void do_presend(int node, int phase);
+  void send_bulk_runs(int node, int target,
+                      const std::vector<std::pair<mem::BlockId, mem::Tag>>& blocks,
+                      bool invalidate);
+
+  // sched_[home][phase] -> ordered block map (sorted for run coalescing).
+  std::vector<std::unordered_map<int, std::map<mem::BlockId, Entry>>> sched_;
+  std::vector<int> cur_phase_;
+  std::vector<int> outstanding_;  // presend acks/recalls awaited per node
+  // Blocks with a presend-initiated recall in flight, per home node (their
+  // RecallAckData must not run the normal transaction-completion path).
+  std::vector<std::unordered_set<mem::BlockId>> presend_recall_;
+  ConflictPolicy conflict_policy_;
+  bool coalescing_ = true;
+  Stats stats_;
+};
+
+}  // namespace presto::proto

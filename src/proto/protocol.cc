@@ -1,0 +1,86 @@
+#include "proto/protocol.h"
+
+#include "util/check.h"
+
+namespace presto::proto {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::GetS: return "GetS";
+    case MsgType::GetX: return "GetX";
+    case MsgType::Inv: return "Inv";
+    case MsgType::InvAck: return "InvAck";
+    case MsgType::RecallS: return "RecallS";
+    case MsgType::RecallX: return "RecallX";
+    case MsgType::RecallAckData: return "RecallAckData";
+    case MsgType::DataS: return "DataS";
+    case MsgType::DataX: return "DataX";
+    case MsgType::BulkData: return "BulkData";
+    case MsgType::BulkAck: return "BulkAck";
+    case MsgType::BulkInv: return "BulkInv";
+    case MsgType::BulkInvAck: return "BulkInvAck";
+    case MsgType::WuGetS: return "WuGetS";
+    case MsgType::WuData: return "WuData";
+    case MsgType::WuWriteNote: return "WuWriteNote";
+    case MsgType::UpdateData: return "UpdateData";
+    case MsgType::UpdateAck: return "UpdateAck";
+  }
+  return "?";
+}
+
+Protocol::Protocol(sim::Engine& engine, net::Network& net,
+                   mem::GlobalSpace& space, stats::Recorder& rec,
+                   const ProtoCosts& costs)
+    : engine_(engine),
+      net_(net),
+      space_(space),
+      rec_(rec),
+      costs_(costs),
+      busy_until_(static_cast<std::size_t>(space.nodes()), 0),
+      waiting_(static_cast<std::size_t>(space.nodes()), -1) {}
+
+void Protocol::install() {
+  space_.set_fault_handler([this](int node, mem::BlockId b, bool is_write) {
+    on_fault(node, b, is_write);
+  });
+}
+
+void Protocol::post(int src, int dst, Msg m, sim::Time depart) {
+  const std::size_t bytes = costs_.header_bytes + m.data.size();
+  auto& c = rec_.node(src);
+  ++c.msgs_sent;
+  c.bytes_sent += bytes;
+  // Dispatch at arrival: serialize on the destination's protocol unit, then
+  // run the handler after its occupancy. Handler time overlapping the
+  // destination's application compute is charged as stolen cycles.
+  net_.send(src, dst, bytes, depart, [this, dst, m = std::move(m)]() mutable {
+    auto& busy = busy_until_[static_cast<std::size_t>(dst)];
+    const sim::Time start =
+        engine_.now() > busy ? engine_.now() : busy;
+    const sim::Time done = start + costs_.handler;
+    busy = done;
+    if (!proc(dst).parked_in_block()) proc(dst).add_stolen(costs_.handler);
+    engine_.schedule_at(done,
+                        [this, dst, m = std::move(m)] { handle(dst, m); });
+  });
+}
+
+void Protocol::send_from_handler(int src, int dst, Msg m) {
+  post(src, dst, std::move(m), engine_.now());
+}
+
+void Protocol::send_from_app(int src, int dst, Msg m) {
+  post(src, dst, std::move(m), proc(src).now());
+}
+
+void Protocol::install_block(int node, mem::BlockId b, const std::byte* data,
+                             mem::Tag tag) {
+  if (data != nullptr)
+    std::memcpy(space_.block_data(node, b), data, space_.block_size());
+  space_.set_tag(node, b, tag);
+  if (is_waiting_on(node, b)) wake_waiter(node);
+}
+
+void Protocol::wake_waiter(int node) { proc(node).wake(engine_.now()); }
+
+}  // namespace presto::proto

@@ -1,0 +1,142 @@
+// User-level coherence protocol framework (the Tempest handler interface).
+//
+// A protocol is a state machine driven by two kinds of events:
+//   * access faults, raised on the faulting node's processor thread by the
+//     fine-grain access-control check (mem::GlobalSpace); the handler blocks
+//     that processor until the access is legal, and
+//   * protocol messages, delivered in engine context by the network.
+//
+// Message handlers are serialized per node with a busy-until occupancy model
+// (one protocol dispatch unit per node, as with Blizzard's software
+// handlers); handler time overlapping application compute is charged to the
+// application clock as stolen cycles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/global_space.h"
+#include "net/network.h"
+#include "sim/engine.h"
+#include "sim/processor.h"
+#include "stats/recorder.h"
+
+namespace presto::proto {
+
+enum class MsgType : std::uint8_t {
+  // Stache request/response (requester <-> home <-> owner).
+  GetS,            // requester -> home: want ReadOnly copy
+  GetX,            // requester -> home: want ReadWrite copy
+  Inv,             // home -> reader
+  InvAck,          // reader -> home
+  RecallS,         // home -> owner: downgrade to ReadOnly, return data
+  RecallX,         // home -> owner: invalidate, return data
+  RecallAckData,   // owner -> home (carries data)
+  DataS,           // home -> requester (carries data, install ReadOnly)
+  DataX,           // home -> requester (carries data, install ReadWrite)
+  // Predictive protocol presend traffic (§3.4).
+  BulkData,        // home -> target: run of contiguous blocks + install tag
+  BulkAck,         // target -> home
+  BulkInv,         // home -> target: run of contiguous blocks to invalidate
+  BulkInvAck,      // target -> home
+  // Write-update protocol (hand-optimized SPMD baseline, [5]).
+  WuGetS,          // reader -> home
+  WuData,          // home -> reader
+  WuWriteNote,     // writer -> home: writer took local ReadWrite
+  UpdateData,      // writer -> home, or home -> readers: fresh block contents
+  UpdateAck,       // final recipient -> home -> writer
+};
+
+const char* msg_type_name(MsgType t);
+
+struct Msg {
+  MsgType type{};
+  int src = -1;
+  mem::BlockId block = 0;
+  std::uint32_t count = 1;  // run length for bulk messages
+  std::uint8_t tag = 0;     // mem::Tag to install (bulk/presend)
+  std::uint64_t token = 0;  // ack matching
+  std::vector<std::byte> data;
+};
+
+struct ProtoCosts {
+  sim::Time fault = sim::microseconds(10);    // fault vectoring on the
+                                              // faulting node (Blizzard SW)
+  sim::Time handler = sim::microseconds(15);  // per-message handler occupancy
+  sim::Time presend_per_block = sim::microseconds(1);
+  std::size_t header_bytes = 16;
+};
+
+class Protocol {
+ public:
+  Protocol(sim::Engine& engine, net::Network& net, mem::GlobalSpace& space,
+           stats::Recorder& rec, const ProtoCosts& costs);
+  virtual ~Protocol() = default;
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  // Registers this protocol as the space's fault handler.
+  void install();
+
+  virtual const char* name() const = 0;
+
+  // Runs on the faulting node's processor thread; returns once the access is
+  // permitted by the block tag.
+  virtual void on_fault(int node, mem::BlockId b, bool is_write) = 0;
+
+  // Compiler-placed directives (no-ops in the base protocols so identical
+  // application code runs under every protocol).
+  virtual void phase_begin(int node, int phase) {
+    (void)node;
+    (void)phase;
+  }
+  virtual void phase_flush(int node, int phase) {
+    (void)node;
+    (void)phase;
+  }
+
+  // Global barrier callback, wired by runtime::System (the predictive
+  // protocol ends its presend with a barrier, §3.4).
+  void set_barrier(std::function<void(int)> fn) { barrier_ = std::move(fn); }
+
+  const ProtoCosts& costs() const { return costs_; }
+
+ protected:
+  // Message dispatch in engine context; subclasses implement handle().
+  virtual void handle(int self, const Msg& m) = 0;
+
+  // Sends m; dispatch at the destination respects handler occupancy.
+  // data_extra is the payload size beyond the header.
+  void send_from_handler(int src, int dst, Msg m);  // engine context
+  void send_from_app(int src, int dst, Msg m);      // node-thread context
+
+  sim::Processor& proc(int node) { return engine_.processor(node); }
+
+  // Installs a block copy (or permission change) at a node and wakes its
+  // processor if it is waiting on this block.
+  void install_block(int node, mem::BlockId b, const std::byte* data,
+                     mem::Tag tag);
+  void set_waiting(int node, mem::BlockId b) { waiting_[static_cast<std::size_t>(node)] = static_cast<std::int64_t>(b); }
+  void clear_waiting(int node) { waiting_[static_cast<std::size_t>(node)] = -1; }
+  bool is_waiting_on(int node, mem::BlockId b) const {
+    return waiting_[static_cast<std::size_t>(node)] == static_cast<std::int64_t>(b);
+  }
+  void wake_waiter(int node);
+
+  sim::Engine& engine_;
+  net::Network& net_;
+  mem::GlobalSpace& space_;
+  stats::Recorder& rec_;
+  const ProtoCosts costs_;
+  std::function<void(int)> barrier_;
+
+ private:
+  void post(int src, int dst, Msg m, sim::Time depart);
+
+  std::vector<sim::Time> busy_until_;     // protocol dispatch occupancy
+  std::vector<std::int64_t> waiting_;     // block each node's app waits on
+};
+
+}  // namespace presto::proto

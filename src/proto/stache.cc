@@ -1,0 +1,355 @@
+#include "proto/stache.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace presto::proto {
+
+namespace {
+// Set PRESTO_STACHE_TRACE=<block id> to log every event on that block.
+long trace_block() {
+  static const long b = [] {
+    const char* v = std::getenv("PRESTO_STACHE_TRACE");
+    return v == nullptr ? -1L : std::strtol(v, nullptr, 10);
+  }();
+  return b;
+}
+#define STACHE_TRACE(blk, ...)                                        \
+  do {                                                                \
+    if (static_cast<long>(blk) == trace_block()) [[unlikely]] {       \
+      std::fprintf(stderr, __VA_ARGS__);                              \
+    }                                                                 \
+  } while (0)
+}  // namespace
+
+StacheProtocol::StacheProtocol(sim::Engine& engine, net::Network& net,
+                               mem::GlobalSpace& space, stats::Recorder& rec,
+                               const ProtoCosts& costs)
+    : Protocol(engine, net, space, rec, costs),
+      dir_(static_cast<std::size_t>(space.nodes())) {}
+
+StacheProtocol::DirEntry& StacheProtocol::dir(int home, mem::BlockId b) {
+  return dir_[static_cast<std::size_t>(home)][b];
+}
+
+std::size_t StacheProtocol::check_invariants() const {
+  std::size_t checked = 0;
+  for (int h = 0; h < space_.nodes(); ++h) {
+    for (const auto& [b, d] : dir_[static_cast<std::size_t>(h)]) {
+      if (d.busy) continue;  // transient transaction state
+      ++checked;
+      switch (d.state) {
+        case DirEntry::S::Idle:
+          PRESTO_CHECK(space_.tag(h, b) == mem::Tag::ReadWrite,
+                       "Idle block " << b << ": home " << h
+                                     << " lost ReadWrite");
+          for (int n = 0; n < space_.nodes(); ++n)
+            PRESTO_CHECK(n == h || space_.tag(n, b) == mem::Tag::Invalid,
+                         "Idle block " << b << ": stale copy at node " << n);
+          break;
+        case DirEntry::S::Shared:
+          PRESTO_CHECK(space_.tag(h, b) == mem::Tag::ReadOnly,
+                       "Shared block " << b << ": home tag wrong");
+          PRESTO_CHECK(d.readers != 0,
+                       "Shared block " << b << " with no readers");
+          for (int n = 0; n < space_.nodes(); ++n) {
+            if (n == h) continue;
+            const bool listed = (d.readers & bit(n)) != 0;
+            const mem::Tag t = space_.tag(n, b);
+            PRESTO_CHECK(listed ? t == mem::Tag::ReadOnly
+                                : t == mem::Tag::Invalid,
+                         "Shared block " << b << ": node " << n << " tag "
+                                         << static_cast<int>(t)
+                                         << " listed=" << listed);
+          }
+          break;
+        case DirEntry::S::Excl:
+          PRESTO_CHECK(d.owner >= 0 && d.owner != h,
+                       "Excl block " << b << ": bad owner " << d.owner);
+          PRESTO_CHECK(space_.tag(d.owner, b) == mem::Tag::ReadWrite,
+                       "Excl block " << b << ": owner " << d.owner
+                                     << " lacks ReadWrite");
+          for (int n = 0; n < space_.nodes(); ++n)
+            PRESTO_CHECK(n == d.owner ||
+                             space_.tag(n, b) == mem::Tag::Invalid,
+                         "Excl block " << b << ": stale copy at node " << n);
+          break;
+      }
+    }
+  }
+  return checked;
+}
+
+void StacheProtocol::on_fault(int node, mem::BlockId b, bool is_write) {
+  auto& c = rec_.node(node);
+  if (is_write)
+    ++c.write_faults;
+  else
+    ++c.read_faults;
+  const int home = space_.home_of_block(b);
+  if (home == node) ++c.local_faults;
+
+  auto& p = proc(node);
+  const sim::Time t0 = p.now();
+  p.charge(costs_.fault);  // software fault vectoring (Blizzard)
+
+  Msg m;
+  m.type = is_write ? MsgType::GetX : MsgType::GetS;
+  m.src = node;
+  m.block = b;
+  send_from_app(node, home, std::move(m));
+
+  set_waiting(node, b);
+  while (!access_ok(node, b, is_write)) p.block();
+  clear_waiting(node);
+  c.remote_wait += p.now() - t0;
+}
+
+void StacheProtocol::handle(int self, const Msg& m) {
+  STACHE_TRACE(m.block, "T=%lld node %d handles %s from %d (tag=%d)\n",
+               static_cast<long long>(engine_.now()), self,
+               msg_type_name(m.type), m.src,
+               static_cast<int>(space_.tag(self, m.block)));
+  switch (m.type) {
+    case MsgType::GetS:
+      start_request(self, m.block, m.src, /*is_write=*/false);
+      break;
+    case MsgType::GetX:
+      start_request(self, m.block, m.src, /*is_write=*/true);
+      break;
+
+    case MsgType::RecallS: {
+      // self is the owner: downgrade to ReadOnly, return fresh data.
+      PRESTO_CHECK(space_.tag(self, m.block) == mem::Tag::ReadWrite,
+                   "RecallS at non-owner node " << self << " block "
+                                                << m.block);
+      space_.set_tag(self, m.block, mem::Tag::ReadOnly);
+      Msg r;
+      r.type = MsgType::RecallAckData;
+      r.src = self;
+      r.block = m.block;
+      r.data.assign(space_.block_data(self, m.block),
+                    space_.block_data(self, m.block) + space_.block_size());
+      send_from_handler(self, m.src, std::move(r));
+      break;
+    }
+    case MsgType::RecallX: {
+      PRESTO_CHECK(space_.tag(self, m.block) == mem::Tag::ReadWrite,
+                   "RecallX at non-owner node " << self << " block "
+                                                << m.block);
+      Msg r;
+      r.type = MsgType::RecallAckData;
+      r.src = self;
+      r.block = m.block;
+      r.data.assign(space_.block_data(self, m.block),
+                    space_.block_data(self, m.block) + space_.block_size());
+      space_.set_tag(self, m.block, mem::Tag::Invalid);
+      send_from_handler(self, m.src, std::move(r));
+      break;
+    }
+
+    case MsgType::Inv: {
+      space_.set_tag(self, m.block, mem::Tag::Invalid);
+      Msg r;
+      r.type = MsgType::InvAck;
+      r.src = self;
+      r.block = m.block;
+      send_from_handler(self, m.src, std::move(r));
+      break;
+    }
+
+    case MsgType::InvAck: {
+      auto& d = dir(self, m.block);
+      PRESTO_CHECK(d.busy && d.acks_needed > 0,
+                   "stray InvAck at " << self << " block " << m.block);
+      if (--d.acks_needed == 0) complete_getx(self, m.block, d.req_node);
+      break;
+    }
+
+    case MsgType::RecallAckData: {
+      auto& d = dir(self, m.block);
+      PRESTO_CHECK(d.busy, "stray RecallAckData at " << self);
+      // Install the owner's data at the home.
+      std::memcpy(space_.block_data(self, m.block), m.data.data(),
+                  space_.block_size());
+      if (d.req_write) {
+        // RecallX path: owner invalidated; grant exclusive to requester.
+        d.owner = -1;
+        d.readers = 0;
+        d.state = DirEntry::S::Idle;
+        space_.set_tag(self, m.block, mem::Tag::ReadWrite);
+        complete_getx(self, m.block, d.req_node);
+      } else {
+        // RecallS path: owner downgraded to a reader.
+        d.readers |= bit(d.owner);
+        d.owner = -1;
+        d.state = DirEntry::S::Shared;
+        space_.set_tag(self, m.block, mem::Tag::ReadOnly);
+        complete_gets(self, m.block, d.req_node);
+      }
+      break;
+    }
+
+    case MsgType::DataS:
+      install_block(self, m.block, m.data.data(), mem::Tag::ReadOnly);
+      break;
+    case MsgType::DataX:
+      install_block(self, m.block, m.data.data(), mem::Tag::ReadWrite);
+      break;
+
+    default:
+      handle_extra(self, m);
+      break;
+  }
+}
+
+void StacheProtocol::handle_extra(int self, const Msg& m) {
+  PRESTO_FAIL("unhandled message " << msg_type_name(m.type) << " at node "
+                                   << self);
+}
+
+void StacheProtocol::start_request(int home, mem::BlockId b, int requester,
+                                   bool is_write) {
+  auto& d = dir(home, b);
+  STACHE_TRACE(b,
+               "T=%lld home %d start_request req=%d w=%d state=%d owner=%d "
+               "busy=%d pend=%zu\n",
+               static_cast<long long>(engine_.now()), home, requester,
+               static_cast<int>(is_write), static_cast<int>(d.state), d.owner,
+               static_cast<int>(d.busy), d.pending.size());
+  if (d.busy) {
+    d.pending.emplace_back(requester, is_write);
+    return;
+  }
+  record_request(home, b, requester, is_write);
+
+  if (!is_write) {
+    switch (d.state) {
+      case DirEntry::S::Idle:
+      case DirEntry::S::Shared:
+        complete_gets(home, b, requester);
+        return;
+      case DirEntry::S::Excl: {
+        d.busy = true;
+        d.req_node = requester;
+        d.req_write = false;
+        Msg r;
+        r.type = MsgType::RecallS;
+        r.src = home;
+        r.block = b;
+        send_from_handler(home, d.owner, std::move(r));
+        return;
+      }
+    }
+  }
+
+  switch (d.state) {
+    case DirEntry::S::Idle:
+      complete_getx(home, b, requester);
+      return;
+    case DirEntry::S::Shared: {
+      const std::uint64_t to_inv = d.readers & ~bit(requester);
+      if (to_inv == 0) {
+        // Sole-reader upgrade.
+        complete_getx(home, b, requester);
+        return;
+      }
+      d.busy = true;
+      d.req_node = requester;
+      d.req_write = true;
+      d.acks_needed = __builtin_popcountll(to_inv);
+      for (int n = 0; n < space_.nodes(); ++n) {
+        if (!(to_inv & bit(n))) continue;
+        Msg r;
+        r.type = MsgType::Inv;
+        r.src = home;
+        r.block = b;
+        send_from_handler(home, n, std::move(r));
+      }
+      return;
+    }
+    case DirEntry::S::Excl: {
+      PRESTO_CHECK(d.owner != requester, "owner faulted on its own block");
+      d.busy = true;
+      d.req_node = requester;
+      d.req_write = true;
+      Msg r;
+      r.type = MsgType::RecallX;
+      r.src = home;
+      r.block = b;
+      send_from_handler(home, d.owner, std::move(r));
+      return;
+    }
+  }
+}
+
+void StacheProtocol::grant(int home, mem::BlockId b, int requester,
+                           mem::Tag tag) {
+  if (requester == home) {
+    space_.set_tag(home, b, tag);
+    if (is_waiting_on(home, b)) wake_waiter(home);
+    return;
+  }
+  Msg r;
+  r.type = tag == mem::Tag::ReadWrite ? MsgType::DataX : MsgType::DataS;
+  r.src = home;
+  r.block = b;
+  r.data.assign(space_.block_data(home, b),
+                space_.block_data(home, b) + space_.block_size());
+  send_from_handler(home, requester, std::move(r));
+}
+
+void StacheProtocol::complete_gets(int home, mem::BlockId b, int requester) {
+  auto& d = dir(home, b);
+  if (requester != home) {
+    d.readers |= bit(requester);
+    d.state = DirEntry::S::Shared;
+    // The home's own copy drops to ReadOnly so its future writes fault.
+    if (space_.tag(home, b) == mem::Tag::ReadWrite)
+      space_.set_tag(home, b, mem::Tag::ReadOnly);
+  }
+  grant(home, b, requester,
+        requester == home ? mem::Tag::ReadOnly : mem::Tag::ReadOnly);
+  finish_transaction(home, b);
+}
+
+void StacheProtocol::complete_getx(int home, mem::BlockId b, int requester) {
+  auto& d = dir(home, b);
+  d.readers = 0;
+  if (requester == home) {
+    d.owner = -1;
+    d.state = DirEntry::S::Idle;
+    grant(home, b, requester, mem::Tag::ReadWrite);
+  } else {
+    d.owner = requester;
+    d.state = DirEntry::S::Excl;
+    space_.set_tag(home, b, mem::Tag::Invalid);
+    grant(home, b, requester, mem::Tag::ReadWrite);
+  }
+  finish_transaction(home, b);
+}
+
+void StacheProtocol::finish_transaction(int home, mem::BlockId b) {
+  auto& d = dir(home, b);
+  d.req_node = -1;
+  d.acks_needed = 0;
+  if (!d.pending.empty()) {
+    const auto [node, is_write] = d.pending.front();
+    d.pending.pop_front();
+    // Process the queued request after another handler occupancy slot. The
+    // entry stays busy until then: a request arriving in the gap must queue
+    // *behind* the dequeued one, or a spinning requester could jump the
+    // queue forever and starve it (observed with contended locks). Note
+    // busy is set explicitly — fast-path completions reach here without it.
+    d.busy = true;
+    engine_.schedule_in(costs_.handler, [this, home, b, node, is_write] {
+      dir(home, b).busy = false;
+      start_request(home, b, node, is_write);
+    });
+  } else {
+    d.busy = false;
+  }
+}
+
+}  // namespace presto::proto

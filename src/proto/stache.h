@@ -1,0 +1,94 @@
+// Stache: Blizzard's default sequentially-consistent, directory-based
+// write-invalidate protocol (paper §3.1).
+//
+// Every block has a home node holding its directory entry. Requests are
+// serialized per block at the home: while a transaction is in flight the
+// entry is busy and later requests queue. Directory states (home's view):
+//
+//   Idle    — no remote copies; the home's own tag is ReadWrite.
+//   Shared  — remote ReadOnly copies in `readers`; home tag is ReadOnly.
+//   Excl    — a single remote ReadWrite `owner`; home tag is Invalid.
+//
+// The four-message producer-consumer pattern of §3.2 falls out directly:
+// consumer GetS -> home RecallS -> producer RecallAckData -> home DataS.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/protocol.h"
+
+namespace presto::proto {
+
+class StacheProtocol : public Protocol {
+ public:
+  StacheProtocol(sim::Engine& engine, net::Network& net,
+                 mem::GlobalSpace& space, stats::Recorder& rec,
+                 const ProtoCosts& costs);
+
+  const char* name() const override { return "stache"; }
+
+  void on_fault(int node, mem::BlockId b, bool is_write) override;
+
+  // Debug validator: asserts the directory and every node's access tags
+  // agree for all quiescent (non-busy) blocks —
+  //   Idle:    home ReadWrite, everyone else Invalid;
+  //   Shared:  home ReadOnly, remote tags ReadOnly exactly on `readers`;
+  //   Excl:    owner ReadWrite, everyone else (incl. home) Invalid.
+  // Call at barrier-aligned points (no transactions in flight). Aborts on
+  // violation; returns the number of directory entries checked.
+  std::size_t check_invariants() const;
+
+ protected:
+  struct DirEntry {
+    enum class S : std::uint8_t { Idle, Shared, Excl };
+    S state = S::Idle;
+    std::uint64_t readers = 0;  // remote ReadOnly copies (bit per node)
+    int owner = -1;             // remote ReadWrite owner when Excl
+
+    // In-flight transaction (requests queue behind it).
+    bool busy = false;
+    int req_node = -1;
+    bool req_write = false;
+    int acks_needed = 0;
+    std::deque<std::pair<int, bool>> pending;  // (requester, is_write)
+  };
+
+  void handle(int self, const Msg& m) override;
+
+  // Home-side transaction engine.
+  DirEntry& dir(int home, mem::BlockId b);
+  void start_request(int home, mem::BlockId b, int requester, bool is_write);
+  void complete_gets(int home, mem::BlockId b, int requester);
+  void complete_getx(int home, mem::BlockId b, int requester);
+  void finish_transaction(int home, mem::BlockId b);
+  void grant(int home, mem::BlockId b, int requester, mem::Tag tag);
+
+  // Hook for the predictive protocol: called for every request the home
+  // processes (all of which involve communication — purely local accesses
+  // never fault through here). May be overridden to record schedules.
+  virtual void record_request(int home, mem::BlockId b, int requester,
+                              bool is_write) {
+    (void)home;
+    (void)b;
+    (void)requester;
+    (void)is_write;
+  }
+
+  // Hook for the predictive protocol's bulk/presend messages.
+  virtual void handle_extra(int self, const Msg& m);
+
+  bool access_ok(int node, mem::BlockId b, bool is_write) const {
+    const mem::Tag t = space_.tag(node, b);
+    return is_write ? t == mem::Tag::ReadWrite : t != mem::Tag::Invalid;
+  }
+
+  static std::uint64_t bit(int n) { return 1ULL << n; }
+
+  // dir_[home] maps block -> entry, created on first request.
+  std::vector<std::unordered_map<mem::BlockId, DirEntry>> dir_;
+};
+
+}  // namespace presto::proto

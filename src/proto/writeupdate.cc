@@ -1,0 +1,270 @@
+#include "proto/writeupdate.h"
+
+#include "util/check.h"
+
+namespace presto::proto {
+
+WriteUpdateProtocol::WriteUpdateProtocol(sim::Engine& engine,
+                                         net::Network& net,
+                                         mem::GlobalSpace& space,
+                                         stats::Recorder& rec,
+                                         const ProtoCosts& costs)
+    : Protocol(engine, net, space, rec, costs),
+      readers_(static_cast<std::size_t>(space.nodes())),
+      dirty_(static_cast<std::size_t>(space.nodes())),
+      outstanding_(static_cast<std::size_t>(space.nodes()), 0) {}
+
+void WriteUpdateProtocol::on_fault(int node, mem::BlockId b, bool is_write) {
+  auto& c = rec_.node(node);
+  const int home = space_.home_of_block(b);
+  auto& p = proc(node);
+
+  if (is_write) {
+    ++c.write_faults;
+    dirty_[static_cast<std::size_t>(node)].insert(b);
+    if (space_.tag(node, b) == mem::Tag::ReadOnly) {
+      // Upgrade in place: no invalidations in an update protocol.
+      p.charge(costs_.fault);
+      space_.set_tag(node, b, mem::Tag::ReadWrite);
+      return;
+    }
+    PRESTO_CHECK(home != node, "home block lost ReadWrite under write-update");
+  } else {
+    ++c.read_faults;
+  }
+  if (home == node) ++c.local_faults;
+
+  const sim::Time t0 = p.now();
+  p.charge(costs_.fault);
+  Msg m;
+  m.type = MsgType::WuGetS;
+  m.src = node;
+  m.block = b;
+  m.tag = static_cast<std::uint8_t>(is_write ? mem::Tag::ReadWrite
+                                             : mem::Tag::ReadOnly);
+  send_from_app(node, home, std::move(m));
+
+  set_waiting(node, b);
+  while (is_write ? space_.tag(node, b) != mem::Tag::ReadWrite
+                  : space_.tag(node, b) == mem::Tag::Invalid)
+    p.block();
+  clear_waiting(node);
+  c.remote_wait += p.now() - t0;
+}
+
+void WriteUpdateProtocol::send_update_run(int src, int dst, mem::BlockId b0,
+                                          std::uint32_t count,
+                                          std::uint64_t token, bool from_app) {
+  const std::size_t bsz = space_.block_size();
+  Msg m;
+  m.type = MsgType::UpdateData;
+  m.src = src;
+  m.block = b0;
+  m.count = count;
+  m.token = token;
+  m.data.resize(count * bsz);
+  for (std::uint32_t k = 0; k < count; ++k)
+    std::memcpy(m.data.data() + k * bsz, space_.block_data(src, b0 + k), bsz);
+  ++stats_.update_msgs;
+  stats_.update_blocks += count;
+  if (from_app)
+    send_from_app(src, dst, std::move(m));
+  else
+    send_from_handler(src, dst, std::move(m));
+}
+
+int WriteUpdateProtocol::forward_run(int home, mem::BlockId b0,
+                                     std::uint32_t count, std::uint64_t token,
+                                     int skip_node) {
+  auto& rd = readers_[static_cast<std::size_t>(home)];
+  int sent = 0;
+  std::uint32_t i = 0;
+  while (i < count) {
+    const auto it = rd.find(b0 + i);
+    const std::uint64_t mask =
+        (it == rd.end() ? 0 : it->second) & ~bit(skip_node);
+    // Extend a sub-run with an identical reader mask.
+    std::uint32_t j = i + 1;
+    while (j < count) {
+      const auto jt = rd.find(b0 + j);
+      const std::uint64_t jmask =
+          (jt == rd.end() ? 0 : jt->second) & ~bit(skip_node);
+      if (jmask != mask) break;
+      ++j;
+    }
+    if (mask != 0) {
+      std::uint64_t rest = mask;
+      while (rest) {
+        const int r = __builtin_ctzll(rest);
+        rest &= rest - 1;
+        send_update_run(home, r, b0 + i, j - i, token, /*from_app=*/false);
+        ++sent;
+      }
+    }
+    i = j;
+  }
+  return sent;
+}
+
+void WriteUpdateProtocol::wu_publish(int node, mem::Addr base,
+                                     std::size_t len) {
+  auto& p = proc(node);
+  auto& out = outstanding_[static_cast<std::size_t>(node)];
+  PRESTO_CHECK(out == 0, "nested publish on node " << node);
+  ++stats_.publishes;
+
+  const mem::BlockId first = space_.block_of(base);
+  const mem::BlockId last = space_.block_of(base + len - 1);
+  auto& rd = readers_[static_cast<std::size_t>(node)];
+  auto& dirty = dirty_[static_cast<std::size_t>(node)];
+
+  // Home-owned blocks: push directly to every recorded reader, coalescing
+  // runs with identical reader masks.
+  mem::BlockId b = first;
+  while (b <= last) {
+    if (space_.home_of_block(b) != node) {
+      ++b;
+      continue;
+    }
+    const auto it = rd.find(b);
+    const std::uint64_t mask = it == rd.end() ? 0 : it->second;
+    mem::BlockId e = b + 1;
+    while (e <= last && space_.home_of_block(e) == node) {
+      const auto et = rd.find(e);
+      if ((et == rd.end() ? 0 : et->second) != mask) break;
+      ++e;
+    }
+    if (mask != 0) {
+      std::uint64_t rest = mask;
+      while (rest) {
+        const int r = __builtin_ctzll(rest);
+        rest &= rest - 1;
+        p.charge(costs_.presend_per_block);
+        send_update_run(node, r, b, static_cast<std::uint32_t>(e - b),
+                        /*token=*/0, /*from_app=*/true);
+        ++out;
+      }
+    }
+    b = e;
+  }
+
+  // Dirty remote blocks: push coalesced runs to the home, which forwards to
+  // its readers and acknowledges end-to-end.
+  b = first;
+  while (b <= last) {
+    if (space_.home_of_block(b) == node || dirty.count(b) == 0) {
+      ++b;
+      continue;
+    }
+    const int home = space_.home_of_block(b);
+    mem::BlockId e = b + 1;
+    while (e <= last && space_.home_of_block(e) == home && dirty.count(e))
+      ++e;
+    p.charge(costs_.presend_per_block);
+    const std::uint64_t token = next_token_++;
+    forwards_[token] =
+        ForwardState{node, /*acks_left=*/-1,
+                     static_cast<std::uint32_t>(e - b)};
+    send_update_run(node, home, b, static_cast<std::uint32_t>(e - b), token,
+                    /*from_app=*/true);
+    ++out;
+    b = e;
+  }
+
+  while (out > 0) p.block();
+}
+
+void WriteUpdateProtocol::handle(int self, const Msg& m) {
+  const std::size_t bsz = space_.block_size();
+  switch (m.type) {
+    case MsgType::WuGetS: {
+      // self is home. Record readers (read requests only) and reply with
+      // the home's current contents; no invalidation, no recall.
+      if (static_cast<mem::Tag>(m.tag) == mem::Tag::ReadOnly)
+        readers_[static_cast<std::size_t>(self)][m.block] |= bit(m.src);
+      Msg r;
+      r.type = MsgType::WuData;
+      r.src = self;
+      r.block = m.block;
+      r.tag = m.tag;
+      r.data.assign(space_.block_data(self, m.block),
+                    space_.block_data(self, m.block) + bsz);
+      send_from_handler(self, m.src, std::move(r));
+      break;
+    }
+    case MsgType::WuData:
+      install_block(self, m.block, m.data.data(),
+                    static_cast<mem::Tag>(m.tag));
+      break;
+
+    case MsgType::UpdateData: {
+      // Install the run locally. At a reader, the tag stays whatever it was
+      // (ReadOnly); at the home it stays ReadWrite.
+      for (std::uint32_t k = 0; k < m.count; ++k) {
+        std::memcpy(space_.block_data(self, m.block + k),
+                    m.data.data() + k * bsz, bsz);
+        if (space_.tag(self, m.block + k) == mem::Tag::Invalid)
+          space_.set_tag(self, m.block + k, mem::Tag::ReadOnly);
+      }
+      if (space_.home_of_block(m.block) != self) {
+        // Push to a reader (direct token==0, or forwarded token!=0):
+        // acknowledge the sender, echoing the token for forward matching.
+        Msg r;
+        r.type = MsgType::UpdateAck;
+        r.src = self;
+        r.block = m.block;
+        r.count = m.count;
+        r.token = m.token;
+        send_from_handler(self, m.src, std::move(r));
+      } else {
+        // Writer->home run: forward to readers, then acknowledge.
+        auto& fs = forwards_[m.token];
+        fs.writer = m.src;
+        fs.count = m.count;
+        const int sent = forward_run(self, m.block, m.count, m.token, m.src);
+        if (sent == 0) {
+          forwards_.erase(m.token);
+          Msg r;
+          r.type = MsgType::UpdateAck;
+          r.src = self;
+          r.block = m.block;
+          r.count = m.count;
+          r.token = 0;
+          send_from_handler(self, m.src, std::move(r));
+        } else {
+          fs.acks_left = sent;
+        }
+      }
+      break;
+    }
+
+    case MsgType::UpdateAck: {
+      if (m.token == 0) {
+        // Final acknowledgement to a publisher.
+        if (--outstanding_[static_cast<std::size_t>(self)] == 0)
+          proc(self).wake(engine_.now());
+      } else {
+        // Reader ack for a forwarded run; self is the home.
+        const auto it = forwards_.find(m.token);
+        PRESTO_CHECK(it != forwards_.end(), "stray forwarded UpdateAck");
+        if (--it->second.acks_left == 0) {
+          Msg r;
+          r.type = MsgType::UpdateAck;
+          r.src = self;
+          r.block = m.block;
+          r.count = it->second.count;
+          r.token = 0;
+          send_from_handler(self, it->second.writer, std::move(r));
+          forwards_.erase(it);
+        }
+      }
+      break;
+    }
+
+    default:
+      PRESTO_FAIL("unexpected message " << msg_type_name(m.type)
+                                        << " in write-update protocol");
+  }
+}
+
+}  // namespace presto::proto

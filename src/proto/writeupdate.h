@@ -1,0 +1,76 @@
+// Application-specific write-update protocol — the substrate of the
+// hand-optimized SPMD baseline (Falsafi et al. [5]) that the paper compares
+// Barnes against.
+//
+// Unlike Stache, writes never invalidate: a write fault upgrades the local
+// copy in place (fetching current contents from the home if the block was
+// not cached) and the writer remembers the block as dirty. The application
+// publishes its dirty data at phase boundaries with wu_publish(), which
+// pushes coalesced update messages to the home and on to every recorded
+// reader, blocking until the final recipients acknowledge. As the paper
+// notes (§3.2), update protocols do not provide sequential consistency; the
+// SPMD application is responsible for phase synchronization (publish +
+// barrier before readers consume).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "proto/protocol.h"
+
+namespace presto::proto {
+
+class WriteUpdateProtocol : public Protocol {
+ public:
+  WriteUpdateProtocol(sim::Engine& engine, net::Network& net,
+                      mem::GlobalSpace& space, stats::Recorder& rec,
+                      const ProtoCosts& costs);
+
+  const char* name() const override { return "write-update"; }
+
+  void on_fault(int node, mem::BlockId b, bool is_write) override;
+
+  // Pushes every dirty/homed block in [base, base+len) to its sharers and
+  // waits for end-to-end acknowledgements. Runs on the node's processor
+  // thread; the application must follow with a barrier before readers
+  // consume the values.
+  void wu_publish(int node, mem::Addr base, std::size_t len);
+
+  struct Stats {
+    std::uint64_t publishes = 0;
+    std::uint64_t update_blocks = 0;
+    std::uint64_t update_msgs = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ protected:
+  void handle(int self, const Msg& m) override;
+
+ private:
+  struct ForwardState {
+    int writer = -1;
+    int acks_left = 0;
+    std::uint32_t count = 0;
+  };
+
+  // Forwards a run of blocks installed at the home to all readers; returns
+  // the number of reader messages sent (0 if no readers).
+  int forward_run(int home, mem::BlockId b0, std::uint32_t count,
+                  std::uint64_t token, int skip_node);
+  void send_update_run(int src, int dst, mem::BlockId b0, std::uint32_t count,
+                       std::uint64_t token, bool from_app);
+
+  static std::uint64_t bit(int n) { return 1ULL << n; }
+
+  // readers_[home][block] — remote ReadOnly copies recorded at the home.
+  std::vector<std::unordered_map<mem::BlockId, std::uint64_t>> readers_;
+  // dirty_[node] — non-home blocks written locally since the last publish.
+  std::vector<std::unordered_set<mem::BlockId>> dirty_;
+  std::vector<int> outstanding_;  // publish acks awaited per node
+  std::unordered_map<std::uint64_t, ForwardState> forwards_;
+  std::uint64_t next_token_ = 1;
+  Stats stats_;
+};
+
+}  // namespace presto::proto

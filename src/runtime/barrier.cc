@@ -1,0 +1,71 @@
+#include "runtime/barrier.h"
+
+#include "util/check.h"
+
+namespace presto::runtime {
+
+BarrierManager::BarrierManager(sim::Engine& engine, stats::Recorder& rec,
+                               int nodes, sim::Time latency,
+                               sim::Time per_byte)
+    : engine_(engine),
+      rec_(rec),
+      nodes_(nodes),
+      latency_(latency),
+      per_byte_(per_byte) {}
+
+void BarrierManager::arrive_and_wait(int node, std::size_t bytes) {
+  auto& p = engine_.processor(node);
+  const sim::Time arrive = p.now();
+  if (arrive > max_arrive_) max_arrive_ = arrive;
+  const std::uint64_t my_epoch = epoch_;
+  ++arrived_;
+  PRESTO_CHECK(arrived_ <= nodes_, "too many barrier arrivals");
+  if (arrived_ == nodes_) {
+    const sim::Time release = max_arrive_ + latency_ +
+                              static_cast<sim::Time>(bytes) * per_byte_;
+    scalar_result_[my_epoch & 1] = scalar_acc_;
+    vec_result_[my_epoch & 1] = vec_acc_;
+    vec_acc_.clear();
+    arrived_ = 0;
+    max_arrive_ = 0;
+    ++epoch_;
+    for (int n = 0; n < nodes_; ++n) engine_.processor(n).wake(release);
+    // The completer latched its own wake above (it is running, not
+    // parked); consume it so its clock also advances to the release time.
+    p.block();
+  }
+  while (epoch_ == my_epoch) p.block();
+  rec_.node(node).barrier_wait += p.now() - arrive;
+}
+
+void BarrierManager::barrier(int node) { arrive_and_wait(node, 0); }
+
+double BarrierManager::reduce_sum(int node, double v) {
+  const std::uint64_t parity = epoch_ & 1;
+  scalar_acc_ = arrived_ == 0 ? v : scalar_acc_ + v;
+  arrive_and_wait(node, sizeof(double));
+  return scalar_result_[parity];
+}
+
+double BarrierManager::reduce_max(int node, double v) {
+  const std::uint64_t parity = epoch_ & 1;
+  scalar_acc_ = arrived_ == 0 ? v : (v > scalar_acc_ ? v : scalar_acc_);
+  arrive_and_wait(node, sizeof(double));
+  return scalar_result_[parity];
+}
+
+void BarrierManager::reduce_vec_sum(int node, std::span<double> inout) {
+  const std::uint64_t parity = epoch_ & 1;
+  if (arrived_ == 0) {
+    vec_acc_.assign(inout.begin(), inout.end());
+  } else {
+    PRESTO_CHECK(vec_acc_.size() == inout.size(),
+                 "reduce_vec_sum size mismatch");
+    for (std::size_t i = 0; i < inout.size(); ++i) vec_acc_[i] += inout[i];
+  }
+  arrive_and_wait(node, inout.size() * sizeof(double));
+  const auto& result = vec_result_[parity];
+  for (std::size_t i = 0; i < inout.size(); ++i) inout[i] = result[i];
+}
+
+}  // namespace presto::runtime

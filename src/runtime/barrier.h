@@ -1,0 +1,56 @@
+// Global barrier and reduction manager, modelling the CM-5 control network
+// (hardware barriers and combines in a few microseconds).
+//
+// All nodes must participate in every collective, in the same order — the
+// standard SPMD discipline. Release time is max(arrival) + latency
+// (+ payload combine cost for reductions), which naturally exposes load
+// imbalance as synchronization time (the effect the paper highlights for
+// Adaptive in §5.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/processor.h"
+#include "stats/recorder.h"
+
+namespace presto::runtime {
+
+class BarrierManager {
+ public:
+  BarrierManager(sim::Engine& engine, stats::Recorder& rec, int nodes,
+                 sim::Time latency, sim::Time per_byte);
+
+  void barrier(int node);
+  double reduce_sum(int node, double v);
+  double reduce_max(int node, double v);
+  // Element-wise sum across nodes; result written back into `inout`.
+  void reduce_vec_sum(int node, std::span<double> inout);
+
+  std::uint64_t barriers_completed() const { return epoch_; }
+
+ private:
+  // Generic collective: contribute, wait for the epoch to advance. `bytes`
+  // models combine payload through the control network.
+  void arrive_and_wait(int node, std::size_t bytes);
+
+  sim::Engine& engine_;
+  stats::Recorder& rec_;
+  const int nodes_;
+  const sim::Time latency_;
+  const sim::Time per_byte_;
+
+  std::uint64_t epoch_ = 0;
+  int arrived_ = 0;
+  sim::Time max_arrive_ = 0;
+  // Scalar and vector accumulators, double-buffered by epoch parity so the
+  // next collective cannot clobber a result before every node consumed it.
+  double scalar_acc_ = 0.0;
+  double scalar_result_[2] = {0.0, 0.0};
+  std::vector<double> vec_acc_;
+  std::vector<double> vec_result_[2];
+};
+
+}  // namespace presto::runtime

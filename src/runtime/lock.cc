@@ -1,0 +1,39 @@
+#include "runtime/lock.h"
+
+namespace presto::runtime {
+
+SharedLock SharedLock::create(mem::GlobalSpace& space, int home) {
+  SharedLock l;
+  l.word_ = space.arena_alloc(home, sizeof(std::uint64_t),
+                              /*align=*/space.block_size());
+  return l;
+}
+
+void SharedLock::acquire(NodeCtx& c) {
+  const sim::Time t0 = c.proc().now();
+  bool contended = false;
+  for (;;) {
+    bool got = false;
+    c.rmw<std::uint64_t>(word_, [&](std::uint64_t& w) {
+      if (w == 0) {
+        w = 1;
+        got = true;
+      }
+    });
+    if (got) break;
+    contended = true;
+    // Back off, letting pending protocol events (including the holder's
+    // release) make progress.
+    c.charge(sim::microseconds(5));
+    c.proc().yield();
+  }
+  // Only contended acquisitions count as lock wait; the cost of fetching
+  // the lock block itself is already accounted as remote wait.
+  if (contended) c.counters().lock_wait += c.proc().now() - t0;
+}
+
+void SharedLock::release(NodeCtx& c) {
+  c.rmw<std::uint64_t>(word_, [](std::uint64_t& w) { w = 0; });
+}
+
+}  // namespace presto::runtime

@@ -1,0 +1,28 @@
+// Spin locks over shared memory (test-and-set on a dedicated cache block).
+//
+// Used by the Splash-style Water variant, which guards per-molecule force
+// accumulation with locks as the SPLASH code does. Contended acquisition
+// migrates the lock block between nodes through the coherence protocol —
+// the realistic cost the data-parallel C** versions avoid via reductions.
+#pragma once
+
+#include "mem/global_space.h"
+#include "runtime/node_ctx.h"
+
+namespace presto::runtime {
+
+class SharedLock {
+ public:
+  SharedLock() = default;
+
+  // Allocates the lock word in its own cache block homed at `home`.
+  static SharedLock create(mem::GlobalSpace& space, int home);
+
+  void acquire(NodeCtx& c);
+  void release(NodeCtx& c);
+
+ private:
+  mem::Addr word_ = 0;
+};
+
+}  // namespace presto::runtime

@@ -1,0 +1,81 @@
+// Machine cost models.
+//
+// cm5_blizzard() reproduces the paper's platform: a 32-node Thinking
+// Machines CM-5 running the Blizzard software fine-grain DSM, where the
+// average remote shared-data miss costs on the order of 200 microseconds
+// (paper §5.4): software fault vectoring + request message + home handler
+// (+ recall round trip for dirty data) + data message + install handler.
+// hw_dsm() models a hardware-assisted DSM (low-latency regime) for the
+// §5.4 trade-off discussion.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/global_space.h"
+#include "net/network.h"
+#include "proto/protocol.h"
+#include "sim/time.h"
+
+namespace presto::runtime {
+
+struct MachineConfig {
+  int nodes = 32;
+  mem::MemConfig mem;
+  net::NetConfig net;
+  proto::ProtoCosts costs;
+
+  sim::Time access_check = 60;  // software fine-grain tag check per access
+  sim::Time flop = 30;          // one floating-point op (~33 MHz + FPU)
+  sim::Time op = 15;            // one integer/addressing op
+  sim::Time barrier_latency = sim::microseconds(5);  // CM-5 control network
+  sim::Time reduce_per_byte = 50;                    // control-network combine
+  sim::Time quantum_floor = 0;  // 0 = exact event-granularity interleaving
+  std::uint64_t seed = 0x5EEDF00DULL;
+
+  static MachineConfig cm5_blizzard(int nodes = 32,
+                                    std::uint32_t block_size = 32) {
+    MachineConfig m;
+    m.nodes = nodes;
+    m.mem.block_size = block_size;
+    m.mem.page_size = 4096;
+    m.net.wire_latency = sim::microseconds(30);
+    m.net.per_byte = 100;  // ~10 MB/s effective software messaging
+    m.net.self_latency = sim::microseconds(5);
+    m.costs.fault = sim::microseconds(10);
+    m.costs.handler = sim::microseconds(15);
+    m.costs.presend_per_block = sim::microseconds(1);
+    return m;
+  }
+
+  // Hardware-assisted DSM: microsecond-scale messaging, hardware access
+  // checks and handlers (§5.4's "tradeoff is likely to be different").
+  static MachineConfig hw_dsm(int nodes = 32, std::uint32_t block_size = 64) {
+    MachineConfig m;
+    m.nodes = nodes;
+    m.mem.block_size = block_size;
+    m.mem.page_size = 4096;
+    m.net.wire_latency = sim::microseconds(1);
+    m.net.per_byte = 10;  // ~100 MB/s
+    m.net.self_latency = nanoseconds_(200);
+    m.costs.fault = nanoseconds_(500);
+    m.costs.handler = nanoseconds_(500);
+    m.costs.presend_per_block = nanoseconds_(200);
+    m.access_check = 5;
+    m.barrier_latency = sim::microseconds(1);
+    return m;
+  }
+
+ private:
+  static constexpr sim::Time nanoseconds_(std::int64_t n) { return n; }
+};
+
+enum class ProtocolKind {
+  kStache,                 // unoptimized C** versions
+  kPredictive,             // compiler-directed predictive protocol
+  kPredictiveAnticipate,   // + conflict anticipation extension (§3.4)
+  kWriteUpdate,            // hand-optimized SPMD baseline [5]
+};
+
+const char* protocol_kind_name(ProtocolKind k);
+
+}  // namespace presto::runtime

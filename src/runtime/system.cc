@@ -1,0 +1,112 @@
+#include "runtime/system.h"
+
+#include "util/check.h"
+
+namespace presto::runtime {
+
+const char* protocol_kind_name(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kStache: return "stache";
+    case ProtocolKind::kPredictive: return "predictive";
+    case ProtocolKind::kPredictiveAnticipate: return "predictive+anticipate";
+    case ProtocolKind::kWriteUpdate: return "write-update";
+  }
+  return "?";
+}
+
+System::System(const MachineConfig& cfg, ProtocolKind kind)
+    : cfg_(cfg), kind_(kind), rec_(cfg.nodes) {
+  engine_.set_quantum_floor(cfg.quantum_floor);
+  net_ = std::make_unique<net::Network>(engine_, cfg.nodes, cfg.net);
+  space_ = std::make_unique<mem::GlobalSpace>(cfg.nodes, cfg.mem);
+  switch (kind) {
+    case ProtocolKind::kStache:
+      protocol_ = std::make_unique<proto::StacheProtocol>(
+          engine_, *net_, *space_, rec_, cfg.costs);
+      break;
+    case ProtocolKind::kPredictive:
+      protocol_ = std::make_unique<proto::PredictiveProtocol>(
+          engine_, *net_, *space_, rec_, cfg.costs,
+          proto::ConflictPolicy::kSkip);
+      break;
+    case ProtocolKind::kPredictiveAnticipate:
+      protocol_ = std::make_unique<proto::PredictiveProtocol>(
+          engine_, *net_, *space_, rec_, cfg.costs,
+          proto::ConflictPolicy::kAnticipate);
+      break;
+    case ProtocolKind::kWriteUpdate:
+      protocol_ = std::make_unique<proto::WriteUpdateProtocol>(
+          engine_, *net_, *space_, rec_, cfg.costs);
+      break;
+  }
+  protocol_->install();
+  barrier_ = std::make_unique<BarrierManager>(
+      engine_, rec_, cfg.nodes, cfg.barrier_latency, cfg.reduce_per_byte);
+  protocol_->set_barrier([this](int node) { barrier_->barrier(node); });
+}
+
+System::~System() = default;
+
+proto::PredictiveProtocol* System::predictive() {
+  return kind_ == ProtocolKind::kPredictive ||
+                 kind_ == ProtocolKind::kPredictiveAnticipate
+             ? static_cast<proto::PredictiveProtocol*>(protocol_.get())
+             : nullptr;
+}
+
+proto::WriteUpdateProtocol* System::writeupdate() {
+  return kind_ == ProtocolKind::kWriteUpdate
+             ? static_cast<proto::WriteUpdateProtocol*>(protocol_.get())
+             : nullptr;
+}
+
+void System::run(const std::function<void(NodeCtx&)>& body) {
+  PRESTO_CHECK(!ran_, "System::run is single-shot");
+  ran_ = true;
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    auto& p = engine_.add_processor();
+    ctxs_.push_back(std::make_unique<NodeCtx>(n, cfg_, p, *space_, rec_,
+                                              *barrier_, *protocol_));
+  }
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    NodeCtx* ctx = ctxs_[static_cast<std::size_t>(n)].get();
+    engine_.processor(n).start([this, ctx, &body] {
+      body(*ctx);
+      ctx->counters().finish = ctx->proc().now();
+    });
+  }
+  engine_.run();
+  exec_time_ = rec_.max(&stats::NodeCounters::finish);
+}
+
+stats::Report System::report(std::string label) const {
+  stats::Report r;
+  r.label = std::move(label);
+  r.nodes = cfg_.nodes;
+  r.block_size = cfg_.mem.block_size;
+  r.exec = exec_time_;
+  r.remote_wait =
+      static_cast<sim::Time>(rec_.avg(&stats::NodeCounters::remote_wait));
+  r.presend = static_cast<sim::Time>(rec_.avg(&stats::NodeCounters::presend));
+  r.compute_synch = r.exec - r.remote_wait - r.presend;
+  r.barrier_wait =
+      static_cast<sim::Time>(rec_.avg(&stats::NodeCounters::barrier_wait));
+  r.lock_wait =
+      static_cast<sim::Time>(rec_.avg(&stats::NodeCounters::lock_wait));
+  r.shared_accesses = rec_.sum(&stats::NodeCounters::shared_reads) +
+                      rec_.sum(&stats::NodeCounters::shared_writes);
+  r.faults = rec_.sum(&stats::NodeCounters::read_faults) +
+             rec_.sum(&stats::NodeCounters::write_faults);
+  r.local_faults = rec_.sum(&stats::NodeCounters::local_faults);
+  r.local_hit_pct =
+      r.shared_accesses == 0
+          ? 100.0
+          : 100.0 * (1.0 - static_cast<double>(r.faults) /
+                               static_cast<double>(r.shared_accesses));
+  r.msgs = net_->messages_sent();
+  r.bytes = net_->bytes_sent();
+  r.presend_blocks = rec_.sum(&stats::NodeCounters::presend_blocks_sent);
+  return r;
+}
+
+}  // namespace presto::runtime

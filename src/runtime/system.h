@@ -1,0 +1,65 @@
+// Top-level simulated machine: engine + network + global space + coherence
+// protocol + barrier manager, with an SPMD launcher.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/global_space.h"
+#include "net/network.h"
+#include "proto/predictive.h"
+#include "proto/stache.h"
+#include "proto/writeupdate.h"
+#include "runtime/barrier.h"
+#include "runtime/machine.h"
+#include "runtime/node_ctx.h"
+#include "sim/engine.h"
+#include "stats/recorder.h"
+#include "stats/report.h"
+
+namespace presto::runtime {
+
+class System {
+ public:
+  System(const MachineConfig& cfg, ProtocolKind kind);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  const MachineConfig& config() const { return cfg_; }
+  ProtocolKind kind() const { return kind_; }
+  sim::Engine& engine() { return engine_; }
+  net::Network& network() { return *net_; }
+  mem::GlobalSpace& space() { return *space_; }
+  stats::Recorder& recorder() { return rec_; }
+  BarrierManager& barrier_manager() { return *barrier_; }
+  proto::Protocol& protocol() { return *protocol_; }
+
+  // Null unless the corresponding protocol kind is active.
+  proto::PredictiveProtocol* predictive();
+  proto::WriteUpdateProtocol* writeupdate();
+
+  // Runs `body` on every node to completion; callable once per System.
+  void run(const std::function<void(NodeCtx&)>& body);
+
+  sim::Time exec_time() const { return exec_time_; }
+  stats::Report report(std::string label) const;
+
+ private:
+  MachineConfig cfg_;
+  ProtocolKind kind_;
+  stats::Recorder rec_;
+  sim::Engine engine_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<mem::GlobalSpace> space_;
+  std::unique_ptr<proto::Protocol> protocol_;
+  std::unique_ptr<BarrierManager> barrier_;
+  std::vector<std::unique_ptr<NodeCtx>> ctxs_;
+  sim::Time exec_time_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace presto::runtime

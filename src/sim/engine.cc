@@ -1,0 +1,51 @@
+#include "sim/engine.h"
+
+#include "sim/processor.h"
+#include "util/check.h"
+
+namespace presto::sim {
+
+Engine::Engine() = default;
+Engine::~Engine() = default;
+
+void Engine::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void Engine::schedule_in(Time delay, std::function<void()> fn) {
+  PRESTO_CHECK(delay >= 0, "negative delay " << delay);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+Time Engine::horizon() const {
+  return queue_.empty() ? kTimeNever : queue_.top().t;
+}
+
+Processor& Engine::add_processor() {
+  const int id = static_cast<int>(processors_.size());
+  processors_.push_back(std::make_unique<Processor>(*this, id));
+  return *processors_.back();
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns a const ref; move the closure out via pop.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    PRESTO_CHECK(ev.t >= now_, "event time went backwards");
+    now_ = ev.t;
+    ++events_executed_;
+    ev.fn();
+  }
+  for (const auto& p : processors_) {
+    PRESTO_CHECK(!p->started() || p->finished() || !p->parked_in_block(),
+                 "deadlock: processor " << p->id()
+                                        << " blocked with no pending events");
+    PRESTO_CHECK(!p->started() || p->finished(),
+                 "processor " << p->id()
+                              << " neither finished nor blocked after drain");
+  }
+}
+
+}  // namespace presto::sim

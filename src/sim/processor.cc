@@ -1,0 +1,134 @@
+#include "sim/processor.h"
+
+#include "sim/engine.h"
+#include "util/check.h"
+
+namespace presto::sim {
+
+Processor::Processor(Engine& engine, int id) : engine_(engine), id_(id) {}
+
+Processor::~Processor() {
+  if (thread_.joinable()) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!finished_) {
+        // Parked mid-run (engine torn down early): unwind via Killed.
+        kill_ = true;
+        go_app_ = true;
+        cv_.notify_all();
+        cv_.wait(lock, [&] { return !go_app_; });
+      }
+    }
+    thread_.join();
+  }
+}
+
+void Processor::start(std::function<void()> body, Time start_time) {
+  PRESTO_CHECK(!started_, "processor " << id_ << " started twice");
+  started_ = true;
+  clock_ = start_time;
+  thread_ = std::thread(&Processor::thread_main, this, std::move(body));
+  engine_.schedule_at(start_time, [this] { resume_from_engine(); });
+}
+
+void Processor::thread_main(std::function<void()> body) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return go_app_; });
+    if (kill_) {
+      finished_ = true;
+      go_app_ = false;
+      cv_.notify_all();
+      return;
+    }
+  }
+  try {
+    body();
+  } catch (const Killed&) {
+    // Torn down mid-run (engine destroyed before completion); unwind quietly.
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  finished_ = true;
+  go_app_ = false;
+  cv_.notify_all();
+}
+
+void Processor::resume_from_engine() {
+  if (finished_) return;
+  resume_time_ = engine_.now();
+  std::unique_lock<std::mutex> lock(mutex_);
+  go_app_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return !go_app_; });
+}
+
+void Processor::yield_to_engine() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  go_app_ = false;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return go_app_; });
+  if (kill_) throw Killed{};
+}
+
+void Processor::wake(Time t) {
+  if (t < engine_.now()) t = engine_.now();
+  if (blocked_) {
+    blocked_ = false;
+    engine_.schedule_at(t, [this] { resume_from_engine(); });
+  } else {
+    // Not parked yet (running or in a horizon yield): latch for the next
+    // block() call so the wake cannot be lost.
+    wake_pending_ = true;
+    if (t > wake_time_) wake_time_ = t;
+  }
+}
+
+void Processor::absorb_stolen() {
+  if (stolen_pending_ > 0) {
+    clock_ += stolen_pending_;
+    stolen_total_ += stolen_pending_;
+    stolen_pending_ = 0;
+  }
+}
+
+void Processor::charge(Time d) {
+  PRESTO_CHECK(d >= 0, "negative charge " << d);
+  clock_ += d;
+  absorb_stolen();
+  maybe_yield_at_horizon();
+}
+
+void Processor::maybe_yield_at_horizon() {
+  const Time h = engine_.horizon();
+  if (h == kTimeNever || clock_ < h) return;
+  if (clock_ < last_yield_clock_ + engine_.quantum_floor()) return;
+  last_yield_clock_ = clock_;
+  ++yields_;
+  engine_.schedule_at(clock_, [this] { resume_from_engine(); });
+  yield_to_engine();
+}
+
+void Processor::yield() {
+  ++yields_;
+  last_yield_clock_ = clock_;
+  engine_.schedule_at(clock_, [this] { resume_from_engine(); });
+  yield_to_engine();
+  if (resume_time_ > clock_) clock_ = resume_time_;
+}
+
+void Processor::block() {
+  ++blocks_;
+  if (wake_pending_) {
+    wake_pending_ = false;
+    if (wake_time_ > clock_) clock_ = wake_time_;
+    absorb_stolen();
+    return;
+  }
+  blocked_ = true;
+  yield_to_engine();
+  // Woken by wake(): the resume event carries the wake time.
+  if (resume_time_ > clock_) clock_ = resume_time_;
+  absorb_stolen();
+}
+
+}  // namespace presto::sim

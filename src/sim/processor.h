@@ -1,0 +1,113 @@
+// A simulated processor running application code on a dedicated OS thread.
+//
+// Exactly one thread — the engine or one processor — executes at a time; the
+// baton is handed over with a per-processor mutex/condvar pair. Application
+// code advances its local virtual clock with charge() and parks with block()
+// until an engine-context event calls wake(). A processor whose clock passes
+// the engine's event horizon yields so pending events (message deliveries,
+// other processors) interleave deterministically.
+//
+// Protocol handlers execute in engine context; the cycles they consume on a
+// node whose application thread is computing are accumulated via
+// add_stolen() and folded into the application clock at the next charge()
+// (a documented approximation, see DESIGN.md §2).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "sim/time.h"
+
+namespace presto::sim {
+
+class Engine;
+
+class Processor {
+ public:
+  Processor(Engine& engine, int id);
+  ~Processor();
+
+  Processor(const Processor&) = delete;
+  Processor& operator=(const Processor&) = delete;
+
+  int id() const { return id_; }
+
+  // ---- Engine-context interface -------------------------------------------
+
+  // Spawns the thread and schedules the body to begin at start_time.
+  void start(std::function<void()> body, Time start_time = 0);
+
+  // Schedules a resume for a processor parked in block(). If the processor
+  // is not parked yet (it is running or in a horizon yield), the wake is
+  // latched and consumed by its next block() call, so wakes are never lost.
+  void wake(Time t);
+
+  // Records protocol handler occupancy that overlaps application compute.
+  void add_stolen(Time d) { stolen_pending_ += d; }
+
+  bool started() const { return started_; }
+  bool finished() const { return finished_; }
+  bool parked_in_block() const { return blocked_; }
+
+  // ---- Application-thread interface ---------------------------------------
+
+  // Local virtual clock.
+  Time now() const { return clock_; }
+
+  // Advances the local clock by d plus any pending stolen handler time, then
+  // yields to the engine if the clock passed the event horizon.
+  void charge(Time d);
+
+  // Parks until wake(); on return the clock has advanced to the wake time
+  // (if later than the current clock).
+  void block();
+
+  // Explicitly lets all events scheduled at or before the current clock run.
+  void yield();
+
+  // ---- Accounting ----------------------------------------------------------
+
+  Time stolen_total() const { return stolen_total_; }
+  std::uint64_t yield_count() const { return yields_; }
+  std::uint64_t block_count() const { return blocks_; }
+
+ private:
+  struct Killed {};
+
+  void thread_main(std::function<void()> body);
+  void resume_from_engine();  // engine context: run the thread until it yields
+  void yield_to_engine();     // app context: hand the baton back
+  void absorb_stolen();
+  void maybe_yield_at_horizon();
+
+  Engine& engine_;
+  const int id_;
+
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool go_app_ = false;   // baton: true → application thread may run
+  bool kill_ = false;
+
+  Time clock_ = 0;
+  Time stolen_pending_ = 0;
+  Time stolen_total_ = 0;
+  Time last_yield_clock_ = 0;
+
+  bool started_ = false;
+  bool finished_ = false;
+  bool blocked_ = false;       // parked in block(), waiting for wake()
+  bool wake_pending_ = false;  // wake() arrived while not parked
+  Time wake_time_ = 0;
+  Time resume_time_ = 0;
+
+  std::uint64_t yields_ = 0;
+  std::uint64_t blocks_ = 0;
+
+  friend class Engine;
+};
+
+}  // namespace presto::sim

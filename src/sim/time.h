@@ -1,0 +1,25 @@
+// Virtual time for the discrete-event simulator.
+//
+// Time is a signed 64-bit count of nanoseconds of simulated machine time.
+// Helpers give readable constants for the CM-5/Blizzard cost model.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace presto::sim {
+
+using Time = std::int64_t;
+
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+constexpr Time nanoseconds(std::int64_t n) { return n; }
+constexpr Time microseconds(std::int64_t n) { return n * 1000; }
+constexpr Time milliseconds(std::int64_t n) { return n * 1000 * 1000; }
+constexpr Time seconds(std::int64_t n) { return n * 1000 * 1000 * 1000; }
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_millis(Time t) { return static_cast<double>(t) * 1e-6; }
+constexpr double to_micros(Time t) { return static_cast<double>(t) * 1e-3; }
+
+}  // namespace presto::sim

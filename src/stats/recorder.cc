@@ -1,0 +1,4 @@
+#include "stats/recorder.h"
+
+// Header-only today; kept as a translation unit so the build target exists
+// for future non-inline additions.

@@ -1,0 +1,76 @@
+// Per-node performance counters.
+//
+// The counters mirror the breakdown reported in the paper's figures:
+// remote-data wait, predictive-protocol (presend) time, and compute+synch,
+// plus raw protocol event counts used in the discussion sections.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace presto::stats {
+
+struct NodeCounters {
+  // Time breakdown (simulated ns).
+  sim::Time remote_wait = 0;   // stalls on shared-memory faults
+  sim::Time presend = 0;       // time in the predictive presend directive
+  sim::Time barrier_wait = 0;  // waiting at barriers/reductions
+  sim::Time lock_wait = 0;     // spinning on shared locks (Splash variants)
+  sim::Time finish = 0;        // local clock at SPMD body completion
+
+  // Shared-memory access counts.
+  std::uint64_t shared_reads = 0;
+  std::uint64_t shared_writes = 0;
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t local_faults = 0;  // faults whose home is this node
+
+  // Protocol traffic.
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+
+  // Predictive protocol.
+  std::uint64_t presend_blocks_sent = 0;
+  std::uint64_t presend_blocks_received = 0;
+  std::uint64_t presend_msgs = 0;
+  std::uint64_t schedule_entries = 0;  // live entries recorded at this home
+};
+
+class Recorder {
+ public:
+  explicit Recorder(int nodes) : nodes_(static_cast<std::size_t>(nodes)) {}
+
+  NodeCounters& node(int id) { return nodes_[static_cast<std::size_t>(id)]; }
+  const NodeCounters& node(int id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  // Sums a member over all nodes.
+  template <typename T>
+  T sum(T NodeCounters::* member) const {
+    T total{};
+    for (const auto& n : nodes_) total += n.*member;
+    return total;
+  }
+  template <typename T>
+  T max(T NodeCounters::* member) const {
+    T best{};
+    for (const auto& n : nodes_)
+      if (n.*member > best) best = n.*member;
+    return best;
+  }
+  template <typename T>
+  double avg(T NodeCounters::* member) const {
+    return nodes_.empty() ? 0.0
+                          : static_cast<double>(sum(member)) /
+                                static_cast<double>(nodes_.size());
+  }
+
+ private:
+  std::vector<NodeCounters> nodes_;
+};
+
+}  // namespace presto::stats

@@ -1,0 +1,52 @@
+#include "stats/report.h"
+
+#include <algorithm>
+
+#include "util/table.h"
+
+namespace presto::stats {
+
+namespace {
+sim::Time min_exec(const std::vector<Report>& rs) {
+  sim::Time best = rs.empty() ? 1 : rs.front().exec;
+  for (const auto& r : rs) best = std::min(best, r.exec);
+  return best > 0 ? best : 1;
+}
+}  // namespace
+
+std::string Report::table(const std::vector<Report>& rs) {
+  util::Table t({"version", "exec (s)", "remote wait", "presend",
+                 "compute+synch", "rel. time", "local hit %", "msgs",
+                 "MB sent", "faults"});
+  const double base = static_cast<double>(min_exec(rs));
+  for (const auto& r : rs) {
+    t.add_row({r.label, util::fmt_double(sim::to_seconds(r.exec), 3),
+               util::fmt_double(sim::to_seconds(r.remote_wait), 3),
+               util::fmt_double(sim::to_seconds(r.presend), 3),
+               util::fmt_double(sim::to_seconds(r.compute_synch), 3),
+               util::fmt_double(static_cast<double>(r.exec) / base, 2),
+               util::fmt_double(r.local_hit_pct, 2),
+               std::to_string(r.msgs),
+               util::fmt_double(static_cast<double>(r.bytes) / 1e6, 2),
+               std::to_string(r.faults)});
+  }
+  return t.to_string();
+}
+
+std::string Report::bars(const std::vector<Report>& rs) {
+  const double base = static_cast<double>(min_exec(rs));
+  std::vector<util::Bar> bars;
+  for (const auto& r : rs) {
+    util::Bar b;
+    b.label = r.label;
+    b.segments = {
+        {"remote data wait", static_cast<double>(r.remote_wait) / base},
+        {"predictive protocol", static_cast<double>(r.presend) / base},
+        {"compute+synch", static_cast<double>(r.compute_synch) / base},
+    };
+    bars.push_back(std::move(b));
+  }
+  return util::render_stacked_bars(bars);
+}
+
+}  // namespace presto::stats

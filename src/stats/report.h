@@ -1,0 +1,42 @@
+// Run reports: the per-version execution-time breakdown the paper's figures
+// show ({remote data wait, predictive protocol, compute+synch}), plus the
+// raw protocol counters discussed in §5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace presto::stats {
+
+struct Report {
+  std::string label;
+  int nodes = 0;
+  std::uint32_t block_size = 0;
+
+  // Simulated time (ns). Waits are averaged over nodes, exec is the maximum
+  // node finish time; compute_synch = exec - remote_wait - presend.
+  sim::Time exec = 0;
+  sim::Time remote_wait = 0;
+  sim::Time presend = 0;
+  sim::Time compute_synch = 0;
+  sim::Time barrier_wait = 0;  // informational (included in compute_synch)
+  sim::Time lock_wait = 0;     // informational
+
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t local_faults = 0;
+  double local_hit_pct = 0.0;  // shared accesses satisfied without a fault
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t presend_blocks = 0;
+
+  // Formatted outputs for a set of versions of one application; times are
+  // normalized to the fastest version, as in the paper's figures.
+  static std::string table(const std::vector<Report>& rs);
+  static std::string bars(const std::vector<Report>& rs);
+};
+
+}  // namespace presto::stats

@@ -1,0 +1,92 @@
+// Dynamic bit vector used by the compiler's iterative dataflow solver and by
+// protocol sharer masks wider than 64 nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace presto::util {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  std::size_t size() const { return nbits_; }
+
+  void set(std::size_t i) {
+    PRESTO_CHECK(i < nbits_, "bit " << i << " >= " << nbits_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+  void reset(std::size_t i) {
+    PRESTO_CHECK(i < nbits_, "bit " << i << " >= " << nbits_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+  bool test(std::size_t i) const {
+    PRESTO_CHECK(i < nbits_, "bit " << i << " >= " << nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  // Union; returns true if this changed. Sizes must match.
+  bool union_with(const Bitset& o) {
+    PRESTO_CHECK(nbits_ == o.nbits_, "bitset size mismatch");
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t next = words_[i] | o.words_[i];
+      changed |= next != words_[i];
+      words_[i] = next;
+    }
+    return changed;
+  }
+
+  void intersect_with(const Bitset& o) {
+    PRESTO_CHECK(nbits_ == o.nbits_, "bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  }
+
+  void subtract(const Bitset& o) {
+    PRESTO_CHECK(nbits_ == o.nbits_, "bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  bool operator==(const Bitset& o) const {
+    return nbits_ == o.nbits_ && words_ == o.words_;
+  }
+
+  // Iterate set bits in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        const int b = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace presto::util

@@ -1,0 +1,16 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace presto::util {
+
+void check_fail(const char* cond, const char* file, int line,
+                const std::string& msg) {
+  std::fprintf(stderr, "PRESTO_CHECK failed: %s at %s:%d: %s\n", cond, file,
+               line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace presto::util

@@ -1,0 +1,31 @@
+// Runtime invariant checking for presto.
+//
+// PRESTO_CHECK is always on (simulator correctness depends on these
+// invariants and they are cheap relative to the event loop). A failed check
+// prints the condition, a formatted context message, and aborts — tests use
+// EXPECT_DEATH on these paths.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace presto::util {
+
+[[noreturn]] void check_fail(const char* cond, const char* file, int line,
+                             const std::string& msg);
+
+// Lightweight stream-based message builder so call sites can write
+//   PRESTO_CHECK(x < n, "index " << x << " out of range " << n);
+#define PRESTO_CHECK(cond, ...)                                              \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      std::ostringstream presto_check_os_;                                   \
+      presto_check_os_ << __VA_ARGS__;                                       \
+      ::presto::util::check_fail(#cond, __FILE__, __LINE__,                  \
+                                 presto_check_os_.str());                    \
+    }                                                                        \
+  } while (0)
+
+#define PRESTO_FAIL(...) PRESTO_CHECK(false, __VA_ARGS__)
+
+}  // namespace presto::util

@@ -1,0 +1,26 @@
+// Minimal command-line flag parsing for benches and examples.
+//
+// Supports --name=value and --name value forms plus boolean --flag.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace presto::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def = false) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace presto::util

@@ -1,0 +1,88 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace presto::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto emit_sep = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      os << std::string(widths[c] + 2, '-') << '+';
+    os << '\n';
+  };
+
+  emit_sep();
+  emit_row(header_);
+  emit_sep();
+  for (const auto& row : rows_) emit_row(row);
+  emit_sep();
+  return os.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string render_stacked_bars(const std::vector<Bar>& bars, int width) {
+  static const char kFills[] = {'#', '.', '=', '%', '~', '+'};
+  double max_total = 0.0;
+  std::size_t max_label = 0;
+  for (const auto& bar : bars) {
+    double total = 0.0;
+    for (const auto& seg : bar.segments) total += seg.value;
+    max_total = std::max(max_total, total);
+    max_label = std::max(max_label, bar.label.size());
+  }
+  if (max_total <= 0.0) max_total = 1.0;
+
+  std::ostringstream os;
+  for (const auto& bar : bars) {
+    os << bar.label << std::string(max_label - bar.label.size(), ' ') << " |";
+    double total = 0.0;
+    for (std::size_t s = 0; s < bar.segments.size(); ++s) {
+      const int chars = static_cast<int>(
+          bar.segments[s].value / max_total * width + 0.5);
+      os << std::string(static_cast<std::size_t>(chars),
+                        kFills[s % sizeof kFills]);
+      total += bar.segments[s].value;
+    }
+    os << "  (" << fmt_double(total) << ")\n";
+  }
+  if (!bars.empty()) {
+    os << "legend:";
+    for (std::size_t s = 0; s < bars.front().segments.size(); ++s)
+      os << ' ' << kFills[s % sizeof kFills] << '='
+         << bars.front().segments[s].label;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace presto::util

@@ -1,0 +1,43 @@
+// ASCII table and stacked-bar rendering for benchmark output.
+//
+// The figure benches print the same content as the paper's figures: one bar
+// per program version, each bar split into {remote data wait, predictive
+// protocol, compute+synch} segments, normalized to the fastest version.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace presto::util {
+
+// Simple column-aligned table. Rows may have fewer cells than the header;
+// missing cells render empty.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision.
+std::string fmt_double(double v, int precision = 2);
+
+// Horizontal stacked bar chart. Each bar has a label and a list of
+// (segment label, value) pairs; bars are scaled so the longest bar spans
+// `width` characters. Each segment is drawn with its own fill character.
+struct BarSegment {
+  std::string label;
+  double value = 0.0;
+};
+struct Bar {
+  std::string label;
+  std::vector<BarSegment> segments;
+};
+std::string render_stacked_bars(const std::vector<Bar>& bars, int width = 60);
+
+}  // namespace presto::util

@@ -1,0 +1,115 @@
+// BarrierManager: barriers, reductions, double-buffered results, and the
+// load-imbalance -> synchronization-time effect the paper leans on (§5.1).
+#include <gtest/gtest.h>
+
+#include "runtime/system.h"
+
+namespace presto::runtime {
+namespace {
+
+MachineConfig tiny(int nodes) { return MachineConfig::cm5_blizzard(nodes, 32); }
+
+TEST(Barrier, ReleasesAllAtMaxArrivalPlusLatency) {
+  System sys(tiny(4), ProtocolKind::kStache);
+  const sim::Time latency = sys.config().barrier_latency;
+  sys.run([&](NodeCtx& c) {
+    // Node i arrives at roughly i * 100us.
+    c.charge(sim::microseconds(100) * c.id());
+    c.barrier();
+    const sim::Time release = c.proc().now();
+    EXPECT_EQ(release, sim::microseconds(300) + latency);
+  });
+}
+
+TEST(Barrier, WaitTimeReflectsImbalance) {
+  System sys(tiny(4), ProtocolKind::kStache);
+  sys.run([&](NodeCtx& c) {
+    c.charge(sim::microseconds(100) * c.id());
+    c.barrier();
+  });
+  // The earliest arriver waited the longest.
+  EXPECT_GT(sys.recorder().node(0).barrier_wait,
+            sys.recorder().node(2).barrier_wait);
+  EXPECT_GT(sys.recorder().node(2).barrier_wait,
+            sys.recorder().node(3).barrier_wait);
+}
+
+TEST(Barrier, ManySequentialBarriersStayAligned) {
+  System sys(tiny(8), ProtocolKind::kStache);
+  sys.run([&](NodeCtx& c) {
+    for (int r = 0; r < 50; ++r) {
+      c.charge(1000 * ((c.id() + r) % 3));
+      c.barrier();
+    }
+  });
+  EXPECT_EQ(sys.barrier_manager().barriers_completed(), 50u);
+}
+
+TEST(Reduce, SumAndMax) {
+  System sys(tiny(5), ProtocolKind::kStache);
+  sys.run([&](NodeCtx& c) {
+    const double s = c.reduce_sum(static_cast<double>(c.id() + 1));
+    EXPECT_DOUBLE_EQ(s, 15.0);  // 1+2+3+4+5
+    const double m = c.reduce_max(static_cast<double>((c.id() * 7) % 5));
+    EXPECT_DOUBLE_EQ(m, 4.0);
+  });
+}
+
+TEST(Reduce, VectorSumCombinesElementwise) {
+  System sys(tiny(4), ProtocolKind::kStache);
+  sys.run([&](NodeCtx& c) {
+    std::vector<double> v = {static_cast<double>(c.id()), 1.0,
+                             static_cast<double>(-c.id())};
+    c.reduce_vec_sum(v);
+    EXPECT_DOUBLE_EQ(v[0], 6.0);   // 0+1+2+3
+    EXPECT_DOUBLE_EQ(v[1], 4.0);   // 1*4
+    EXPECT_DOUBLE_EQ(v[2], -6.0);
+  });
+}
+
+TEST(Reduce, BackToBackCollectivesDoNotClobberResults) {
+  // Regression guard for the double-buffered result: a fast node may start
+  // the next collective before a slow node consumed the previous result.
+  System sys(tiny(3), ProtocolKind::kStache);
+  sys.run([&](NodeCtx& c) {
+    for (int r = 0; r < 20; ++r) {
+      const double expect = 3.0 * r;
+      const double got = c.reduce_sum(static_cast<double>(r));
+      EXPECT_DOUBLE_EQ(got, expect) << "round " << r << " node " << c.id();
+      // Deliberately skew when nodes re-enter the next collective.
+      c.charge(100 * ((c.id() * 13 + r) % 7));
+    }
+  });
+}
+
+TEST(Reduce, VectorThenScalarInterleave) {
+  System sys(tiny(3), ProtocolKind::kStache);
+  sys.run([&](NodeCtx& c) {
+    std::vector<double> v(8, 1.0);
+    c.reduce_vec_sum(v);
+    EXPECT_DOUBLE_EQ(v[7], 3.0);
+    EXPECT_DOUBLE_EQ(c.reduce_sum(2.0), 6.0);
+    c.reduce_vec_sum(v);  // v now all 3.0 -> 9.0
+    EXPECT_DOUBLE_EQ(v[0], 9.0);
+  });
+}
+
+TEST(Reduce, PayloadSizeAddsCombineLatency) {
+  System small(tiny(2), ProtocolKind::kStache);
+  sim::Time t_small = 0, t_big = 0;
+  small.run([&](NodeCtx& c) {
+    std::vector<double> v(2, 1.0);
+    c.reduce_vec_sum(v);
+    if (c.id() == 0) t_small = c.proc().now();
+  });
+  System big(tiny(2), ProtocolKind::kStache);
+  big.run([&](NodeCtx& c) {
+    std::vector<double> v(2048, 1.0);
+    c.reduce_vec_sum(v);
+    if (c.id() == 0) t_big = c.proc().now();
+  });
+  EXPECT_GT(t_big, t_small);
+}
+
+}  // namespace
+}  // namespace presto::runtime

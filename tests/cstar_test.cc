@@ -1,0 +1,342 @@
+// Compiler tests: lexer, parser, access-pattern analysis (§4.2), the
+// reaching-unstructured-accesses dataflow and directive placement with
+// hoisting/coalescing (§4.3), including the paper's Figure 2–4 programs.
+#include <gtest/gtest.h>
+
+#include "cstar/compiler.h"
+#include "cstar/lexer.h"
+#include "cstar/parser.h"
+#include "cstar/printer.h"
+#include "cstar/samples.h"
+
+namespace presto::cstar {
+namespace {
+
+std::vector<Token> lex(const std::string& src) {
+  Lexer l(src);
+  auto toks = l.tokenize();
+  EXPECT_TRUE(l.errors().empty()) << l.errors().front();
+  return toks;
+}
+
+TEST(Lexer, TokenizesOperatorsAndHashIndices) {
+  auto toks = lex("a(#0, #1) += 2.5 * b; // comment\n c <= d && e");
+  std::vector<Tok> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds[0], Tok::kIdent);
+  EXPECT_EQ(kinds[1], Tok::kLParen);
+  EXPECT_EQ(kinds[2], Tok::kHashIndex);
+  EXPECT_EQ(toks[2].value, 0);
+  EXPECT_EQ(kinds[4], Tok::kHashIndex);
+  EXPECT_EQ(toks[4].value, 1);
+  EXPECT_EQ(kinds[6], Tok::kPlusAssign);
+  EXPECT_EQ(toks[7].text, "2.5");
+  EXPECT_EQ(kinds[11], Tok::kIdent);  // 'c' (comment skipped)
+  EXPECT_EQ(kinds[12], Tok::kLe);
+  EXPECT_EQ(kinds[14], Tok::kAndAnd);
+}
+
+TEST(Lexer, SkipsBlockCommentsAndTracksKeywords) {
+  auto toks = lex("aggregate /* x */ float parallel for while if");
+  EXPECT_EQ(toks[0].kind, Tok::kAggregate);
+  EXPECT_EQ(toks[1].kind, Tok::kFloat);
+  EXPECT_EQ(toks[2].kind, Tok::kParallel);
+  EXPECT_EQ(toks[3].kind, Tok::kFor);
+  EXPECT_EQ(toks[4].kind, Tok::kWhile);
+  EXPECT_EQ(toks[5].kind, Tok::kIf);
+}
+
+TEST(Lexer, ReportsBadCharacters) {
+  Lexer l("a @ b");
+  l.tokenize();
+  ASSERT_EQ(l.errors().size(), 1u);
+  EXPECT_NE(l.errors()[0].find("unexpected character"), std::string::npos);
+}
+
+std::unique_ptr<Program> parse_ok(const std::string& src) {
+  Parser p(lex(src));
+  auto prog = p.parse();
+  EXPECT_TRUE(p.errors().empty()) << p.errors().front();
+  return prog;
+}
+
+TEST(Parser, AggregateDeclarations) {
+  auto prog = parse_ok("aggregate float Grid[][];\naggregate Cell Tree[];");
+  ASSERT_EQ(prog->aggregates.size(), 2u);
+  EXPECT_EQ(prog->aggregates[0].name, "Grid");
+  EXPECT_EQ(prog->aggregates[0].dims, 2);
+  EXPECT_EQ(prog->aggregates[0].elem_type, "float");
+  EXPECT_EQ(prog->aggregates[1].dims, 1);
+}
+
+TEST(Parser, ParallelFunctionAndParams) {
+  auto prog = parse_ok(
+      "aggregate float Grid[][];\n"
+      "parallel void f(parallel Grid g, Grid other, int k) { }");
+  ASSERT_EQ(prog->functions.size(), 1u);
+  const auto& f = prog->functions[0];
+  EXPECT_TRUE(f.parallel);
+  ASSERT_EQ(f.params.size(), 3u);
+  EXPECT_TRUE(f.params[0].parallel);
+  EXPECT_FALSE(f.params[1].parallel);
+  EXPECT_EQ(f.params[2].type, "int");
+}
+
+TEST(Parser, PrecedenceAndAssociativity) {
+  auto prog = parse_ok("void main() { x = 1 + 2 * 3 - 4; }");
+  const std::string printed = print_function(prog->functions[0]);
+  EXPECT_NE(printed.find("((1 + (2 * 3)) - 4)"), std::string::npos);
+}
+
+TEST(Parser, MemberIndexChains) {
+  auto prog =
+      parse_ok("void main() { d(p(0).edges[e].row).value += 1; }");
+  const std::string printed = print_function(prog->functions[0]);
+  EXPECT_NE(printed.find("d(p(0).edges[e].row).value += 1"),
+            std::string::npos);
+}
+
+TEST(Parser, ControlFlowRoundTrip) {
+  auto prog = parse_ok(
+      "void main() {\n"
+      "  for (int i = 0; i < 10; i = i + 1) {\n"
+      "    if (i % 2 == 0) work(i); else rest(i);\n"
+      "    while (i > 5) i = i - 1;\n"
+      "  }\n"
+      "}");
+  const std::string printed = print_function(prog->functions[0]);
+  EXPECT_NE(printed.find("for (int i = 0;"), std::string::npos);
+  EXPECT_NE(printed.find("while ((i > 5))"), std::string::npos);
+  EXPECT_NE(printed.find("else"), std::string::npos);
+}
+
+TEST(Parser, ReportsMissingSemicolon) {
+  Parser p(lex("void main() { x = 1 }"));
+  p.parse();
+  EXPECT_FALSE(p.errors().empty());
+}
+
+// ---- Access analysis (§4.2) -------------------------------------------------
+
+TEST(AccessAnalysis, StencilSummaryMatchesPaper) {
+  auto prog = parse_ok(samples::kStencil);
+  AccessAnalysis a(*prog);
+  EXPECT_TRUE(a.errors().empty());
+  const AccessSummary* s = a.summary("compute");
+  ASSERT_NE(s, nullptr);
+  // cur(#0,#1) written at the own position: home write.
+  ASSERT_TRUE(s->param_bits.count(0));
+  EXPECT_EQ(s->param_bits.at(0), kHomeWrite);
+  // prev read at neighbour offsets: unstructured (non-home) reads.
+  ASSERT_TRUE(s->param_bits.count(1));
+  EXPECT_EQ(s->param_bits.at(1), kRemoteRead);
+}
+
+TEST(AccessAnalysis, UnstructuredMeshSummaryMatchesPaper) {
+  auto prog = parse_ok(samples::kUnstructuredMesh);
+  AccessAnalysis a(*prog);
+  const AccessSummary* s = a.summary("update");
+  ASSERT_NE(s, nullptr);
+  // Paper: (primal, Write access, Home) — compound += is read+write.
+  EXPECT_EQ(s->param_bits.at(0) & kHomeWrite, kHomeWrite);
+  EXPECT_FALSE(has_remote(s->param_bits.at(0)));
+  // (dual, Read access, Non-Home) through the indirection.
+  EXPECT_EQ(s->param_bits.at(1), kRemoteRead);
+}
+
+TEST(AccessAnalysis, CompoundAssignIsReadAndWrite) {
+  auto prog = parse_ok(
+      "aggregate float G[];\nG g;\n"
+      "parallel void f(parallel G x) { x(#0) += 1; }\n"
+      "void main() { f(g); }");
+  AccessAnalysis a(*prog);
+  EXPECT_EQ(a.summary("f")->param_bits.at(0), kHomeRead | kHomeWrite);
+}
+
+TEST(AccessAnalysis, NonIdentityIndexIsRemote) {
+  auto prog = parse_ok(
+      "aggregate float G[][];\nG g;\n"
+      "parallel void f(parallel G x) { x(#1, #0) = 1; }\n"
+      "void main() { f(g); }");
+  AccessAnalysis a(*prog);
+  // Transposed index: not the own element, conservatively unstructured.
+  EXPECT_EQ(a.summary("f")->param_bits.at(0), kRemoteWrite);
+}
+
+TEST(AccessAnalysis, ResolvesCallArgumentsToInstances) {
+  auto prog = parse_ok(samples::kStencil);
+  AccessAnalysis a(*prog);
+  // Find the two calls in main.
+  const FuncDecl* mn = prog->find_function("main");
+  ASSERT_NE(mn, nullptr);
+  const Stmt& loop = *mn->body->body[0];
+  const Expr& call1 = *loop.loop_body->body[0]->expr;  // compute(a, b)
+  auto bits = a.resolve_call(call1);
+  EXPECT_EQ(bits.at("a"), kHomeWrite);
+  EXPECT_EQ(bits.at("b"), kRemoteRead);
+}
+
+// ---- Dataflow + placement (§4.3) ---------------------------------------------
+
+TEST(Compiler, StencilPlacesDirectiveOnEveryCall) {
+  auto r = compile(samples::kStencil);
+  ASSERT_TRUE(r.ok()) << r.errors.front();
+  // Both compute() calls have unstructured reads (rule 2): each needs a
+  // schedule; they do not coalesce because neither is home-only.
+  EXPECT_EQ(r.placement.calls_needing_schedule, 2);
+  EXPECT_EQ(r.placement.directives.size(), 2u);
+  EXPECT_NE(r.annotated.find("__schedule_phase(1);"), std::string::npos);
+  EXPECT_NE(r.annotated.find("__schedule_phase(2);"), std::string::npos);
+}
+
+TEST(Compiler, BarnesMainMatchesFigure4) {
+  auto r = compile(samples::kBarnesMain);
+  ASSERT_TRUE(r.ok()) << r.errors.front();
+  // Four phases (Fig. 4b): build, hoisted center-of-mass, forces, update.
+  ASSERT_EQ(r.placement.directives.size(), 4u);
+  // The center-of-mass directive was hoisted out of the level loop: a
+  // single directive for that phase.
+  const auto& com = r.placement.directives[1];
+  EXPECT_TRUE(com.hoisted);
+  EXPECT_NE(com.reason.find("hoisted"), std::string::npos);
+  // The update phase exists because its owner writes are reached by the
+  // force phase's unstructured reads (rule 1).
+  const auto& upd = r.placement.directives[3];
+  EXPECT_NE(upd.reason.find("owner writes"), std::string::npos);
+  EXPECT_NE(upd.reason.find("reached by unstructured"), std::string::npos);
+  // Printed annotation shows the hoisted directive before the loop.
+  const auto pos_phase2 = r.annotated.find("__schedule_phase(2);");
+  const auto pos_loop = r.annotated.find("for (int l = 0;");
+  ASSERT_NE(pos_phase2, std::string::npos);
+  ASSERT_NE(pos_loop, std::string::npos);
+  EXPECT_LT(pos_phase2, pos_loop);
+}
+
+TEST(Compiler, HomeOnlyProgramNeedsNoDirectives) {
+  auto r = compile(
+      "aggregate float G[];\nG g;\n"
+      "parallel void init(parallel G x) { x(#0) = 1; }\n"
+      "void main() { for (int i = 0; i < 3; i = i + 1) { init(g); } }");
+  ASSERT_TRUE(r.ok());
+  // Owner writes never reached by unstructured accesses: no schedules.
+  EXPECT_TRUE(r.placement.directives.empty());
+}
+
+TEST(Compiler, OwnerWriteKillsReachingAccesses) {
+  // read-remote then owner-write then owner-write: only the first owner
+  // write is reached by the unstructured read.
+  auto r = compile(
+      "aggregate float G[];\nG g;\n"
+      "parallel void readr(parallel G x, G y) { x(#0) = y(#0 + 1); }\n"
+      "parallel void wown(parallel G x) { x(#0) = 0; }\n"
+      "void main() {\n"
+      "  readr(g, g);\n"
+      "  wown(g);\n"
+      "  wown(g);\n"
+      "}");
+  ASSERT_TRUE(r.ok());
+  // readr: rule 2. First wown: rule 1 (coalesced or not). Second wown: the
+  // first wown killed the reaching bit, so it needs nothing.
+  ASSERT_GE(r.placement.calls_needing_schedule, 2);
+  EXPECT_EQ(r.placement.calls_needing_schedule, 2);
+}
+
+TEST(Compiler, AnyPathJoinIsConservative) {
+  // The unstructured read happens only on one branch; the owner write after
+  // the join must still be treated as reached (any-path union).
+  auto r = compile(
+      "aggregate float G[];\nG g;\n"
+      "parallel void readr(parallel G x, G y) { x(#0) = y(#0 + 1); }\n"
+      "parallel void wown(parallel G x) { x(#0) = 0; }\n"
+      "void main() {\n"
+      "  int k = 1;\n"
+      "  if (k) { readr(g, g); }\n"
+      "  wown(g);\n"
+      "}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.placement.calls_needing_schedule, 2);
+}
+
+TEST(Compiler, LoopBackEdgePropagatesAccesses) {
+  // The unstructured read at the loop tail reaches the owner write at the
+  // head of the next iteration through the back edge.
+  auto r = compile(
+      "aggregate float G[];\nG g;\n"
+      "parallel void readr(parallel G x, G y) { x(#0) = y(#0 + 1); }\n"
+      "parallel void wown(parallel G x) { x(#0) = 0; }\n"
+      "void main() {\n"
+      "  for (int i = 0; i < 5; i = i + 1) {\n"
+      "    wown(g);\n"
+      "    readr(g, g);\n"
+      "  }\n"
+      "}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.placement.calls_needing_schedule, 2);
+}
+
+TEST(Compiler, CoalescesAdjacentHomeOnlyPhases) {
+  // Two consecutive owner-write phases (both rule 1, both home-only) merge
+  // into one directive; the unstructured phase keeps its own (merging a
+  // home-write phase into it would create schedule conflicts).
+  auto r = compile(
+      "aggregate float G[];\nG g;\nG h;\nG s1;\nG s2;\n"
+      "parallel void scan(parallel G x, G y) { x(#0) = y(#0 + 1); }\n"
+      "parallel void wown(parallel G x) { x(#0) = 0; }\n"
+      "void main() {\n"
+      "  for (int i = 0; i < 5; i = i + 1) {\n"
+      "    scan(s1, g);\n"
+      "    scan(s2, h);\n"
+      "    wown(g);\n"
+      "    wown(h);\n"
+      "  }\n"
+      "}");
+  ASSERT_TRUE(r.ok());
+  // Both readr calls (rule 2) and both wown calls (rule 1) need schedules;
+  // the adjacent home-only wown phases coalesce into one directive.
+  EXPECT_EQ(r.placement.calls_needing_schedule, 4);
+  ASSERT_EQ(r.placement.directives.size(), 3u);
+  EXPECT_NE(r.placement.directives[2].reason.find("coalesced"),
+            std::string::npos);
+}
+
+TEST(Compiler, CfgAnnotationsShowAccessLists) {
+  auto r = compile(samples::kBarnesMain);
+  ASSERT_TRUE(r.ok());
+  const std::string cfg = r.cfg.to_string();
+  EXPECT_NE(cfg.find("build_tree(...)"), std::string::npos);
+  EXPECT_NE(cfg.find("unstructured-read"), std::string::npos);
+  EXPECT_NE(cfg.find("home-write"), std::string::npos);
+}
+
+TEST(Compiler, DataflowConvergesOnNestedLoops) {
+  auto r = compile(
+      "aggregate float G[];\nG g;\n"
+      "parallel void readr(parallel G x, G y) { x(#0) = y(#0 + 1); }\n"
+      "void main() {\n"
+      "  for (int i = 0; i < 5; i = i + 1) {\n"
+      "    for (int j = 0; j < 5; j = j + 1) {\n"
+      "      if (j % 2) { readr(g, g); }\n"
+      "    }\n"
+      "  }\n"
+      "}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.flow.iterations, 0);
+  EXPECT_EQ(r.placement.directives.size(), 1u);
+}
+
+TEST(Compiler, MissingMainIsAnError) {
+  auto r = compile("aggregate float G[];\nG g;\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.errors.front().find("main"), std::string::npos);
+}
+
+TEST(Compiler, UnstructuredMeshProgramGetsPerCallDirectives) {
+  auto r = compile(samples::kUnstructuredMesh);
+  ASSERT_TRUE(r.ok()) << r.errors.front();
+  // Both update() calls include unstructured accesses (rule 2).
+  EXPECT_EQ(r.placement.directives.size(), 2u);
+  EXPECT_FALSE(r.placement.directives[0].hoisted);
+}
+
+}  // namespace
+}  // namespace presto::cstar

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "mem/global_space.h"
+
+namespace presto::mem {
+namespace {
+
+MemConfig small_cfg() {
+  MemConfig c;
+  c.block_size = 32;
+  c.page_size = 128;
+  return c;
+}
+
+TEST(GlobalSpace, AllocAssignsHomesPerPage) {
+  GlobalSpace s(4, small_cfg());
+  const Addr base = s.alloc(3 * 128, [](PageId p) {
+    return static_cast<int>(p);  // page i homed at node i
+  });
+  EXPECT_EQ(base, 0u);
+  EXPECT_EQ(s.home_of_addr(base), 0);
+  EXPECT_EQ(s.home_of_addr(base + 128), 1);
+  EXPECT_EQ(s.home_of_addr(base + 2 * 128 + 127), 2);
+  EXPECT_EQ(s.size_bytes(), 3u * 128u);
+}
+
+TEST(GlobalSpace, HomeStartsReadWriteOthersInvalid) {
+  GlobalSpace s(3, small_cfg());
+  s.alloc(128, [](PageId) { return 1; });
+  const BlockId b = 0;
+  EXPECT_EQ(s.tag(1, b), Tag::ReadWrite);
+  EXPECT_EQ(s.tag(0, b), Tag::Invalid);
+  EXPECT_EQ(s.tag(2, b), Tag::Invalid);
+}
+
+TEST(GlobalSpace, BlockAndPageArithmetic) {
+  GlobalSpace s(2, small_cfg());
+  s.alloc(256, [](PageId) { return 0; });
+  EXPECT_EQ(s.block_of(0), 0u);
+  EXPECT_EQ(s.block_of(31), 0u);
+  EXPECT_EQ(s.block_of(32), 1u);
+  EXPECT_EQ(s.page_of(127), 0u);
+  EXPECT_EQ(s.page_of(128), 1u);
+  EXPECT_EQ(s.page_of_block(4), 1u);
+  EXPECT_EQ(s.block_base(3), 96u);
+}
+
+TEST(GlobalSpace, HomeReadsAndWritesNeedNoFault) {
+  GlobalSpace s(2, small_cfg());
+  const Addr a = s.alloc(128, [](PageId) { return 0; });
+  s.set_fault_handler([](int, BlockId, bool) { FAIL() << "unexpected fault"; });
+  s.write_value<int>(0, a + 4, 42);
+  EXPECT_EQ(s.read_value<int>(0, a + 4), 42);
+}
+
+TEST(GlobalSpace, FaultHandlerInvokedUntilTagOk) {
+  GlobalSpace s(2, small_cfg());
+  const Addr a = s.alloc(128, [](PageId) { return 0; });
+  int faults = 0;
+  s.set_fault_handler([&](int node, BlockId b, bool is_write) {
+    ++faults;
+    // Simulate the protocol satisfying the request: copy home data, set tag.
+    std::memcpy(s.block_data(node, b), s.block_data(0, b), s.block_size());
+    s.set_tag(node, b, is_write ? Tag::ReadWrite : Tag::ReadOnly);
+  });
+  s.write_value<double>(0, a, 3.5);
+  EXPECT_EQ(s.read_value<double>(1, a), 3.5);
+  EXPECT_EQ(faults, 1);
+  // Subsequent read hits the cached copy.
+  EXPECT_EQ(s.read_value<double>(1, a), 3.5);
+  EXPECT_EQ(faults, 1);
+  // A write needs an upgrade fault.
+  s.write_value<double>(1, a, 4.5);
+  EXPECT_EQ(faults, 2);
+}
+
+TEST(GlobalSpace, ReadsSpanningBlocksAndPages) {
+  GlobalSpace s(2, small_cfg());
+  const Addr a = s.alloc(256, [](PageId) { return 0; });
+  // Fill 256 bytes with a pattern via block-spanning writes at the home.
+  std::vector<std::uint8_t> pat(200);
+  for (std::size_t i = 0; i < pat.size(); ++i)
+    pat[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  s.write(0, a + 30, pat.data(), pat.size());  // spans blocks and the page
+  std::vector<std::uint8_t> got(200);
+  s.read(0, a + 30, got.data(), got.size());
+  EXPECT_EQ(pat, got);
+}
+
+TEST(GlobalSpace, ArenaAllocHomesAtNodeAndAligns) {
+  GlobalSpace s(4, small_cfg());
+  const Addr a = s.arena_alloc(2, 40, 16);
+  EXPECT_EQ(s.home_of_addr(a), 2);
+  EXPECT_EQ(a % 16, 0u);
+  const Addr b = s.arena_alloc(2, 40, 16);
+  EXPECT_EQ(s.home_of_addr(b), 2);
+  EXPECT_NE(a, b);
+  const Addr c = s.arena_alloc(3, 8, 8);
+  EXPECT_EQ(s.home_of_addr(c), 3);
+}
+
+TEST(GlobalSpace, ArenaObjectsDoNotStraddleChunks) {
+  MemConfig cfg = small_cfg();
+  GlobalSpace s(2, cfg);
+  // Fill most of a page, then allocate an object that would straddle.
+  s.arena_alloc(0, 100, 8);
+  const Addr a = s.arena_alloc(0, 60, 8);
+  // Object fits entirely within one page.
+  EXPECT_EQ(s.page_of(a), s.page_of(a + 59));
+}
+
+TEST(GlobalSpace, ArenaMarkResetReusesAddresses) {
+  GlobalSpace s(2, small_cfg());
+  s.arena_alloc(1, 16, 8);
+  const std::size_t mark = s.arena_mark(1);
+  const Addr a1 = s.arena_alloc(1, 24, 8);
+  const Addr a2 = s.arena_alloc(1, 24, 8);
+  s.arena_reset(1, mark);
+  const Addr b1 = s.arena_alloc(1, 24, 8);
+  const Addr b2 = s.arena_alloc(1, 24, 8);
+  EXPECT_EQ(a1, b1);  // address stability across rebuilds
+  EXPECT_EQ(a2, b2);
+}
+
+TEST(GlobalSpace, RmwRequiresSingleBlock) {
+  GlobalSpace s(2, small_cfg());
+  const Addr a = s.alloc(128, [](PageId) { return 0; });
+  s.rmw(0, a + 8, 8, [](void* p) { *static_cast<std::uint64_t*>(p) = 9; });
+  EXPECT_EQ(s.read_value<std::uint64_t>(0, a + 8), 9u);
+  EXPECT_DEATH(s.rmw(0, a + 28, 8, [](void*) {}), "straddle");
+}
+
+TEST(GlobalSpace, RejectsNonPowerOfTwoBlock) {
+  MemConfig cfg;
+  cfg.block_size = 48;
+  cfg.page_size = 4096;
+  EXPECT_DEATH(GlobalSpace(2, cfg), "power of two");
+}
+
+}  // namespace
+}  // namespace presto::mem

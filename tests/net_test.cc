@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace presto::net {
+namespace {
+
+TEST(Network, LatencyIsStartupPlusPerByte) {
+  sim::Engine e;
+  NetConfig cfg;
+  cfg.wire_latency = 1000;
+  cfg.per_byte = 10;
+  Network net(e, 4, cfg);
+  sim::Time arrived = -1;
+  const sim::Time a = net.send(0, 1, 32, /*depart=*/0,
+                               [&] { arrived = e.now(); });
+  EXPECT_EQ(a, 1000 + 320);
+  e.run();
+  EXPECT_EQ(arrived, 1000 + 320);
+}
+
+TEST(Network, SelfSendUsesLoopback) {
+  sim::Engine e;
+  NetConfig cfg;
+  cfg.wire_latency = 1000;
+  cfg.per_byte = 10;
+  cfg.self_latency = 77;
+  Network net(e, 4, cfg);
+  const sim::Time a = net.send(2, 2, 4096, 0, [] {});
+  EXPECT_EQ(a, 77);  // size-independent loopback
+}
+
+TEST(Network, FifoPerChannel) {
+  sim::Engine e;
+  NetConfig cfg;
+  cfg.wire_latency = 100;
+  cfg.per_byte = 10;
+  Network net(e, 4, cfg);
+  std::vector<int> order;
+  // Big message first, then a small one that would naively overtake it.
+  net.send(0, 1, 1000, 0, [&] { order.push_back(1); });
+  net.send(0, 1, 4, 1, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Network, DistinctChannelsDoNotSerialize) {
+  sim::Engine e;
+  NetConfig cfg;
+  cfg.wire_latency = 100;
+  cfg.per_byte = 10;
+  Network net(e, 4, cfg);
+  std::vector<int> order;
+  net.send(0, 1, 1000, 0, [&] { order.push_back(1); });  // arrives 10100
+  net.send(2, 1, 4, 0, [&] { order.push_back(2); });     // arrives 140
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Network, CountsMessagesAndBytes) {
+  sim::Engine e;
+  Network net(e, 4, NetConfig{});
+  net.send(0, 1, 100, 0, [] {});
+  net.send(0, 2, 50, 0, [] {});
+  net.send(3, 0, 25, 0, [] {});
+  e.run();
+  EXPECT_EQ(net.messages_sent(), 3u);
+  EXPECT_EQ(net.bytes_sent(), 175u);
+  EXPECT_EQ(net.messages_from(0), 2u);
+  EXPECT_EQ(net.bytes_from(0), 150u);
+  EXPECT_EQ(net.messages_from(3), 1u);
+}
+
+TEST(Network, RejectsBadEndpoints) {
+  sim::Engine e;
+  Network net(e, 2, NetConfig{});
+  EXPECT_DEATH(net.send(0, 5, 1, 0, [] {}), "bad endpoints");
+}
+
+}  // namespace
+}  // namespace presto::net

@@ -1,0 +1,87 @@
+// Printer round-trip property (parse → print → parse → print reaches a
+// fixpoint) and run-report formatting.
+#include <gtest/gtest.h>
+
+#include "cstar/lexer.h"
+#include "cstar/parser.h"
+#include "cstar/printer.h"
+#include "cstar/samples.h"
+#include "stats/report.h"
+
+namespace presto {
+namespace {
+
+std::string reprint(const std::string& source) {
+  cstar::Lexer lex(source);
+  cstar::Parser parser(lex.tokenize());
+  auto prog = parser.parse();
+  EXPECT_TRUE(parser.errors().empty())
+      << source.substr(0, 60) << "...: " << parser.errors().front();
+  return cstar::print_program(*prog);
+}
+
+class PrinterRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrinterRoundTrip, PrintedProgramReparsesToSameText) {
+  const std::string once = reprint(GetParam());
+  const std::string twice = reprint(once);
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samples, PrinterRoundTrip,
+    ::testing::Values(cstar::samples::kStencil,
+                      cstar::samples::kUnstructuredMesh,
+                      cstar::samples::kBarnesMain,
+                      // Operator and control-flow stress.
+                      "void main() { x = -a * (b + c) / d % e; "
+                      "if (!(x <= 3) && y != 0 || z) { x += 1; } else x -= 2; }",
+                      "aggregate int V[];\nV v;\n"
+                      "parallel void f(parallel V x) { x(#0) = x(#0 + 1); }\n"
+                      "void main() { while (1 < 2) { f(v); return; } }"));
+
+TEST(Report, TableContainsAllVersionsAndColumns) {
+  stats::Report a;
+  a.label = "alpha";
+  a.exec = sim::seconds(2);
+  a.remote_wait = sim::seconds(1);
+  a.compute_synch = sim::seconds(1);
+  a.local_hit_pct = 98.5;
+  stats::Report b;
+  b.label = "beta";
+  b.exec = sim::seconds(1);
+  b.compute_synch = sim::seconds(1);
+  const std::string t = stats::Report::table({a, b});
+  EXPECT_NE(t.find("alpha"), std::string::npos);
+  EXPECT_NE(t.find("beta"), std::string::npos);
+  EXPECT_NE(t.find("rel. time"), std::string::npos);
+  EXPECT_NE(t.find("2.00"), std::string::npos);  // alpha is 2x the fastest
+  EXPECT_NE(t.find("98.50"), std::string::npos);
+}
+
+TEST(Report, BarsNormalizeToFastest) {
+  stats::Report fast;
+  fast.label = "fast";
+  fast.exec = sim::seconds(1);
+  fast.compute_synch = sim::seconds(1);
+  stats::Report slow;
+  slow.label = "slow";
+  slow.exec = sim::seconds(3);
+  slow.remote_wait = sim::seconds(2);
+  slow.compute_synch = sim::seconds(1);
+  const std::string s = stats::Report::bars({fast, slow});
+  EXPECT_NE(s.find("(1.00)"), std::string::npos);
+  EXPECT_NE(s.find("(3.00)"), std::string::npos);
+  EXPECT_NE(s.find("remote data wait"), std::string::npos);
+  EXPECT_NE(s.find("predictive protocol"), std::string::npos);
+}
+
+TEST(Report, EmptyAndZeroExecAreSafe) {
+  EXPECT_NO_FATAL_FAILURE(stats::Report::table({}));
+  stats::Report z;
+  z.label = "zero";
+  EXPECT_NO_FATAL_FAILURE(stats::Report::bars({z}));
+}
+
+}  // namespace
+}  // namespace presto

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/processor.h"
+
+namespace presto::sim {
+namespace {
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+  EXPECT_EQ(e.events_executed(), 3u);
+}
+
+TEST(Engine, TiesBreakByScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&] { order.push_back(1); });
+  e.schedule_at(5, [&] { order.push_back(2); });
+  e.schedule_at(5, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, PastEventsClampToNow) {
+  Engine e;
+  Time seen = -1;
+  e.schedule_at(100, [&] {
+    e.schedule_at(10, [&] { seen = e.now(); });  // in the past
+  });
+  e.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Engine, NestedSchedulingFromEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) e.schedule_in(7, recurse);
+  };
+  e.schedule_at(0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.now(), 28);
+}
+
+TEST(Processor, ChargeAdvancesLocalClock) {
+  Engine e;
+  auto& p = e.add_processor();
+  Time end = -1;
+  p.start([&] {
+    p.charge(100);
+    p.charge(50);
+    end = p.now();
+  });
+  e.run();
+  EXPECT_EQ(end, 150);
+  EXPECT_TRUE(p.finished());
+}
+
+TEST(Processor, BlockWakesAtWakeTime) {
+  Engine e;
+  auto& p = e.add_processor();
+  Time resumed = -1;
+  p.start([&] {
+    p.block();
+    resumed = p.now();
+  });
+  e.schedule_at(500, [&] { p.wake(500); });
+  e.run();
+  EXPECT_EQ(resumed, 500);
+}
+
+TEST(Processor, WakeBeforeBlockIsNotLost) {
+  Engine e;
+  auto& p = e.add_processor();
+  Time resumed = -1;
+  p.start([&] {
+    p.charge(100);  // runs past the wake sender
+    p.block();      // latched wake is consumed immediately
+    resumed = p.now();
+  });
+  e.schedule_at(0, [&] { p.wake(40); });
+  e.run();
+  EXPECT_EQ(resumed, 100);  // wake time 40 already passed
+}
+
+TEST(Processor, HorizonYieldInterleavesProcessors) {
+  Engine e;
+  auto& a = e.add_processor();
+  auto& b = e.add_processor();
+  std::vector<std::pair<char, Time>> trace;
+  a.start([&] {
+    for (int i = 0; i < 3; ++i) {
+      a.charge(10);
+      trace.emplace_back('a', a.now());
+    }
+  });
+  b.start([&] {
+    for (int i = 0; i < 3; ++i) {
+      b.charge(10);
+      trace.emplace_back('b', b.now());
+    }
+  });
+  e.run();
+  ASSERT_EQ(trace.size(), 6u);
+  // Clocks never run far apart: each records 10,20,30.
+  for (const auto& [who, t] : trace) {
+    (void)who;
+    EXPECT_LE(t, 30);
+  }
+}
+
+TEST(Processor, StolenCyclesFoldIntoNextCharge) {
+  Engine e;
+  auto& p = e.add_processor();
+  Time end = -1;
+  p.start([&] {
+    p.charge(10);
+    p.block();
+    p.charge(5);
+    end = p.now();
+  });
+  e.schedule_at(100, [&] {
+    p.add_stolen(20);
+    p.wake(100);
+  });
+  e.run();
+  EXPECT_EQ(end, 125);  // 100 (wake) + 5 (charge) + 20 (stolen)
+  EXPECT_EQ(p.stolen_total(), 20);
+}
+
+TEST(Processor, ManyProcessorsDeterministicFinish) {
+  auto run_once = [] {
+    Engine e;
+    std::vector<Time> finish;
+    const int n = 16;
+    std::vector<Processor*> ps;
+    for (int i = 0; i < n; ++i) ps.push_back(&e.add_processor());
+    finish.resize(n);
+    for (int i = 0; i < n; ++i) {
+      Processor* p = ps[static_cast<std::size_t>(i)];
+      finish[static_cast<std::size_t>(i)] = 0;
+      p->start([p, i, &finish] {
+        for (int k = 0; k < 20; ++k) p->charge(10 + (i * 7 + k) % 13);
+        finish[static_cast<std::size_t>(i)] = p->now();
+      });
+    }
+    e.run();
+    return finish;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Processor, DeadlockIsDetected) {
+  auto deadlock = [] {
+    Engine e;
+    auto& p = e.add_processor();
+    p.start([&] { p.block(); });  // nobody ever wakes it
+    e.run();
+  };
+  EXPECT_DEATH(deadlock(), "deadlock");
+}
+
+TEST(Processor, QuantumFloorBatchesYields) {
+  Engine exact;
+  exact.set_quantum_floor(0);
+  Engine coarse;
+  coarse.set_quantum_floor(1000);
+  for (Engine* e : {&exact, &coarse}) {
+    auto& a = e->add_processor();
+    auto& b = e->add_processor();
+    a.start([&a] {
+      for (int i = 0; i < 100; ++i) a.charge(10);
+    });
+    b.start([&b] {
+      for (int i = 0; i < 100; ++i) b.charge(10);
+    });
+    e->run();
+  }
+  // Coarse quantum must yield strictly less often.
+  EXPECT_LT(coarse.processor(0).yield_count(),
+            exact.processor(0).yield_count());
+}
+
+TEST(Engine, TeardownWithNeverRunProcessorDoesNotHang) {
+  // A processor whose thread was spawned but whose engine never ran must be
+  // unwound cleanly by the destructor (kill path).
+  auto e = std::make_unique<Engine>();
+  auto& p = e->add_processor();
+  p.start([&] { p.charge(10); });
+  e.reset();  // engine destroyed without run()
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace presto::sim

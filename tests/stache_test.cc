@@ -1,0 +1,253 @@
+// System-level tests of the Stache write-invalidate protocol: directed
+// scenarios for each transaction shape, plus a parameterized property suite
+// running randomized data-race-free programs against a host reference.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/aggregate.h"
+#include "runtime/system.h"
+#include "util/rng.h"
+
+namespace presto::runtime {
+namespace {
+
+MachineConfig tiny(int nodes, std::uint32_t block = 32) {
+  MachineConfig m = MachineConfig::cm5_blizzard(nodes, block);
+  m.mem.page_size = 256;  // small pages keep test footprints tight
+  return m;
+}
+
+TEST(Stache, RemoteReadFetchesHomeValue) {
+  System sys(tiny(2), ProtocolKind::kStache);
+  auto a = sys.space().alloc_on_node(0, 64);
+  sys.run([&](NodeCtx& c) {
+    if (c.id() == 0) c.write<int>(a, 1234);
+    c.barrier();
+    if (c.id() == 1) EXPECT_EQ(c.read<int>(a), 1234);
+  });
+  EXPECT_EQ(sys.recorder().node(1).read_faults, 1u);
+  EXPECT_EQ(sys.recorder().node(0).read_faults, 0u);
+  EXPECT_GT(sys.recorder().node(1).remote_wait, 0);
+}
+
+TEST(Stache, WriteInvalidatesReaders) {
+  System sys(tiny(3), ProtocolKind::kStache);
+  auto a = sys.space().alloc_on_node(0, 64);
+  sys.run([&](NodeCtx& c) {
+    if (c.id() == 0) c.write<int>(a, 1);
+    c.barrier();
+    // Nodes 1 and 2 cache the block.
+    if (c.id() != 0) EXPECT_EQ(c.read<int>(a), 1);
+    c.barrier();
+    // Home writes again: readers must be invalidated...
+    if (c.id() == 0) c.write<int>(a, 2);
+    c.barrier();
+    // ...so they re-fetch and see the new value.
+    if (c.id() != 0) EXPECT_EQ(c.read<int>(a), 2);
+  });
+  // Each reader faulted twice (initial read + re-fetch after invalidation).
+  EXPECT_EQ(sys.recorder().node(1).read_faults, 2u);
+  EXPECT_EQ(sys.recorder().node(2).read_faults, 2u);
+  // The home's second write faulted locally (invalidation transaction).
+  EXPECT_EQ(sys.recorder().node(0).write_faults, 1u);
+  EXPECT_EQ(sys.recorder().node(0).local_faults, 1u);
+}
+
+TEST(Stache, ProducerConsumerThroughThirdPartyHome) {
+  // Producer and consumer distinct from the home: §3.2's 4-message pattern.
+  System sys(tiny(3), ProtocolKind::kStache);
+  auto a = sys.space().alloc_on_node(0, 64);  // home = 0
+  sys.run([&](NodeCtx& c) {
+    for (int it = 0; it < 4; ++it) {
+      if (c.id() == 1) c.write<int>(a, 100 + it);  // producer
+      c.barrier();
+      if (c.id() == 2) EXPECT_EQ(c.read<int>(a), 100 + it);  // consumer
+      c.barrier();
+    }
+  });
+  // Producer writes fault each iteration after the first (consumer's read
+  // downgraded its copy); consumer reads fault every iteration.
+  EXPECT_EQ(sys.recorder().node(2).read_faults, 4u);
+  EXPECT_GE(sys.recorder().node(1).write_faults, 4u);
+}
+
+TEST(Stache, RecallFlowsDirtyDataThroughHome) {
+  System sys(tiny(3), ProtocolKind::kStache);
+  auto a = sys.space().alloc_on_node(0, 64);
+  sys.run([&](NodeCtx& c) {
+    if (c.id() == 1) c.write<double>(a + 8, 2.75);  // node 1 becomes owner
+    c.barrier();
+    if (c.id() == 2) EXPECT_EQ(c.read<double>(a + 8), 2.75);  // recall path
+    c.barrier();
+    if (c.id() == 0) EXPECT_EQ(c.read<double>(a + 8), 2.75);  // home re-read
+  });
+}
+
+TEST(Stache, MigratoryOwnershipMoves) {
+  System sys(tiny(4), ProtocolKind::kStache);
+  auto a = sys.space().alloc_on_node(0, 64);
+  sys.run([&](NodeCtx& c) {
+    const int n = c.nodes();
+    for (int round = 0; round < 8; ++round) {
+      if (c.id() == round % n) {
+        int v = c.read<int>(a);
+        EXPECT_EQ(v, round);
+        c.write<int>(a, v + 1);
+      }
+      c.barrier();
+    }
+    if (c.id() == 0) EXPECT_EQ(c.read<int>(a), 8);
+  });
+}
+
+TEST(Stache, FalseSharingMergesDistinctWords) {
+  // Two nodes write disjoint words of the same block; both must survive.
+  System sys(tiny(3), ProtocolKind::kStache);
+  auto a = sys.space().alloc_on_node(0, 64);
+  sys.run([&](NodeCtx& c) {
+    if (c.id() == 1) c.write<int>(a + 0, 111);
+    if (c.id() == 2) c.write<int>(a + 4, 222);
+    c.barrier();
+    if (c.id() == 0) {
+      EXPECT_EQ(c.read<int>(a + 0), 111);
+      EXPECT_EQ(c.read<int>(a + 4), 222);
+    }
+  });
+}
+
+TEST(Stache, UpgradeFromSoleReader) {
+  System sys(tiny(2), ProtocolKind::kStache);
+  auto a = sys.space().alloc_on_node(0, 64);
+  sys.run([&](NodeCtx& c) {
+    if (c.id() == 1) {
+      EXPECT_EQ(c.read<int>(a), 0);
+      c.write<int>(a, 5);  // sole-reader upgrade
+    }
+    c.barrier();
+    if (c.id() == 0) EXPECT_EQ(c.read<int>(a), 5);
+  });
+}
+
+TEST(Stache, RemoteMissLatencyIsCm5Scale) {
+  // §5.4: ~200 microseconds average remote miss on Blizzard/CM-5.
+  System sys(MachineConfig::cm5_blizzard(3, 32), ProtocolKind::kStache);
+  auto a = sys.space().alloc_on_node(0, 4096);
+  sys.run([&](NodeCtx& c) {
+    if (c.id() == 1)
+      for (int i = 0; i < 16; ++i) c.write<int>(a + i * 32, i);
+    c.barrier();
+    if (c.id() == 2)
+      for (int i = 0; i < 16; ++i) EXPECT_EQ(c.read<int>(a + i * 32), i);
+  });
+  const auto& c2 = sys.recorder().node(2);
+  ASSERT_EQ(c2.read_faults, 16u);
+  const double avg_us =
+      sim::to_micros(c2.remote_wait) / static_cast<double>(c2.read_faults);
+  EXPECT_GT(avg_us, 100.0);
+  EXPECT_LT(avg_us, 400.0);
+}
+
+TEST(Stache, AggregatesDistributeOwnerAlignedPages) {
+  System sys(tiny(4), ProtocolKind::kStache);
+  auto agg = Aggregate1D<double>::create(sys.space(), 100);
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(sys.space().home_of_addr(agg.addr(i)), agg.owner(i))
+        << "element " << i;
+  auto [lo, hi] = agg.range(3);
+  EXPECT_EQ(lo, 75u);
+  EXPECT_EQ(hi, 100u);
+}
+
+TEST(Stache, Aggregate2DRowBlock) {
+  System sys(tiny(4), ProtocolKind::kStache);
+  auto g = Aggregate2D<float>::create(sys.space(), 16, 8);
+  EXPECT_EQ(g.owner(0), 0);
+  EXPECT_EQ(g.owner(15), 3);
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      EXPECT_EQ(sys.space().home_of_addr(g.addr(i, j)), g.owner(i));
+  auto [lo, hi] = g.row_range(1);
+  EXPECT_EQ(lo, 4u);
+  EXPECT_EQ(hi, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: randomized data-race-free programs must produce exactly
+// the values of a host-memory reference, under every (nodes, block size,
+// seed) combination, for both Stache and the predictive protocol.
+// ---------------------------------------------------------------------------
+
+struct DrfParam {
+  int nodes;
+  std::uint32_t block;
+  std::uint64_t seed;
+  ProtocolKind kind;
+};
+
+class DrfProperty : public ::testing::TestWithParam<DrfParam> {};
+
+TEST_P(DrfProperty, RandomDrfProgramMatchesReference) {
+  const DrfParam p = GetParam();
+  MachineConfig m = tiny(p.nodes, p.block);
+  System sys(m, p.kind);
+
+  constexpr std::size_t kElems = 96;
+  constexpr int kIters = 6;
+  auto agg = Aggregate1D<std::uint32_t>::create(sys.space(), kElems);
+  std::vector<std::uint32_t> ref(kElems, 0);
+
+  // Writer assignment rotates per iteration: in iteration it, element i is
+  // written by node (i + it) % nodes and read by every node. All access
+  // conflicts are separated by barriers (DRF).
+  sys.run([&](NodeCtx& c) {
+    util::Rng rng(p.seed ^ static_cast<std::uint64_t>(c.id()));
+    for (int it = 0; it < kIters; ++it) {
+      c.phase(it % 3);  // exercise directives (no-op under Stache)
+      for (std::size_t i = 0; i < kElems; ++i) {
+        if (static_cast<int>((i + static_cast<std::size_t>(it)) %
+                             static_cast<std::size_t>(c.nodes())) != c.id())
+          continue;
+        const std::uint32_t v =
+            static_cast<std::uint32_t>(i * 1000 + static_cast<std::size_t>(it));
+        agg.set(c, i, v);
+        ref[i] = v;  // host reference (engine serializes all threads)
+      }
+      c.barrier();
+      // Every node verifies a random sample of elements.
+      for (int k = 0; k < 24; ++k) {
+        const std::size_t i = rng.next_below(kElems);
+        EXPECT_EQ(agg.get(c, i), ref[i])
+            << "node " << c.id() << " iter " << it << " elem " << i;
+      }
+      c.barrier();
+    }
+  });
+  // Quiescent directory/tag consistency across every node and block.
+  auto* stache = dynamic_cast<proto::StacheProtocol*>(&sys.protocol());
+  ASSERT_NE(stache, nullptr);
+  EXPECT_GT(stache->check_invariants(), 0u);
+}
+
+std::vector<DrfParam> drf_params() {
+  std::vector<DrfParam> ps;
+  for (int nodes : {2, 3, 5, 8})
+    for (std::uint32_t block : {32u, 64u, 256u})
+      for (std::uint64_t seed : {1ull, 99ull})
+        for (ProtocolKind k :
+             {ProtocolKind::kStache, ProtocolKind::kPredictive})
+          ps.push_back({nodes, block, seed, k});
+  return ps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DrfProperty, ::testing::ValuesIn(drf_params()),
+    [](const ::testing::TestParamInfo<DrfParam>& info) {
+      const auto& p = info.param;
+      return "n" + std::to_string(p.nodes) + "_b" + std::to_string(p.block) +
+             "_s" + std::to_string(p.seed) + "_" +
+             (p.kind == ProtocolKind::kStache ? "stache" : "pred");
+    });
+
+}  // namespace
+}  // namespace presto::runtime

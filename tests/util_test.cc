@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "util/bitset.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace presto::util {
+namespace {
+
+TEST(Bitset, SetTestReset) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.any());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, UnionReportsChange) {
+  Bitset a(70), b(70);
+  b.set(69);
+  EXPECT_TRUE(a.union_with(b));
+  EXPECT_FALSE(a.union_with(b));  // no further change
+  EXPECT_TRUE(a.test(69));
+}
+
+TEST(Bitset, IntersectAndSubtract) {
+  Bitset a(10), b(10);
+  a.set(1);
+  a.set(2);
+  a.set(3);
+  b.set(2);
+  b.set(3);
+  b.set(4);
+  Bitset i = a;
+  i.intersect_with(b);
+  EXPECT_EQ(i.count(), 2u);
+  Bitset s = a;
+  s.subtract(b);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.test(1));
+}
+
+TEST(Bitset, ForEachAscending) {
+  Bitset b(200);
+  b.set(3);
+  b.set(65);
+  b.set(199);
+  std::vector<std::size_t> got;
+  b.for_each([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, (std::vector<std::size_t>{3, 65, 199}));
+}
+
+TEST(Bitset, EqualityRequiresSameBits) {
+  Bitset a(10), b(10);
+  EXPECT_EQ(a, b);
+  a.set(5);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Rng, DeterministicStream) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 10; ++i) differs |= a2.next_u64() != c.next_u64();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, RangesInBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const auto v = r.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const auto u = r.next_below(17);
+    EXPECT_LT(u, 17u);
+  }
+}
+
+TEST(Rng, NormalHasRoughMoments) {
+  Rng r(123);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.next_normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Table, AlignsColumnsAndRendersAllCells) {
+  Table t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("yyyy"), std::string::npos);
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(Bars, RendersLegendAndScales) {
+  std::vector<Bar> bars = {{"v1", {{"wait", 1.0}, {"work", 3.0}}},
+                           {"v2", {{"wait", 0.5}, {"work", 1.5}}}};
+  const std::string s = render_stacked_bars(bars, 40);
+  EXPECT_NE(s.find("legend"), std::string::npos);
+  EXPECT_NE(s.find("v1"), std::string::npos);
+  EXPECT_NE(s.find("(4.00)"), std::string::npos);
+  EXPECT_NE(s.find("(2.00)"), std::string::npos);
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog",     "--alpha=3", "--beta", "7",
+                        "--flag",   "--gamma",   "--delta=x"};
+  Cli cli(7, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);
+  EXPECT_TRUE(cli.get_bool("flag"));
+  EXPECT_TRUE(cli.get_bool("gamma"));
+  EXPECT_EQ(cli.get("delta", ""), "x");
+  EXPECT_EQ(cli.get_int("missing", -2), -2);
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+}  // namespace
+}  // namespace presto::util
