@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
   const std::size_t kb =
       static_cast<std::size_t>(cli.get_int("kb", 64) / scale.divide + 1);
   const int iters = static_cast<int>(cli.get_int("iters", 8));
+  cli.reject_unknown();
 
   std::vector<stats::Report> reports;
   for (const bool coalesce : {true, false})

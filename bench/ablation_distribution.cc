@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
   // At least 6 sweeps so the schedules have repetition to exploit.
   const int iters = std::max<int>(
       6, static_cast<int>(cli.get_int("iters", 20) / scale.divide));
+  cli.reject_unknown();
 
   auto rowblock_owned = [](runtime::NodeCtx& c,
                            const runtime::Aggregate2D<float>& agg,

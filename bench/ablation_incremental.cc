@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   apps::AdaptiveParams params;
   params.n = scale.divide > 1 ? 64 : 128;
   params.iters = static_cast<int>(cli.get_int("iters", 60) / scale.divide);
+  cli.reject_unknown();
   if (params.iters < 4) params.iters = 4;
 
   const auto machine = runtime::MachineConfig::cm5_blizzard(scale.nodes, 32);

@@ -14,6 +14,7 @@ using namespace presto;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto scale = bench::Scale::from_cli(cli);
+  cli.reject_unknown();
 
   apps::WaterParams params;
   params.molecules = static_cast<std::size_t>(512 / scale.divide);

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
       cli.get_int("mesh", static_cast<std::int64_t>(params.n)));
   params.iters =
       static_cast<int>(cli.get_int("iters", params.iters) / scale.divide);
+  cli.reject_unknown();
   if (scale.divide > 1 && params.n > 32) params.n /= 2;
   if (params.iters < 1) params.iters = 1;
 

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
       cli.get_int("bodies", static_cast<std::int64_t>(params.bodies)) /
       scale.divide);
   params.steps = static_cast<int>(cli.get_int("steps", params.steps));
+  cli.reject_unknown();
   if (params.bodies < 64) params.bodies = 64;
 
   struct Version {

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> splash_blocks =
       cli.get_bool("splash-sweep") ? block_sizes
                                    : std::vector<std::uint32_t>{128};
+  cli.reject_unknown();
 
   std::vector<apps::AppResult> results;
   std::vector<stats::Report> reports;

@@ -1,0 +1,187 @@
+// Host-throughput harness: how fast does the simulator itself run?
+//
+// Two workloads bracket the hot paths:
+//   * "micro"  — a protocol-message-dominated producer/consumer sweep on the
+//     predictive protocol with coalescing disabled, so every presend block
+//     travels in its own BulkData/BulkAck pair: the event queue, message
+//     transport, and handler dispatch dominate host time.
+//   * "barnes" — a Barnes–Hut N-body run (the paper's Fig. 6 shape): a mix
+//     of application compute, fine-grain access checks, schedule recording,
+//     and presend traffic.
+//
+// Emits results/BENCH_host.json with host events/sec (micro) and wall-clock
+// (barnes), next to the pre-rewrite baseline captured at the same scale so
+// every future PR sees the perf trajectory. See docs/performance.md.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "apps/barnes/barnes.h"
+#include "runtime/system.h"
+#include "util/check.h"
+#include "util/cli.h"
+
+using namespace presto;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct MicroResult {
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t msgs = 0;
+};
+
+// Producer/consumer over `blocks` blocks for `rounds` rounds; coalescing is
+// disabled so the event count scales with blocks, not runs.
+MicroResult run_micro(int nodes, int blocks, int rounds) {
+  const auto cfg = runtime::MachineConfig::cm5_blizzard(nodes, 32);
+  runtime::System sys(cfg, runtime::ProtocolKind::kPredictive);
+  sys.predictive()->set_coalescing(false);
+  const mem::Addr a = sys.space().alloc_on_node(
+      0, static_cast<std::size_t>(blocks) * cfg.mem.block_size);
+
+  const auto t0 = Clock::now();
+  sys.run([&](runtime::NodeCtx& c) {
+    for (int r = 0; r < rounds; ++r) {
+      c.phase(0);
+      if (c.id() == 0)
+        for (int b = 0; b < blocks; ++b)
+          c.write<int>(a + static_cast<mem::Addr>(b) * 32, r + b);
+      c.barrier();
+      c.phase(1);
+      if (c.id() == 1)
+        for (int b = 0; b < blocks; ++b) {
+          volatile int v = c.read<int>(a + static_cast<mem::Addr>(b) * 32);
+          (void)v;
+        }
+      c.barrier();
+    }
+  });
+  MicroResult res;
+  res.wall_s = seconds_since(t0);
+  res.events = sys.engine().events_executed();
+  res.events_per_sec = static_cast<double>(res.events) / res.wall_s;
+  res.msgs = sys.network().messages_sent();
+  return res;
+}
+
+struct BarnesResult {
+  double wall_s = 0.0;
+  double checksum = 0.0;
+  std::uint64_t msgs = 0;
+};
+
+BarnesResult run_barnes_shaped(int nodes, std::size_t bodies, int steps) {
+  apps::BarnesParams params;
+  params.bodies = bodies;
+  params.steps = steps;
+  const auto machine = runtime::MachineConfig::cm5_blizzard(nodes, 32);
+  const auto t0 = Clock::now();
+  const auto r = apps::run_barnes(params, machine,
+                                  runtime::ProtocolKind::kPredictive,
+                                  /*directives=*/true);
+  BarnesResult res;
+  res.wall_s = seconds_since(t0);
+  res.checksum = r.checksum;
+  res.msgs = r.report.msgs;
+  return res;
+}
+
+// Pre-rewrite (seed) numbers at the default scale, measured on the same
+// workloads with the std::function event queue, closure-based message
+// delivery, std::function fault indirection, and std::map schedules.
+// Update these alongside any future hot-path change so BENCH_host.json
+// always records the trajectory.
+// Median of three runs on the seed: micro 983815 events in ~0.97s at
+// nodes=4 blocks=512 rounds=192; barnes at nodes=8 bodies=2048 steps=2.
+constexpr double kBaselineMicroEventsPerSec = 1012973.0;
+constexpr double kBaselineBarnesWallS = 6.960;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick");
+  const int micro_nodes = static_cast<int>(cli.get_int("micro-nodes", 4));
+  const int blocks = static_cast<int>(cli.get_int("blocks", quick ? 64 : 512));
+  const int rounds = static_cast<int>(cli.get_int("rounds", quick ? 4 : 192));
+  const int barnes_nodes = static_cast<int>(cli.get_int("barnes-nodes", 8));
+  const std::size_t bodies = static_cast<std::size_t>(
+      cli.get_int("bodies", quick ? 256 : 2048));
+  const int steps = static_cast<int>(cli.get_int("steps", 2));
+  const std::string json_path =
+      cli.get("json", quick ? "" : "results/BENCH_host.json");
+  cli.reject_unknown();
+
+  std::printf("micro: nodes=%d blocks=%d rounds=%d ...\n", micro_nodes,
+              blocks, rounds);
+  std::fflush(stdout);
+  const auto micro = run_micro(micro_nodes, blocks, rounds);
+  std::printf("micro: %llu events in %.3fs -> %.0f events/sec (%llu msgs)\n",
+              (unsigned long long)micro.events, micro.wall_s,
+              micro.events_per_sec, (unsigned long long)micro.msgs);
+
+  std::printf("barnes: nodes=%d bodies=%zu steps=%d ...\n", barnes_nodes,
+              bodies, steps);
+  std::fflush(stdout);
+  const auto barnes = run_barnes_shaped(barnes_nodes, bodies, steps);
+  std::printf("barnes: wall %.3fs, checksum %.9f (%llu msgs)\n",
+              barnes.wall_s, barnes.checksum, (unsigned long long)barnes.msgs);
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    PRESTO_CHECK(f != nullptr, "cannot open " << json_path
+                                              << " (run from the repo root)");
+    const double micro_speedup =
+        kBaselineMicroEventsPerSec > 0
+            ? micro.events_per_sec / kBaselineMicroEventsPerSec
+            : 0.0;
+    const double barnes_reduction =
+        kBaselineBarnesWallS > 0
+            ? 1.0 - barnes.wall_s / kBaselineBarnesWallS
+            : 0.0;
+    std::fprintf(f,
+                 "{\n"
+                 "  \"micro\": {\n"
+                 "    \"nodes\": %d, \"blocks\": %d, \"rounds\": %d,\n"
+                 "    \"events\": %llu,\n"
+                 "    \"wall_s\": %.4f,\n"
+                 "    \"events_per_sec\": %.0f,\n"
+                 "    \"msgs\": %llu\n"
+                 "  },\n"
+                 "  \"barnes\": {\n"
+                 "    \"nodes\": %d, \"bodies\": %zu, \"steps\": %d,\n"
+                 "    \"wall_s\": %.4f,\n"
+                 "    \"checksum\": %.9f,\n"
+                 "    \"msgs\": %llu\n"
+                 "  },\n"
+                 "  \"baseline\": {\n"
+                 "    \"micro_events_per_sec\": %.0f,\n"
+                 "    \"barnes_wall_s\": %.4f,\n"
+                 "    \"note\": \"seed implementation (PR 1 baseline), same "
+                 "workload sizes\"\n"
+                 "  },\n"
+                 "  \"vs_baseline\": {\n"
+                 "    \"micro_events_per_sec_speedup\": %.2f,\n"
+                 "    \"barnes_wall_clock_reduction_pct\": %.1f\n"
+                 "  }\n"
+                 "}\n",
+                 micro_nodes, blocks, rounds,
+                 (unsigned long long)micro.events, micro.wall_s,
+                 micro.events_per_sec, (unsigned long long)micro.msgs,
+                 barnes_nodes, bodies, steps, barnes.wall_s, barnes.checksum,
+                 (unsigned long long)barnes.msgs, kBaselineMicroEventsPerSec,
+                 kBaselineBarnesWallS, micro_speedup,
+                 100.0 * barnes_reduction);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

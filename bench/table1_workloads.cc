@@ -13,6 +13,7 @@ using namespace presto;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto scale = bench::Scale::from_cli(cli);
+  cli.reject_unknown();
 
   util::Table spec({"Program", "Brief Description", "Data set (paper)"});
   spec.add_row({"Adaptive", "Structured adaptive mesh",

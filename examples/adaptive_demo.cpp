@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   params.iters = static_cast<int>(cli.get_int("iters", 30));
   const int nodes = static_cast<int>(cli.get_int("nodes", 16));
   const auto block = static_cast<std::uint32_t>(cli.get_int("block", 32));
+  cli.reject_unknown();
 
   const auto machine = runtime::MachineConfig::cm5_blizzard(nodes, block);
   std::printf("Adaptive %zux%zu, %d iterations, %d nodes, %uB blocks\n\n",

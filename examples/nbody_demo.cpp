@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   params.steps = static_cast<int>(cli.get_int("steps", 3));
   const int nodes = static_cast<int>(cli.get_int("nodes", 16));
   const auto block = static_cast<std::uint32_t>(cli.get_int("block", 64));
+  cli.reject_unknown();
 
   const auto machine = runtime::MachineConfig::cm5_blizzard(nodes, block);
   std::printf("Barnes-Hut: %zu bodies, %d steps, %d nodes, %uB blocks\n\n",

@@ -90,29 +90,29 @@ void GlobalSpace::arena_reset(int node, std::size_t mark) {
   ar.cur = mark;
 }
 
-std::byte* GlobalSpace::frame(int node, PageId p) {
+std::byte* GlobalSpace::materialize_frame(int node, PageId p) {
   auto& f = frames_[static_cast<std::size_t>(node)][static_cast<std::size_t>(p)];
-  if (!f) {
-    f = std::make_unique<std::byte[]>(cfg_.page_size);
-    std::memset(f.get(), 0, cfg_.page_size);
-  }
+  f = std::make_unique<std::byte[]>(cfg_.page_size);
+  std::memset(f.get(), 0, cfg_.page_size);
   return f.get();
 }
 
-std::byte* GlobalSpace::block_data(int node, BlockId b) {
-  const PageId p = page_of_block(b);
-  const Addr base = block_base(b);
-  return frame(node, p) + (base & (cfg_.page_size - 1));
+void GlobalSpace::resolve_fault(int node, BlockId b, bool is_write) {
+  // The handler may install a tag weaker than requested (or the tag may be
+  // stolen again before the processor resumes); re-check until it sticks.
+  do {
+    PRESTO_CHECK(fault_ != nullptr, "no fault handler installed");
+    fault_->on_fault(node, b, is_write);
+  } while (is_write ? tag(node, b) != Tag::ReadWrite
+                    : tag(node, b) == Tag::Invalid);
 }
 
-void GlobalSpace::read(int node, Addr a, void* out, std::size_t n) {
+void GlobalSpace::read_slow(int node, Addr a, void* out, std::size_t n) {
   std::byte* dst = static_cast<std::byte*>(out);
   while (n > 0) {
     const BlockId b = block_of(a);
-    while (tag(node, b) == Tag::Invalid) {
-      PRESTO_CHECK(fault_, "no fault handler installed");
-      fault_(node, b, /*is_write=*/false);
-    }
+    if (tag(node, b) == Tag::Invalid)
+      resolve_fault(node, b, /*is_write=*/false);
     const std::size_t in_block =
         cfg_.block_size - static_cast<std::size_t>(a & (cfg_.block_size - 1));
     const std::size_t chunk = n < in_block ? n : in_block;
@@ -125,14 +125,12 @@ void GlobalSpace::read(int node, Addr a, void* out, std::size_t n) {
   }
 }
 
-void GlobalSpace::write(int node, Addr a, const void* in, std::size_t n) {
+void GlobalSpace::write_slow(int node, Addr a, const void* in, std::size_t n) {
   const std::byte* src = static_cast<const std::byte*>(in);
   while (n > 0) {
     const BlockId b = block_of(a);
-    while (tag(node, b) != Tag::ReadWrite) {
-      PRESTO_CHECK(fault_, "no fault handler installed");
-      fault_(node, b, /*is_write=*/true);
-    }
+    if (tag(node, b) != Tag::ReadWrite)
+      resolve_fault(node, b, /*is_write=*/true);
     const std::size_t in_block =
         cfg_.block_size - static_cast<std::size_t>(a & (cfg_.block_size - 1));
     const std::size_t chunk = n < in_block ? n : in_block;
@@ -148,10 +146,7 @@ void GlobalSpace::rmw(int node, Addr a, std::size_t n,
                       const std::function<void(void*)>& fn) {
   const BlockId b = block_of(a);
   PRESTO_CHECK(block_of(a + n - 1) == b, "rmw may not straddle blocks");
-  while (tag(node, b) != Tag::ReadWrite) {
-    PRESTO_CHECK(fault_, "no fault handler installed");
-    fault_(node, b, /*is_write=*/true);
-  }
+  if (tag(node, b) != Tag::ReadWrite) resolve_fault(node, b, /*is_write=*/true);
   // Holding ReadWrite and not yielding makes the read-modify-write atomic
   // with respect to all other simulated processors.
   fn(block_data(node, b) + (a & (cfg_.block_size - 1)));

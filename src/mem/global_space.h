@@ -9,6 +9,11 @@
 // protocol), which blocks the accessing processor until the tag is upgraded.
 // Data genuinely moves between per-node frames, so coherence-protocol bugs
 // corrupt application results and are caught by the numeric tests.
+//
+// The access path mirrors the hardware split Blizzard emulates in software:
+// the tag check plus data copy for a permitted single-block access is
+// inlined here (no virtual call, no std::function), and only faults or
+// block-spanning accesses drop into the out-of-line slow path.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +31,16 @@ using BlockId = std::uint64_t;
 using PageId = std::uint64_t;
 
 enum class Tag : std::uint8_t { Invalid = 0, ReadOnly = 1, ReadWrite = 2 };
+
+// Installed by the coherence protocol; on_fault runs on the faulting node's
+// processor thread and must block it until the access is permitted.
+class FaultHandler {
+ public:
+  virtual void on_fault(int node, BlockId b, bool is_write) = 0;
+
+ protected:
+  ~FaultHandler() = default;
+};
 
 struct MemConfig {
   std::uint32_t block_size = 32;   // power of two, 8..page_size
@@ -87,17 +102,44 @@ class GlobalSpace {
   }
 
   // Pointer to the node-local bytes of block b (frame allocated on demand).
-  std::byte* block_data(int node, BlockId b);
+  std::byte* block_data(int node, BlockId b) {
+    const PageId p = page_of_block(b);
+    std::byte* f =
+        frames_[static_cast<std::size_t>(node)][static_cast<std::size_t>(p)]
+            .get();
+    if (f == nullptr) f = materialize_frame(node, p);
+    return f + (block_base(b) & (cfg_.page_size - 1));
+  }
 
   // ---- Application access path (runs on the node's processor thread) ------
 
-  // The fault handler must block the calling processor until the access is
-  // permitted; it is installed by the coherence protocol.
-  using FaultFn = std::function<void(int node, BlockId b, bool is_write)>;
-  void set_fault_handler(FaultFn fn) { fault_ = std::move(fn); }
+  void set_fault_handler(FaultHandler* h) { fault_ = h; }
 
-  void read(int node, Addr a, void* out, std::size_t n);
-  void write(int node, Addr a, const void* in, std::size_t n);
+  // Permitted single-block accesses complete inline; faults and
+  // block-spanning accesses take the out-of-line slow path.
+  void read(int node, Addr a, void* out, std::size_t n) {
+    const std::size_t off =
+        static_cast<std::size_t>(a) & (cfg_.block_size - 1);
+    const BlockId b = block_of(a);
+    if (off + n <= cfg_.block_size && tag(node, b) != Tag::Invalid)
+        [[likely]] {
+      std::memcpy(out, block_data(node, b) + off, n);
+      return;
+    }
+    read_slow(node, a, out, n);
+  }
+
+  void write(int node, Addr a, const void* in, std::size_t n) {
+    const std::size_t off =
+        static_cast<std::size_t>(a) & (cfg_.block_size - 1);
+    const BlockId b = block_of(a);
+    if (off + n <= cfg_.block_size && tag(node, b) == Tag::ReadWrite)
+        [[likely]] {
+      std::memcpy(block_data(node, b) + off, in, n);
+      return;
+    }
+    write_slow(node, a, in, n);
+  }
 
   // Read-modify-write executed without yielding between the read and the
   // write once ReadWrite permission is held (the primitive shared locks are
@@ -118,7 +160,11 @@ class GlobalSpace {
 
  private:
   void grow_to(std::size_t new_size);
-  std::byte* frame(int node, PageId p);
+  std::byte* materialize_frame(int node, PageId p);
+  void read_slow(int node, Addr a, void* out, std::size_t n);
+  void write_slow(int node, Addr a, const void* in, std::size_t n);
+  // Vectors to the fault handler until the tag permits the access.
+  void resolve_fault(int node, BlockId b, bool is_write);
 
   const int nodes_;
   const MemConfig cfg_;
@@ -138,7 +184,7 @@ class GlobalSpace {
   };
   std::vector<Arena> arenas_;
 
-  FaultFn fault_;
+  FaultHandler* fault_ = nullptr;
 };
 
 }  // namespace presto::mem

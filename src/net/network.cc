@@ -8,12 +8,22 @@ Network::Network(sim::Engine& engine, int nodes, const NetConfig& cfg)
     : engine_(engine),
       nodes_(nodes),
       cfg_(cfg),
-      last_arrival_(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes), 0),
+      channels_(static_cast<std::size_t>(nodes)),
       per_node_msgs_(static_cast<std::size_t>(nodes), 0),
       per_node_bytes_(static_cast<std::size_t>(nodes), 0) {}
 
-sim::Time Network::send(int src, int dst, std::size_t bytes, sim::Time depart,
-                        std::function<void()> deliver) {
+Network::Channel& Network::channel(int src, int dst) {
+  return channels_[static_cast<std::size_t>(src)][dst];
+}
+
+std::size_t Network::channels_used() const {
+  std::size_t n = 0;
+  for (const auto& per_src : channels_) n += per_src.size();
+  return n;
+}
+
+sim::Time Network::route(int src, int dst, std::size_t bytes,
+                         sim::Time depart) {
   PRESTO_CHECK(src >= 0 && src < nodes_ && dst >= 0 && dst < nodes_,
                "bad endpoints " << src << "->" << dst);
   const sim::Time latency =
@@ -22,9 +32,7 @@ sim::Time Network::send(int src, int dst, std::size_t bytes, sim::Time depart,
                         static_cast<sim::Time>(bytes) * cfg_.per_byte);
   sim::Time arrival = depart + latency;
 
-  auto& fifo = last_arrival_[static_cast<std::size_t>(src) *
-                                 static_cast<std::size_t>(nodes_) +
-                             static_cast<std::size_t>(dst)];
+  auto& fifo = channel(src, dst).last_arrival;
   if (arrival <= fifo) arrival = fifo + 1;
   fifo = arrival;
 
@@ -32,8 +40,25 @@ sim::Time Network::send(int src, int dst, std::size_t bytes, sim::Time depart,
   bytes_ += bytes;
   ++per_node_msgs_[static_cast<std::size_t>(src)];
   per_node_bytes_[static_cast<std::size_t>(src)] += bytes;
+  return arrival;
+}
 
-  engine_.schedule_at(arrival, std::move(deliver));
+sim::Time Network::send_msg(int src, int dst, std::size_t wire_bytes,
+                            sim::Time depart, const void* header,
+                            std::size_t header_len, const void* payload,
+                            std::size_t payload_len) {
+  PRESTO_CHECK(sink_ != nullptr, "send_msg with no MsgSink registered");
+  const sim::Time arrival = route(src, dst, wire_bytes, depart);
+  Channel& ch = channel(src, dst);
+  ch.ring.push(header, header_len, payload, payload_len);
+  // The channel is FIFO (arrival times are clamped monotone), so the event
+  // pops the front record — an 16-byte capture, no per-message allocation.
+  engine_.schedule_at(arrival, [this, ch = &ch, dst] {
+    std::size_t len;
+    const std::byte* rec = ch->ring.front(&len);
+    ch->ring.pop();  // pop() never moves bytes; rec stays valid in on_msg
+    sink_->on_msg(dst, rec, len);
+  });
   return arrival;
 }
 

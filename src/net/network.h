@@ -6,12 +6,25 @@
 // home node assumes ordered channels, which we enforce by clamping arrival
 // times to be monotone per channel. Self-sends (protocol dispatch to the
 // local node) use a cheaper loopback latency.
+//
+// Two delivery paths share the routing/FIFO logic:
+//   * send_msg — the protocol fast path: the caller's header+payload bytes
+//     are copied into the (src, dst) channel's record ring and handed to the
+//     registered MsgSink at arrival time. No heap allocation in steady state
+//     and no closure per message.
+//   * send — closure delivery for control messages and tests; the callable
+//     goes straight into the engine's event queue.
+//
+// Channel state (FIFO clamp + ring) is allocated lazily per used channel, so
+// large node counts only pay for the channels that actually carry traffic.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "net/record_ring.h"
 #include "sim/engine.h"
 #include "sim/time.h"
 
@@ -25,14 +38,40 @@ struct NetConfig {
 
 class Network {
  public:
+  // Receiver of typed messages (the protocol layer). The record bytes are
+  // only valid for the duration of the on_msg call.
+  class MsgSink {
+   public:
+    virtual void on_msg(int dst, const std::byte* rec, std::size_t len) = 0;
+
+   protected:
+    ~MsgSink() = default;
+  };
+
   Network(sim::Engine& engine, int nodes, const NetConfig& cfg);
+
+  void set_msg_sink(MsgSink* sink) { sink_ = sink; }
+
+  // Typed fast path: copies header+payload into the channel ring; the sink
+  // receives the concatenated record at the arrival time. `wire_bytes` is
+  // the simulated message size (it can differ from the host record size).
+  // Returns the arrival time. Callable from engine and processor threads.
+  sim::Time send_msg(int src, int dst, std::size_t wire_bytes,
+                     sim::Time depart, const void* header,
+                     std::size_t header_len, const void* payload,
+                     std::size_t payload_len);
 
   // Schedules deliver() to run in engine context at the arrival time of a
   // message of `bytes` bytes departing src at `depart`. Returns the arrival
   // time. Callable from both engine and processor threads (depart must be
   // the caller's current virtual time or later).
+  template <typename F>
   sim::Time send(int src, int dst, std::size_t bytes, sim::Time depart,
-                 std::function<void()> deliver);
+                 F&& deliver) {
+    const sim::Time arrival = route(src, dst, bytes, depart);
+    engine_.schedule_at(arrival, std::forward<F>(deliver));
+    return arrival;
+  }
 
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
@@ -44,12 +83,26 @@ class Network {
   }
   const NetConfig& config() const { return cfg_; }
   int nodes() const { return nodes_; }
+  // Channels that have carried at least one message (test/telemetry hook).
+  std::size_t channels_used() const;
 
  private:
+  struct Channel {
+    sim::Time last_arrival = 0;
+    RecordRing ring;
+  };
+
+  // Computes the FIFO-clamped arrival time and records traffic stats.
+  sim::Time route(int src, int dst, std::size_t bytes, sim::Time depart);
+  Channel& channel(int src, int dst);
+
   sim::Engine& engine_;
   const int nodes_;
   const NetConfig cfg_;
-  std::vector<sim::Time> last_arrival_;  // [src * nodes + dst] FIFO clamp
+  MsgSink* sink_ = nullptr;
+  // channels_[src][dst] allocated on first use; unordered_map nodes give the
+  // delivery events stable Channel pointers.
+  std::vector<std::unordered_map<int, Channel>> channels_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::vector<std::uint64_t> per_node_msgs_;

@@ -1,0 +1,64 @@
+// Flat FIFO queue of variable-length byte records, built for closure-free
+// message transport: records are appended to a contiguous arena behind a
+// u32 length prefix and consumed from the head in order. When the queue
+// drains the arena rewinds to offset zero, so steady-state traffic reuses
+// the same capacity with no allocation; if a queue stays non-empty across a
+// long burst, push() compacts the live region instead of growing forever.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+
+namespace presto::net {
+
+class RecordRing {
+ public:
+  bool empty() const { return head_ == buf_.size(); }
+
+  // Appends one record assembled from two spans (header + payload; either
+  // may be empty). Returns nothing; the bytes are copied immediately.
+  void push(const void* a, std::size_t a_len, const void* b,
+            std::size_t b_len) {
+    if (empty()) {
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ > 4096 && head_ > buf_.size() - head_) {
+      // More dead space in front than live bytes behind: compact.
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    const std::uint32_t len = static_cast<std::uint32_t>(a_len + b_len);
+    const std::size_t at = buf_.size();
+    buf_.resize(at + sizeof(len) + len);
+    std::memcpy(buf_.data() + at, &len, sizeof(len));
+    if (a_len != 0) std::memcpy(buf_.data() + at + sizeof(len), a, a_len);
+    if (b_len != 0)
+      std::memcpy(buf_.data() + at + sizeof(len) + a_len, b, b_len);
+  }
+
+  // Front record view; valid until the next push() (pop() only advances the
+  // head, it never moves bytes).
+  const std::byte* front(std::size_t* len) const {
+    PRESTO_CHECK(!empty(), "front() on empty RecordRing");
+    std::uint32_t n;
+    std::memcpy(&n, buf_.data() + head_, sizeof(n));
+    *len = n;
+    return reinterpret_cast<const std::byte*>(buf_.data() + head_ +
+                                              sizeof(n));
+  }
+
+  void pop() {
+    std::size_t len;
+    (void)front(&len);
+    head_ += sizeof(std::uint32_t) + len;
+  }
+
+ private:
+  std::vector<unsigned char> buf_;
+  std::size_t head_ = 0;  // arena offset of the front record
+};
+
+}  // namespace presto::net

@@ -19,23 +19,35 @@ PredictiveProtocol::PredictiveProtocol(sim::Engine& engine, net::Network& net,
   presend_recall_.resize(static_cast<std::size_t>(space.nodes()));
 }
 
+void PredictiveProtocol::PhaseSched::ensure_sorted() {
+  if (sorted) return;
+  std::sort(recs.begin(), recs.end(),
+            [](const Rec& a, const Rec& b) { return a.block < b.block; });
+  for (std::uint32_t i = 0; i < recs.size(); ++i) index[recs[i].block] = i;
+  sorted = true;
+}
+
 std::size_t PredictiveProtocol::schedule_size(int home, int phase) const {
   const auto& phases = sched_[static_cast<std::size_t>(home)];
   const auto it = phases.find(phase);
-  return it == phases.end() ? 0 : it->second.size();
+  return it == phases.end() ? 0 : it->second.recs.size();
 }
 
 void PredictiveProtocol::record_request(int home, mem::BlockId b,
                                         int requester, bool is_write) {
   const int phase = cur_phase_[static_cast<std::size_t>(home)];
   if (phase < 0) return;
-  auto& entries = sched_[static_cast<std::size_t>(home)][phase];
-  auto [it, inserted] = entries.try_emplace(b);
-  Entry& e = it->second;
+  auto& ps = sched_[static_cast<std::size_t>(home)][phase];
+  auto [it, inserted] =
+      ps.index.try_emplace(b, static_cast<std::uint32_t>(ps.recs.size()));
   if (inserted) {
+    ps.sorted = ps.sorted && (ps.recs.empty() || b > ps.recs.back().block);
+    ps.recs.push_back(PhaseSched::Rec{b, Entry{}});
+    ++ps.gen;
     ++stats_.entries_recorded;
     ++rec_.node(home).schedule_entries;
   }
+  Entry& e = ps.recs[it->second].e;
   if (!e.first_set) {
     e.first_set = true;
     e.first_is_write = is_write;
@@ -70,7 +82,10 @@ void PredictiveProtocol::phase_begin(int node, int phase) {
 void PredictiveProtocol::do_presend(int node, int phase) {
   auto& phases = sched_[static_cast<std::size_t>(node)];
   const auto sit = phases.find(phase);
-  if (sit == phases.end() || sit->second.empty()) return;
+  if (sit == phases.end() || sit->second.recs.empty()) return;
+  // Value reference into the unordered_map: stable across rehashes (only
+  // erased by phase_flush, which cannot run during this node's presend).
+  PhaseSched& ps = sit->second;
   auto& p = proc(node);
   auto& out = outstanding_[static_cast<std::size_t>(node)];
   PRESTO_CHECK(out == 0, "nested presend on node " << node);
@@ -91,8 +106,25 @@ void PredictiveProtocol::do_presend(int node, int phase) {
   };
 
   // ---- Stage 1: recall dirty data held by remote owners --------------------
-  for (const auto& [b, e] : sit->second) {
+  // The charge() below can yield to the engine, and handlers at this home
+  // may record new blocks into this very schedule mid-walk. Re-sort and
+  // re-locate the cursor whenever that happens; entries landing behind the
+  // cursor are skipped, ahead of it are visited (std::map semantics).
+  ps.ensure_sorted();
+  std::uint64_t gen = ps.gen;
+  std::size_t idx = 0;
+  while (idx < ps.recs.size()) {
+    const mem::BlockId b = ps.recs[idx].block;
     p.charge(costs_.presend_per_block);
+    if (ps.gen != gen) {
+      ps.ensure_sorted();
+      gen = ps.gen;
+      idx = ps.index.at(b);
+    }
+    // Copy: the entry may have gained readers/writers during the yield, and
+    // recs may reallocate under later insertions.
+    const Entry e = ps.recs[idx].e;
+    ++idx;
     const auto [kind, writer] = resolve(e);
     if (kind == Kind::kConflict) {
       ++stats_.conflict_entries;
@@ -121,7 +153,10 @@ void PredictiveProtocol::do_presend(int node, int phase) {
   std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>> inv(
       static_cast<std::size_t>(space_.nodes()));
 
-  for (const auto& [b, e] : sit->second) {
+  // No yields inside this walk (sends happen after it), so the schedule
+  // cannot change mid-iteration; one up-front sort suffices.
+  ps.ensure_sorted();
+  for (const auto& [b, e] : ps.recs) {
     const auto [kind, writer] = resolve(e);
     if (kind == Kind::kConflict) continue;
     auto& d = dir(node, b);
@@ -212,10 +247,16 @@ void PredictiveProtocol::send_bulk_runs(
     m.count = count;
     m.tag = static_cast<std::uint8_t>(blocks[i].second);
     if (!invalidate) {
-      m.data.resize(count * bsz);
+      // Runs can straddle page frames, so gather into the node's scratch.
+      // The snapshot is taken before the charge() yield, as a send buffer
+      // filled by the handler would be; nothing else writes this node's
+      // scratch while its thread is parked in charge().
+      std::byte* buf = scratch(node, count * bsz);
       for (std::uint32_t k = 0; k < count; ++k)
-        std::memcpy(m.data.data() + k * bsz,
+        std::memcpy(buf + k * bsz,
                     space_.block_data(node, blocks[i].first + k), bsz);
+      m.data = buf;
+      m.data_len = count * static_cast<std::uint32_t>(bsz);
       stats_.presend_push_blocks += count;
       rec_.node(node).presend_blocks_sent += count;
     } else {
@@ -237,7 +278,7 @@ void PredictiveProtocol::handle(int self, const Msg& m) {
     if (it != recalls.end()) {
       recalls.erase(it);
       auto& d = dir(self, m.block);
-      std::memcpy(space_.block_data(self, m.block), m.data.data(),
+      std::memcpy(space_.block_data(self, m.block), m.data,
                   space_.block_size());
       if (d.req_write) {
         d.owner = -1;
@@ -265,7 +306,7 @@ void PredictiveProtocol::handle_extra(int self, const Msg& m) {
   switch (m.type) {
     case MsgType::BulkData: {
       for (std::uint32_t k = 0; k < m.count; ++k)
-        install_block(self, m.block + k, m.data.data() + k * bsz,
+        install_block(self, m.block + k, m.data + k * bsz,
                       static_cast<mem::Tag>(m.tag));
       rec_.node(self).presend_blocks_received += m.count;
       Msg r;

@@ -26,7 +26,6 @@
 //     stabilizes all block states before the phase's computation starts.
 #pragma once
 
-#include <map>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -88,6 +87,27 @@ class PredictiveProtocol : public StacheProtocol {
   };
   enum class Kind { kRead, kWrite, kConflict };
 
+  // One phase's communication schedule. Recording is an O(1) append plus a
+  // hash probe; the block ordering that run coalescing needs is established
+  // lazily, by sorting once at presend time, instead of paying a std::map
+  // node allocation and rebalance per recorded block. Presend iterates in
+  // block order while new requests may keep arriving (the recording home is
+  // also presending), so insertions bump `gen` and the iterator re-sorts and
+  // re-locates — reproducing std::map iteration-under-insertion semantics:
+  // blocks inserted behind the cursor are skipped, ahead of it are visited.
+  struct PhaseSched {
+    struct Rec {
+      mem::BlockId block;
+      Entry e;
+    };
+    std::vector<Rec> recs;
+    std::unordered_map<mem::BlockId, std::uint32_t> index;  // block -> recs idx
+    std::uint64_t gen = 0;  // bumped per insertion
+    bool sorted = true;     // recs ascending by block
+
+    void ensure_sorted();
+  };
+
   Kind derive(const Entry& e) const;
   static bool single_bit(std::uint64_t v) { return v && !(v & (v - 1)); }
   static int bit_index(std::uint64_t v) { return __builtin_ctzll(v); }
@@ -97,8 +117,8 @@ class PredictiveProtocol : public StacheProtocol {
                       const std::vector<std::pair<mem::BlockId, mem::Tag>>& blocks,
                       bool invalidate);
 
-  // sched_[home][phase] -> ordered block map (sorted for run coalescing).
-  std::vector<std::unordered_map<int, std::map<mem::BlockId, Entry>>> sched_;
+  // sched_[home][phase] -> flat schedule (sorted lazily for run coalescing).
+  std::vector<std::unordered_map<int, PhaseSched>> sched_;
   std::vector<int> cur_phase_;
   std::vector<int> outstanding_;  // presend acks/recalls awaited per node
   // Blocks with a presend-initiated recall in flight, per home node (their

@@ -37,40 +37,58 @@ Protocol::Protocol(sim::Engine& engine, net::Network& net,
       rec_(rec),
       costs_(costs),
       busy_until_(static_cast<std::size_t>(space.nodes()), 0),
-      waiting_(static_cast<std::size_t>(space.nodes()), -1) {}
+      waiting_(static_cast<std::size_t>(space.nodes()), -1),
+      dispatch_(static_cast<std::size_t>(space.nodes())),
+      scratch_(static_cast<std::size_t>(space.nodes())) {}
 
 void Protocol::install() {
-  space_.set_fault_handler([this](int node, mem::BlockId b, bool is_write) {
-    on_fault(node, b, is_write);
-  });
+  space_.set_fault_handler(this);
+  net_.set_msg_sink(this);
 }
 
-void Protocol::post(int src, int dst, Msg m, sim::Time depart) {
-  const std::size_t bytes = costs_.header_bytes + m.data.size();
+void Protocol::post(int src, int dst, const Msg& m, sim::Time depart) {
+  const std::size_t bytes = costs_.header_bytes + m.data_len;
   auto& c = rec_.node(src);
   ++c.msgs_sent;
   c.bytes_sent += bytes;
-  // Dispatch at arrival: serialize on the destination's protocol unit, then
-  // run the handler after its occupancy. Handler time overlapping the
-  // destination's application compute is charged as stolen cycles.
-  net_.send(src, dst, bytes, depart, [this, dst, m = std::move(m)]() mutable {
-    auto& busy = busy_until_[static_cast<std::size_t>(dst)];
-    const sim::Time start =
-        engine_.now() > busy ? engine_.now() : busy;
-    const sim::Time done = start + costs_.handler;
-    busy = done;
-    if (!proc(dst).parked_in_block()) proc(dst).add_stolen(costs_.handler);
-    engine_.schedule_at(done,
-                        [this, dst, m = std::move(m)] { handle(dst, m); });
-  });
+  // Header and payload are copied into the (src, dst) channel ring before
+  // this returns; m.data may point straight at GlobalSpace frame bytes.
+  net_.send_msg(src, dst, bytes, depart, &m, sizeof(Msg), m.data, m.data_len);
 }
 
-void Protocol::send_from_handler(int src, int dst, Msg m) {
-  post(src, dst, std::move(m), engine_.now());
+void Protocol::send_from_handler(int src, int dst, const Msg& m) {
+  post(src, dst, m, engine_.now());
 }
 
-void Protocol::send_from_app(int src, int dst, Msg m) {
-  post(src, dst, std::move(m), proc(src).now());
+void Protocol::send_from_app(int src, int dst, const Msg& m) {
+  post(src, dst, m, proc(src).now());
+}
+
+void Protocol::on_msg(int dst, const std::byte* rec, std::size_t len) {
+  // Serialize on the destination's protocol dispatch unit, then run the
+  // handler after its occupancy. Handler time overlapping the destination's
+  // application compute is charged as stolen cycles.
+  auto& busy = busy_until_[static_cast<std::size_t>(dst)];
+  const sim::Time start = engine_.now() > busy ? engine_.now() : busy;
+  const sim::Time done = start + costs_.handler;
+  busy = done;
+  if (!proc(dst).parked_in_block()) proc(dst).add_stolen(costs_.handler);
+  dispatch_[static_cast<std::size_t>(dst)].push(rec, len, nullptr, 0);
+  engine_.schedule_at(done, [this, dst] { dispatch_front(dst); });
+}
+
+void Protocol::dispatch_front(int node) {
+  auto& ring = dispatch_[static_cast<std::size_t>(node)];
+  std::size_t len;
+  const std::byte* rec = ring.front(&len);
+  PRESTO_CHECK(len >= sizeof(Msg), "truncated message record");
+  Msg m;
+  std::memcpy(&m, rec, sizeof(Msg));
+  m.data = m.data_len != 0 ? rec + sizeof(Msg) : nullptr;
+  // pop() only advances the ring head, so the record bytes stay valid for
+  // the handle() call; nothing pushes to this ring in engine context.
+  ring.pop();
+  handle(node, m);
 }
 
 void Protocol::install_block(int node, mem::BlockId b, const std::byte* data,

@@ -10,14 +10,24 @@
 // (one protocol dispatch unit per node, as with Blizzard's software
 // handlers); handler time overlapping application compute is charged to the
 // application clock as stolen cycles.
+//
+// Transport is allocation-free in steady state: a Msg is a trivially
+// copyable header plus a non-owning payload view. Sending copies header and
+// payload into the network's per-channel record ring (net::Network::send_msg);
+// arrival moves the record into the destination node's dispatch ring, where
+// it waits out handler occupancy before handle() runs. No std::function, no
+// per-message heap allocation, no payload vector.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "mem/global_space.h"
 #include "net/network.h"
+#include "net/record_ring.h"
 #include "sim/engine.h"
 #include "sim/processor.h"
 #include "stats/recorder.h"
@@ -52,13 +62,20 @@ const char* msg_type_name(MsgType t);
 
 struct Msg {
   MsgType type{};
-  int src = -1;
-  mem::BlockId block = 0;
-  std::uint32_t count = 1;  // run length for bulk messages
   std::uint8_t tag = 0;     // mem::Tag to install (bulk/presend)
+  int src = -1;
+  std::uint32_t count = 1;  // run length for bulk messages
+  std::uint32_t data_len = 0;
+  mem::BlockId block = 0;
   std::uint64_t token = 0;  // ack matching
-  std::vector<std::byte> data;
+  // Non-owning payload view. When sending it points at the caller's bytes
+  // (copied into the channel ring before the send returns, so a pointer
+  // straight into GlobalSpace frames is fine); inside handle() it points
+  // into the node's dispatch ring and is valid only for that call.
+  const std::byte* data = nullptr;
 };
+static_assert(std::is_trivially_copyable_v<Msg>,
+              "Msg rides the record rings by memcpy");
 
 struct ProtoCosts {
   sim::Time fault = sim::microseconds(10);    // fault vectoring on the
@@ -68,7 +85,7 @@ struct ProtoCosts {
   std::size_t header_bytes = 16;
 };
 
-class Protocol {
+class Protocol : public net::Network::MsgSink, public mem::FaultHandler {
  public:
   Protocol(sim::Engine& engine, net::Network& net, mem::GlobalSpace& space,
            stats::Recorder& rec, const ProtoCosts& costs);
@@ -77,14 +94,15 @@ class Protocol {
   Protocol(const Protocol&) = delete;
   Protocol& operator=(const Protocol&) = delete;
 
-  // Registers this protocol as the space's fault handler.
+  // Registers this protocol as the space's fault handler and the network's
+  // message sink.
   void install();
 
   virtual const char* name() const = 0;
 
-  // Runs on the faulting node's processor thread; returns once the access is
-  // permitted by the block tag.
-  virtual void on_fault(int node, mem::BlockId b, bool is_write) = 0;
+  // mem::FaultHandler — runs on the faulting node's processor thread;
+  // returns once the access is permitted by the block tag.
+  void on_fault(int node, mem::BlockId b, bool is_write) override = 0;
 
   // Compiler-placed directives (no-ops in the base protocols so identical
   // application code runs under every protocol).
@@ -103,14 +121,29 @@ class Protocol {
 
   const ProtoCosts& costs() const { return costs_; }
 
+  // net::Network::MsgSink — arrival: serialize on the destination's protocol
+  // dispatch unit, then run handle() after its occupancy.
+  void on_msg(int dst, const std::byte* rec, std::size_t len) final;
+
  protected:
   // Message dispatch in engine context; subclasses implement handle().
   virtual void handle(int self, const Msg& m) = 0;
 
-  // Sends m; dispatch at the destination respects handler occupancy.
-  // data_extra is the payload size beyond the header.
-  void send_from_handler(int src, int dst, Msg m);  // engine context
-  void send_from_app(int src, int dst, Msg m);      // node-thread context
+  // Sends m (header + payload view) through the typed network path;
+  // dispatch at the destination respects handler occupancy.
+  void send_from_handler(int src, int dst, const Msg& m);  // engine context
+  void send_from_app(int src, int dst, const Msg& m);      // node thread
+
+  // Per-node scratch for assembling multi-block payloads (reused, grows to
+  // the high-water mark). Per node because a charge() between fill and send
+  // yields to other nodes' threads; the one remaining hazard is an
+  // engine-context handler for the same node filling scratch while its app
+  // thread is parked between fill and send — don't do that.
+  std::byte* scratch(int node, std::size_t n) {
+    auto& s = scratch_[static_cast<std::size_t>(node)];
+    if (s.size() < n) s.resize(n);
+    return s.data();
+  }
 
   sim::Processor& proc(int node) { return engine_.processor(node); }
 
@@ -133,10 +166,15 @@ class Protocol {
   std::function<void(int)> barrier_;
 
  private:
-  void post(int src, int dst, Msg m, sim::Time depart);
+  void post(int src, int dst, const Msg& m, sim::Time depart);
+  void dispatch_front(int node);
 
   std::vector<sim::Time> busy_until_;     // protocol dispatch occupancy
   std::vector<std::int64_t> waiting_;     // block each node's app waits on
+  // Per-node queue of arrived records awaiting handler occupancy. Occupancy
+  // ends are monotone per node, so dispatch order is FIFO.
+  std::vector<net::RecordRing> dispatch_;
+  std::vector<std::vector<std::byte>> scratch_;
 };
 
 }  // namespace presto::proto

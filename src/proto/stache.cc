@@ -129,8 +129,8 @@ void StacheProtocol::handle(int self, const Msg& m) {
       r.type = MsgType::RecallAckData;
       r.src = self;
       r.block = m.block;
-      r.data.assign(space_.block_data(self, m.block),
-                    space_.block_data(self, m.block) + space_.block_size());
+      r.data = space_.block_data(self, m.block);
+      r.data_len = space_.block_size();
       send_from_handler(self, m.src, std::move(r));
       break;
     }
@@ -142,8 +142,8 @@ void StacheProtocol::handle(int self, const Msg& m) {
       r.type = MsgType::RecallAckData;
       r.src = self;
       r.block = m.block;
-      r.data.assign(space_.block_data(self, m.block),
-                    space_.block_data(self, m.block) + space_.block_size());
+      r.data = space_.block_data(self, m.block);
+      r.data_len = space_.block_size();
       space_.set_tag(self, m.block, mem::Tag::Invalid);
       send_from_handler(self, m.src, std::move(r));
       break;
@@ -171,7 +171,7 @@ void StacheProtocol::handle(int self, const Msg& m) {
       auto& d = dir(self, m.block);
       PRESTO_CHECK(d.busy, "stray RecallAckData at " << self);
       // Install the owner's data at the home.
-      std::memcpy(space_.block_data(self, m.block), m.data.data(),
+      std::memcpy(space_.block_data(self, m.block), m.data,
                   space_.block_size());
       if (d.req_write) {
         // RecallX path: owner invalidated; grant exclusive to requester.
@@ -192,10 +192,10 @@ void StacheProtocol::handle(int self, const Msg& m) {
     }
 
     case MsgType::DataS:
-      install_block(self, m.block, m.data.data(), mem::Tag::ReadOnly);
+      install_block(self, m.block, m.data, mem::Tag::ReadOnly);
       break;
     case MsgType::DataX:
-      install_block(self, m.block, m.data.data(), mem::Tag::ReadWrite);
+      install_block(self, m.block, m.data, mem::Tag::ReadWrite);
       break;
 
     default:
@@ -295,8 +295,8 @@ void StacheProtocol::grant(int home, mem::BlockId b, int requester,
   r.type = tag == mem::Tag::ReadWrite ? MsgType::DataX : MsgType::DataS;
   r.src = home;
   r.block = b;
-  r.data.assign(space_.block_data(home, b),
-                space_.block_data(home, b) + space_.block_size());
+  r.data = space_.block_data(home, b);
+  r.data_len = space_.block_size();
   send_from_handler(home, requester, std::move(r));
 }
 

@@ -62,9 +62,14 @@ void WriteUpdateProtocol::send_update_run(int src, int dst, mem::BlockId b0,
   m.block = b0;
   m.count = count;
   m.token = token;
-  m.data.resize(count * bsz);
+  // Runs can straddle page frames, so gather into the node's scratch. The
+  // callers (wu_publish and forward_run) send immediately with no yield
+  // between this fill and the ring copy in post().
+  std::byte* buf = scratch(src, count * bsz);
   for (std::uint32_t k = 0; k < count; ++k)
-    std::memcpy(m.data.data() + k * bsz, space_.block_data(src, b0 + k), bsz);
+    std::memcpy(buf + k * bsz, space_.block_data(src, b0 + k), bsz);
+  m.data = buf;
+  m.data_len = count * static_cast<std::uint32_t>(bsz);
   ++stats_.update_msgs;
   stats_.update_blocks += count;
   if (from_app)
@@ -187,14 +192,13 @@ void WriteUpdateProtocol::handle(int self, const Msg& m) {
       r.src = self;
       r.block = m.block;
       r.tag = m.tag;
-      r.data.assign(space_.block_data(self, m.block),
-                    space_.block_data(self, m.block) + bsz);
+      r.data = space_.block_data(self, m.block);
+      r.data_len = static_cast<std::uint32_t>(bsz);
       send_from_handler(self, m.src, std::move(r));
       break;
     }
     case MsgType::WuData:
-      install_block(self, m.block, m.data.data(),
-                    static_cast<mem::Tag>(m.tag));
+      install_block(self, m.block, m.data, static_cast<mem::Tag>(m.tag));
       break;
 
     case MsgType::UpdateData: {
@@ -202,7 +206,7 @@ void WriteUpdateProtocol::handle(int self, const Msg& m) {
       // (ReadOnly); at the home it stays ReadWrite.
       for (std::uint32_t k = 0; k < m.count; ++k) {
         std::memcpy(space_.block_data(self, m.block + k),
-                    m.data.data() + k * bsz, bsz);
+                    m.data + k * bsz, bsz);
         if (space_.tag(self, m.block + k) == mem::Tag::Invalid)
           space_.set_tag(self, m.block + k, mem::Tag::ReadOnly);
       }

@@ -8,18 +8,58 @@ namespace presto::sim {
 Engine::Engine() = default;
 Engine::~Engine() = default;
 
-void Engine::schedule_at(Time t, std::function<void()> fn) {
-  if (t < now_) t = now_;
-  queue_.push(Event{t, seq_++, std::move(fn)});
-}
-
-void Engine::schedule_in(Time delay, std::function<void()> fn) {
+void Engine::check_delay(Time delay) const {
   PRESTO_CHECK(delay >= 0, "negative delay " << delay);
-  schedule_at(now_ + delay, std::move(fn));
 }
 
-Time Engine::horizon() const {
-  return queue_.empty() ? kTimeNever : queue_.top().t;
+void Engine::push_event(Time t, InlineFn fn) {
+  std::uint32_t s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    s = static_cast<std::uint32_t>(slabs_.size()) << kSlabShift;
+    slabs_.push_back(std::make_unique<InlineFn[]>(kSlabSize));
+    for (std::uint32_t i = kSlabSize; i > 1; --i) free_.push_back(s + i - 1);
+  }
+  slot(s) = std::move(fn);
+
+  // 4-ary sift-up keyed on (t, seq).
+  HeapEntry e{t, seq_++, s};
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+std::uint32_t Engine::pop_min() {
+  const std::uint32_t s = heap_[0].slot;
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // 4-ary sift-down of the former last element from the root.
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = (i << 2) + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end =
+          first_child + 4 < n ? first_child + 4 : n;
+      for (std::size_t c = first_child + 1; c < end; ++c)
+        if (before(heap_[c], heap_[best])) best = c;
+      if (!before(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return s;
 }
 
 Processor& Engine::add_processor() {
@@ -28,15 +68,70 @@ Processor& Engine::add_processor() {
   return *processors_.back();
 }
 
+Processor* Engine::step_one() {
+  const Time t = heap_[0].t;
+  const std::uint32_t s = pop_min();
+  PRESTO_CHECK(t >= now_, "event time went backwards");
+  now_ = t;
+  ++events_executed_;
+  // Move the closure out and recycle the slot before invoking: the event
+  // body may schedule new events (and reuse this very slot).
+  InlineFn fn = std::move(slot(s));
+  free_.push_back(s);
+  fn();
+  Processor* to = transfer_to_;
+  transfer_to_ = nullptr;
+  return to;
+}
+
+bool Engine::drive(Processor* self) {
+  for (;;) {
+    if (heap_.empty()) {
+      if (self == nullptr) return true;
+      // An application thread drained the queue while parked in block():
+      // either another processor still runs app code elsewhere (it will
+      // never hand back — deadlock) or everything finished. Let run()'s
+      // caller make the call; this thread stays parked (teardown kills it).
+      signal_done();
+      self->park();
+      continue;
+    }
+    Processor* to = step_one();
+    if (to == nullptr) continue;
+    if (to == self) return false;  // own resume: continue app code in place
+    to->grant_control();
+    if (self == nullptr) return false;  // run() goes to wait for the drain
+    self->park();                       // until our own resume grants back
+    return false;
+  }
+}
+
+void Engine::drive_exit() {
+  for (;;) {
+    if (heap_.empty()) {
+      signal_done();
+      return;
+    }
+    Processor* to = step_one();
+    if (to == nullptr) continue;
+    to->grant_control();
+    return;
+  }
+}
+
+void Engine::signal_done() {
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done_ = true;
+  }
+  done_cv_.notify_all();
+}
+
 void Engine::run() {
-  while (!queue_.empty()) {
-    // priority_queue::top returns a const ref; move the closure out via pop.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    PRESTO_CHECK(ev.t >= now_, "event time went backwards");
-    now_ = ev.t;
-    ++events_executed_;
-    ev.fn();
+  done_ = false;  // no application thread is running between runs
+  if (!drive(nullptr)) {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [&] { return done_; });
   }
   for (const auto& p : processors_) {
     PRESTO_CHECK(!p->started() || p->finished() || !p->parked_in_block(),

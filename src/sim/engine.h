@@ -1,18 +1,28 @@
 // Deterministic discrete-event engine.
 //
-// Events execute in strict (time, insertion sequence) order on the engine
-// thread. Simulated processors (sim/processor.h) run application code on
-// their own OS threads, but exactly one thread — the engine or one processor
-// — runs at any moment, so execution is sequentially deterministic and needs
-// no other synchronization.
+// Events execute in strict (time, insertion sequence) order. Simulated
+// processors (sim/processor.h) run application code on their own OS
+// threads, but exactly one thread runs at any moment, so execution is
+// sequentially deterministic and needs no other synchronization. The event
+// loop itself has no dedicated thread: run() drives it on the caller until
+// an event resumes a processor, after which whichever application thread
+// yields drives it inline (see processor.h for the run-token protocol);
+// run() then waits until the queue drains.
+//
+// The queue is built for host throughput: closures live in a slab of
+// fixed-size slots recycled through a freelist (no per-event heap
+// allocation; see sim/inline_fn.h), and ordering is a 4-ary implicit heap
+// whose entries carry the (time, seq) key inline so sift operations never
+// dereference the slab.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <mutex>
 #include <vector>
 
+#include "sim/inline_fn.h"
 #include "sim/time.h"
 
 namespace presto::sim {
@@ -29,8 +39,16 @@ class Engine {
 
   // Schedules fn to run in engine context at absolute time t (clamped to the
   // current time if in the past). Events at equal times run in schedule order.
-  void schedule_at(Time t, std::function<void()> fn);
-  void schedule_in(Time delay, std::function<void()> fn);
+  template <typename F>
+  void schedule_at(Time t, F&& fn) {
+    if (t < now_) t = now_;
+    push_event(t, InlineFn(std::forward<F>(fn)));
+  }
+  template <typename F>
+  void schedule_in(Time delay, F&& fn) {
+    check_delay(delay);
+    push_event(now_ + delay, InlineFn(std::forward<F>(fn)));
+  }
 
   // Time of the event currently executing (or the last one executed).
   Time now() const { return now_; }
@@ -38,7 +56,7 @@ class Engine {
   // Earliest pending event time, or kTimeNever when the queue is empty.
   // Running processors yield when their local clock passes this horizon so
   // that cross-processor effects interleave at event granularity.
-  Time horizon() const;
+  Time horizon() const { return heap_.empty() ? kTimeNever : heap_[0].t; }
 
   // Creates a processor; valid until the engine is destroyed.
   Processor& add_processor();
@@ -62,21 +80,58 @@ class Engine {
  private:
   friend class Processor;
 
-  struct Event {
+  // Heap entries carry the ordering key so sifts are slab-free; the closure
+  // itself sits in a slab slot recycled through free_.
+  struct HeapEntry {
     Time t;
     std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
+    std::uint32_t slot;
   };
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  static constexpr std::uint32_t kSlabShift = 8;  // 256 slots per slab chunk
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabShift;
+
+  InlineFn& slot(std::uint32_t i) {
+    return slabs_[i >> kSlabShift][i & (kSlabSize - 1)];
+  }
+
+  void check_delay(Time delay) const;
+  void push_event(Time t, InlineFn fn);
+  std::uint32_t pop_min();  // removes the root, returns its slot index
+
+  // Executes the next event; returns the processor it resumed, or nullptr.
+  Processor* step_one();
+  // Event loop, called by the thread holding the run token. With self set
+  // (an application thread that yielded or blocked), returns once control is
+  // back with self's app code — either its own resume event popped, or the
+  // token went to another thread and came back via park(). With self null
+  // (run()'s caller), returns after draining the queue or handing the token
+  // to an application thread; returns true iff this call drained the queue.
+  bool drive(Processor* self);
+  // Drives on a thread whose processor body just finished: hands the token
+  // onward or, if the queue drained, signals run() — then returns so the
+  // thread can exit.
+  void drive_exit();
+  void signal_done();
+
+  std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<InlineFn[]>> slabs_;
+  std::vector<std::uint32_t> free_;
+
   std::vector<std::unique_ptr<Processor>> processors_;
+  Processor* transfer_to_ = nullptr;  // set by a resume event mid-drive
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_executed_ = 0;
   Time quantum_floor_ = 0;
+
+  // run() parks here while application threads drive the event loop.
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  bool done_ = false;
 };
 
 }  // namespace presto::sim

@@ -9,16 +9,17 @@ Processor::Processor(Engine& engine, int id) : engine_(engine), id_(id) {}
 
 Processor::~Processor() {
   if (thread_.joinable()) {
+    bool need_kill;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (!finished_) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      need_kill = !finished_;
+      if (need_kill) {
         // Parked mid-run (engine torn down early): unwind via Killed.
         kill_ = true;
-        go_app_ = true;
-        cv_.notify_all();
-        cv_.wait(lock, [&] { return !go_app_; });
+        go_token_ = true;
       }
     }
+    if (need_kill) cv_.notify_all();
     thread_.join();
   }
 }
@@ -28,45 +29,42 @@ void Processor::start(std::function<void()> body, Time start_time) {
   started_ = true;
   clock_ = start_time;
   thread_ = std::thread(&Processor::thread_main, this, std::move(body));
-  engine_.schedule_at(start_time, [this] { resume_from_engine(); });
+  engine_.schedule_at(start_time, [this] { mark_resume(); });
 }
 
 void Processor::thread_main(std::function<void()> body) {
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return go_app_; });
-    if (kill_) {
-      finished_ = true;
-      go_app_ = false;
-      cv_.notify_all();
-      return;
-    }
-  }
+  bool killed = false;
   try {
+    park();  // initial grant, delivered by the start-time resume event
     body();
   } catch (const Killed&) {
     // Torn down mid-run (engine destroyed before completion); unwind quietly.
+    killed = true;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
   finished_ = true;
-  go_app_ = false;
-  cv_.notify_all();
+  // The body ran to completion while this thread held the run token: keep
+  // driving the event loop until control passes elsewhere, then exit.
+  if (!killed) engine_.drive_exit();
 }
 
-void Processor::resume_from_engine() {
+void Processor::mark_resume() {
   if (finished_) return;
   resume_time_ = engine_.now();
-  std::unique_lock<std::mutex> lock(mutex_);
-  go_app_ = true;
-  cv_.notify_all();
-  cv_.wait(lock, [&] { return !go_app_; });
+  engine_.transfer_to_ = this;
 }
 
-void Processor::yield_to_engine() {
+void Processor::grant_control() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    go_token_ = true;
+  }
+  cv_.notify_one();
+}
+
+void Processor::park() {
   std::unique_lock<std::mutex> lock(mutex_);
-  go_app_ = false;
-  cv_.notify_all();
-  cv_.wait(lock, [&] { return go_app_; });
+  cv_.wait(lock, [&] { return go_token_; });
+  go_token_ = false;
   if (kill_) throw Killed{};
 }
 
@@ -74,7 +72,7 @@ void Processor::wake(Time t) {
   if (t < engine_.now()) t = engine_.now();
   if (blocked_) {
     blocked_ = false;
-    engine_.schedule_at(t, [this] { resume_from_engine(); });
+    engine_.schedule_at(t, [this] { mark_resume(); });
   } else {
     // Not parked yet (running or in a horizon yield): latch for the next
     // block() call so the wake cannot be lost.
@@ -104,15 +102,15 @@ void Processor::maybe_yield_at_horizon() {
   if (clock_ < last_yield_clock_ + engine_.quantum_floor()) return;
   last_yield_clock_ = clock_;
   ++yields_;
-  engine_.schedule_at(clock_, [this] { resume_from_engine(); });
-  yield_to_engine();
+  engine_.schedule_at(clock_, [this] { mark_resume(); });
+  engine_.drive(this);
 }
 
 void Processor::yield() {
   ++yields_;
   last_yield_clock_ = clock_;
-  engine_.schedule_at(clock_, [this] { resume_from_engine(); });
-  yield_to_engine();
+  engine_.schedule_at(clock_, [this] { mark_resume(); });
+  engine_.drive(this);
   if (resume_time_ > clock_) clock_ = resume_time_;
 }
 
@@ -125,7 +123,7 @@ void Processor::block() {
     return;
   }
   blocked_ = true;
-  yield_to_engine();
+  engine_.drive(this);
   // Woken by wake(): the resume event carries the wake time.
   if (resume_time_ > clock_) clock_ = resume_time_;
   absorb_stolen();

@@ -1,16 +1,21 @@
 // A simulated processor running application code on a dedicated OS thread.
 //
-// Exactly one thread — the engine or one processor — executes at a time; the
-// baton is handed over with a per-processor mutex/condvar pair. Application
-// code advances its local virtual clock with charge() and parks with block()
-// until an engine-context event calls wake(). A processor whose clock passes
-// the engine's event horizon yields so pending events (message deliveries,
-// other processors) interleave deterministically.
+// Exactly one thread executes at a time, so execution is sequentially
+// deterministic. There is no dedicated engine thread handing out time
+// slices: whichever application thread yields (at the event horizon or in
+// block()) drives the engine's event loop inline until its own resume event
+// pops, and only parks — handing the run token to the target thread — when
+// an event resumes a *different* processor. The common case, a processor
+// yielding and resuming with no other processor scheduled in between, costs
+// zero context switches; a cross-processor switch costs one wake + one park
+// instead of the two round trips a central engine thread would need.
 //
-// Protocol handlers execute in engine context; the cycles they consume on a
-// node whose application thread is computing are accumulated via
-// add_stolen() and folded into the application clock at the next charge()
-// (a documented approximation, see DESIGN.md §2).
+// Application code advances its local virtual clock with charge() and parks
+// with block() until an engine-context event calls wake(). Protocol handlers
+// execute in engine context (inside whichever thread is driving); the cycles
+// they consume on a node whose application thread is computing are
+// accumulated via add_stolen() and folded into the application clock at the
+// next charge() (a documented approximation, see DESIGN.md §2).
 #pragma once
 
 #include <condition_variable>
@@ -58,7 +63,7 @@ class Processor {
   Time now() const { return clock_; }
 
   // Advances the local clock by d plus any pending stolen handler time, then
-  // yields to the engine if the clock passed the event horizon.
+  // drives pending events if the clock passed the event horizon.
   void charge(Time d);
 
   // Parks until wake(); on return the clock has advanced to the wake time
@@ -78,8 +83,13 @@ class Processor {
   struct Killed {};
 
   void thread_main(std::function<void()> body);
-  void resume_from_engine();  // engine context: run the thread until it yields
-  void yield_to_engine();     // app context: hand the baton back
+  // Engine-context resume event: flags the engine to transfer control here.
+  void mark_resume();
+  // Hands the run token to this processor's thread (called by the driver).
+  void grant_control();
+  // Waits on this processor's own thread for the run token; throws Killed on
+  // teardown.
+  void park();
   void absorb_stolen();
   void maybe_yield_at_horizon();
 
@@ -89,7 +99,7 @@ class Processor {
   std::thread thread_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool go_app_ = false;   // baton: true → application thread may run
+  bool go_token_ = false;  // run token: this thread may execute app code
   bool kill_ = false;
 
   Time clock_ = 0;

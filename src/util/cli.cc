@@ -3,12 +3,16 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "util/check.h"
+
 namespace presto::util {
 
 Cli::Cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
+    PRESTO_CHECK(arg.rfind("--", 0) == 0,
+                 "unexpected positional argument '" << arg
+                                                    << "' (flags are --name[=value])");
     arg.remove_prefix(2);
     const auto eq = arg.find('=');
     if (eq != std::string_view::npos) {
@@ -21,27 +25,56 @@ Cli::Cli(int argc, char** argv) {
   }
 }
 
-bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+bool Cli::has(const std::string& name) const {
+  queried_.insert(name);
+  return flags_.count(name) > 0;
+}
 
 std::string Cli::get(const std::string& name, const std::string& def) const {
+  queried_.insert(name);
   const auto it = flags_.find(name);
   return it == flags_.end() ? def : it->second;
 }
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  queried_.insert(name);
   const auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == flags_.end()) return def;
+  const std::string& v = it->second;
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(v.c_str(), &end, 10);
+  PRESTO_CHECK(!v.empty() && end == v.c_str() + v.size(),
+               "flag --" << name << " expects an integer, got '" << v << "'");
+  return parsed;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
+  queried_.insert(name);
   const auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags_.end()) return def;
+  const std::string& v = it->second;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  PRESTO_CHECK(!v.empty() && end == v.c_str() + v.size(),
+               "flag --" << name << " expects a number, got '" << v << "'");
+  return parsed;
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {
+  queried_.insert(name);
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   return it->second != "0" && it->second != "false";
+}
+
+void Cli::reject_unknown() const {
+  std::string unknown;
+  for (const auto& [name, value] : flags_) {
+    if (queried_.count(name)) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += "--" + name;
+  }
+  PRESTO_CHECK(unknown.empty(), "unknown flag(s): " << unknown);
 }
 
 }  // namespace presto::util

@@ -1,10 +1,15 @@
 // Minimal command-line flag parsing for benches and examples.
 //
 // Supports --name=value and --name value forms plus boolean --flag.
+// Parsing is strict where it is cheap to be: malformed numeric values abort
+// with a clear message instead of silently reading as 0, and programs call
+// reject_unknown() after their last get*() so a mistyped flag aborts instead
+// of being ignored.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 
 namespace presto::util {
@@ -15,12 +20,19 @@ class Cli {
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& def) const;
+  // Aborts if the value is not a (fully consumed) base-10 integer / number.
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def = false) const;
 
+  // Aborts, listing the offenders, if any provided --flag was never looked
+  // up through the accessors above. Call once after the last get*().
+  void reject_unknown() const;
+
  private:
   std::map<std::string, std::string> flags_;
+  // Flags the program asked about — the de-facto set of valid names.
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace presto::util

@@ -1,0 +1,107 @@
+// Golden simulated-time statistics, pinned from the seed implementation.
+//
+// These values freeze the *simulated* behavior of a small Stache run and a
+// small Predictive run: message counts, bytes on the wire, fault counts,
+// remote wait, presend time, execution time, and a hash of final memory
+// contents + access tags. Host-performance rewrites (event queue, message
+// transport, access fast path, schedule layout) must keep every number
+// bit-identical; any drift here means simulated results changed.
+#include <gtest/gtest.h>
+
+#include "golden_workload.h"
+
+using namespace presto;
+
+namespace {
+
+struct Golden {
+  std::uint64_t msgs, bytes, events;
+  sim::Time exec;
+  std::uint64_t shared_reads, shared_writes, read_faults, write_faults,
+      local_faults, msgs_sent, bytes_sent;
+  sim::Time remote_wait, presend, barrier_wait;
+  std::uint64_t presend_blocks_sent, presend_msgs, schedule_entries;
+  std::uint64_t mem_hash;
+};
+
+void check_against(const testutil::WorkloadResult& r, const Golden& g) {
+  std::uint64_t shared_reads = 0, shared_writes = 0, read_faults = 0,
+                write_faults = 0, local_faults = 0, msgs_sent = 0,
+                bytes_sent = 0, presend_blocks = 0, presend_msgs = 0,
+                schedule_entries = 0;
+  sim::Time remote_wait = 0, presend = 0, barrier_wait = 0;
+  for (const auto& c : r.counters) {
+    shared_reads += c.shared_reads;
+    shared_writes += c.shared_writes;
+    read_faults += c.read_faults;
+    write_faults += c.write_faults;
+    local_faults += c.local_faults;
+    msgs_sent += c.msgs_sent;
+    bytes_sent += c.bytes_sent;
+    presend_blocks += c.presend_blocks_sent;
+    presend_msgs += c.presend_msgs;
+    schedule_entries += c.schedule_entries;
+    remote_wait += c.remote_wait;
+    presend += c.presend;
+    barrier_wait += c.barrier_wait;
+  }
+  EXPECT_EQ(r.msgs, g.msgs);
+  EXPECT_EQ(r.bytes, g.bytes);
+  EXPECT_EQ(r.events, g.events);
+  EXPECT_EQ(r.exec, g.exec);
+  EXPECT_EQ(shared_reads, g.shared_reads);
+  EXPECT_EQ(shared_writes, g.shared_writes);
+  EXPECT_EQ(read_faults, g.read_faults);
+  EXPECT_EQ(write_faults, g.write_faults);
+  EXPECT_EQ(local_faults, g.local_faults);
+  EXPECT_EQ(msgs_sent, g.msgs_sent);
+  EXPECT_EQ(bytes_sent, g.bytes_sent);
+  EXPECT_EQ(remote_wait, g.remote_wait);
+  EXPECT_EQ(presend, g.presend);
+  EXPECT_EQ(barrier_wait, g.barrier_wait);
+  EXPECT_EQ(presend_blocks, g.presend_blocks_sent);
+  EXPECT_EQ(presend_msgs, g.presend_msgs);
+  EXPECT_EQ(schedule_entries, g.schedule_entries);
+  EXPECT_EQ(r.mem_hash, g.mem_hash);
+
+  // On mismatch, print the full actual row so the golden can be inspected.
+  if (::testing::Test::HasFailure()) {
+    std::printf(
+        "ACTUAL: {%lluull, %lluull, %lluull, %lld, %lluull, %lluull, "
+        "%lluull, %lluull, %lluull, %lluull, %lluull, %lld, %lld, %lld, "
+        "%lluull, %lluull, %lluull, %lluull},\n",
+        (unsigned long long)r.msgs, (unsigned long long)r.bytes,
+        (unsigned long long)r.events, (long long)r.exec,
+        (unsigned long long)shared_reads, (unsigned long long)shared_writes,
+        (unsigned long long)read_faults, (unsigned long long)write_faults,
+        (unsigned long long)local_faults, (unsigned long long)msgs_sent,
+        (unsigned long long)bytes_sent, (long long)remote_wait,
+        (long long)presend, (long long)barrier_wait,
+        (unsigned long long)presend_blocks, (unsigned long long)presend_msgs,
+        (unsigned long long)schedule_entries,
+        (unsigned long long)r.mem_hash);
+  }
+}
+
+// Values captured from the seed implementation (std::function event queue,
+// closure-based message delivery, std::map schedules) before the host-perf
+// rewrite; both runs end with the same memory/tag hash by construction.
+TEST(GoldenStats, StacheSmallRun) {
+  const Golden g = {6903ull,   196368ull, 16749ull, 249736440, 2496ull,
+                    1488ull,   963ull,    1314ull,  471ull,    6903ull,
+                    196368ull, 331391500, 0,        667300220, 0ull,
+                    0ull,      0ull,      14559042160599073619ull};
+  check_against(testutil::run_micro_workload(runtime::ProtocolKind::kStache),
+                g);
+}
+
+TEST(GoldenStats, PredictiveSmallRun) {
+  const Golden g = {7022ull,   201984ull, 18534ull, 244331520, 2496ull,
+                    1488ull,   564ull,    1332ull,  372ull,    7022ull,
+                    201984ull, 281955600, 31760800, 669356240, 340ull,
+                    396ull,    330ull,    14559042160599073619ull};
+  check_against(
+      testutil::run_micro_workload(runtime::ProtocolKind::kPredictive), g);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Shared micro workload for the golden-stats and determinism tests.
+//
+// A small, fully deterministic producer/consumer mix over pages homed
+// round-robin across the nodes: each round a rotating writer updates a
+// strided subset of every page, all nodes read another strided subset, and
+// phase directives bracket both so the predictive protocol records and
+// presends a schedule. The workload exercises GetS/GetX, Inv/InvAck,
+// RecallS/RecallX, Data installs, and (under predictive) bulk presend
+// traffic — every steady-state path the perf work rewrites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/system.h"
+
+namespace presto::testutil {
+
+struct WorkloadResult {
+  std::vector<stats::NodeCounters> counters;  // per node
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t events = 0;
+  sim::Time exec = 0;
+  std::uint64_t mem_hash = 0;  // FNV-1a over every node's view + tags
+};
+
+inline std::uint64_t fnv1a(std::uint64_t h, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline WorkloadResult run_micro_workload(runtime::ProtocolKind kind,
+                                         sim::Time quantum_floor = 0,
+                                         int nodes = 4, int rounds = 6) {
+  runtime::MachineConfig cfg = runtime::MachineConfig::cm5_blizzard(nodes, 32);
+  cfg.quantum_floor = quantum_floor;
+  runtime::System sys(cfg, kind);
+  auto& space = sys.space();
+
+  // One page per node, homed round-robin.
+  const mem::Addr base = space.alloc(
+      static_cast<std::size_t>(nodes) * cfg.mem.page_size,
+      [nodes](mem::PageId p) { return static_cast<int>(p) % nodes; });
+  const std::uint32_t bsz = cfg.mem.block_size;
+  const int blocks_per_page =
+      static_cast<int>(cfg.mem.page_size / bsz);
+
+  sys.run([&](runtime::NodeCtx& c) {
+    for (int r = 0; r < rounds; ++r) {
+      const int writer = r % c.nodes();
+      c.phase(0);
+      if (c.id() == writer) {
+        for (int pg = 0; pg < c.nodes(); ++pg)
+          for (int b = 0; b < blocks_per_page; b += 3)
+            c.write<int>(base + static_cast<mem::Addr>(pg) * 4096 +
+                             static_cast<mem::Addr>(b) * bsz,
+                         r * 1000 + pg * 100 + b);
+      }
+      c.barrier();
+      c.phase(1);
+      for (int pg = 0; pg < c.nodes(); ++pg)
+        for (int b = 0; b < blocks_per_page; b += 5) {
+          volatile int v = c.read<int>(base + static_cast<mem::Addr>(pg) * 4096 +
+                                       static_cast<mem::Addr>(b) * bsz);
+          (void)v;
+        }
+      c.barrier();
+      // A second writer creates upgrade (sole-reader GetX) and recall
+      // traffic on a distinct stride.
+      const int writer2 = (r + 1) % c.nodes();
+      if (c.id() == writer2) {
+        for (int pg = 0; pg < c.nodes(); ++pg)
+          for (int b = 1; b < blocks_per_page; b += 7)
+            c.write<int>(base + static_cast<mem::Addr>(pg) * 4096 +
+                             static_cast<mem::Addr>(b) * bsz,
+                         -(r * 1000 + pg * 100 + b));
+      }
+      c.barrier();
+    }
+  });
+
+  WorkloadResult res;
+  for (int n = 0; n < nodes; ++n) res.counters.push_back(sys.recorder().node(n));
+  res.msgs = sys.network().messages_sent();
+  res.bytes = sys.network().bytes_sent();
+  res.events = sys.engine().events_executed();
+  res.exec = sys.exec_time();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int n = 0; n < nodes; ++n) {
+    for (std::uint64_t b = 0; b < space.num_blocks(); ++b) {
+      h = fnv1a(h, space.block_data(n, b), bsz);
+      const auto t = static_cast<std::uint8_t>(space.tag(n, b));
+      h = fnv1a(h, &t, 1);
+    }
+  }
+  res.mem_hash = h;
+  return res;
+}
+
+}  // namespace presto::testutil

@@ -45,10 +45,28 @@ TEST(GlobalSpace, BlockAndPageArithmetic) {
   EXPECT_EQ(s.block_base(3), 96u);
 }
 
+struct FailOnFault : FaultHandler {
+  void on_fault(int, BlockId, bool) override { FAIL() << "unexpected fault"; }
+};
+
+// Simulates the protocol satisfying the request: copy home data, set tag.
+struct CopyFromHome : FaultHandler {
+  explicit CopyFromHome(GlobalSpace& s) : space(s) {}
+  void on_fault(int node, BlockId b, bool is_write) override {
+    ++faults;
+    std::memcpy(space.block_data(node, b), space.block_data(0, b),
+                space.block_size());
+    space.set_tag(node, b, is_write ? Tag::ReadWrite : Tag::ReadOnly);
+  }
+  GlobalSpace& space;
+  int faults = 0;
+};
+
 TEST(GlobalSpace, HomeReadsAndWritesNeedNoFault) {
   GlobalSpace s(2, small_cfg());
   const Addr a = s.alloc(128, [](PageId) { return 0; });
-  s.set_fault_handler([](int, BlockId, bool) { FAIL() << "unexpected fault"; });
+  FailOnFault h;
+  s.set_fault_handler(&h);
   s.write_value<int>(0, a + 4, 42);
   EXPECT_EQ(s.read_value<int>(0, a + 4), 42);
 }
@@ -56,13 +74,9 @@ TEST(GlobalSpace, HomeReadsAndWritesNeedNoFault) {
 TEST(GlobalSpace, FaultHandlerInvokedUntilTagOk) {
   GlobalSpace s(2, small_cfg());
   const Addr a = s.alloc(128, [](PageId) { return 0; });
-  int faults = 0;
-  s.set_fault_handler([&](int node, BlockId b, bool is_write) {
-    ++faults;
-    // Simulate the protocol satisfying the request: copy home data, set tag.
-    std::memcpy(s.block_data(node, b), s.block_data(0, b), s.block_size());
-    s.set_tag(node, b, is_write ? Tag::ReadWrite : Tag::ReadOnly);
-  });
+  CopyFromHome h(s);
+  s.set_fault_handler(&h);
+  int& faults = h.faults;
   s.write_value<double>(0, a, 3.5);
   EXPECT_EQ(s.read_value<double>(1, a), 3.5);
   EXPECT_EQ(faults, 1);

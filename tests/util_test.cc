@@ -141,6 +141,34 @@ TEST(Cli, ParsesForms) {
   EXPECT_EQ(cli.get("delta", ""), "x");
   EXPECT_EQ(cli.get_int("missing", -2), -2);
   EXPECT_FALSE(cli.has("missing"));
+  cli.reject_unknown();  // every flag above was queried
+}
+
+TEST(Cli, RejectsMalformedInt) {
+  const char* argv[] = {"prog", "--n=12x"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_DEATH(cli.get_int("n", 0), "expects an integer");
+}
+
+TEST(Cli, RejectsMalformedDouble) {
+  const char* argv[] = {"prog", "--rate=fast"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_DEATH(cli.get_double("rate", 0.0), "expects a number");
+}
+
+TEST(Cli, AcceptsNegativeAndFloatForms) {
+  const char* argv[] = {"prog", "--n=-42", "--rate=1.5e3"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), -42);
+  EXPECT_EQ(cli.get_double("rate", 0.0), 1500.0);
+  cli.reject_unknown();
+}
+
+TEST(Cli, RejectsUnknownFlags) {
+  const char* argv[] = {"prog", "--iters=3", "--itres=4"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("iters", 0), 3);
+  EXPECT_DEATH(cli.reject_unknown(), "unknown flag\\(s\\): --itres");
 }
 
 }  // namespace
