@@ -1,0 +1,47 @@
+#include "check/bughook.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/check.h"
+
+namespace presto::check {
+
+BugHooks& bug_hooks() {
+  static BugHooks hooks;
+  return hooks;
+}
+
+void set_bug_hook(const char* name, bool on) {
+  BugHooks& h = bug_hooks();
+  if (std::strcmp(name, "skip-invalidate") == 0) {
+    h.skip_invalidate = on;
+  } else if (std::strcmp(name, "drop-presend-data") == 0) {
+    h.drop_presend_data = on;
+  } else {
+    PRESTO_FAIL("unknown bug hook '" << name << "'");
+  }
+}
+
+namespace {
+// Seed the hooks from PRESTO_TEST_BUG before main() so subprocess-based
+// tests can inject a bug by exporting the variable, with no API call.
+bool seed_from_env() {
+  const char* v = std::getenv("PRESTO_TEST_BUG");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  std::size_t at = 0;
+  while (at < s.size()) {
+    std::size_t comma = s.find(',', at);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string name = s.substr(at, comma - at);
+    if (!name.empty()) set_bug_hook(name.c_str(), true);
+    at = comma + 1;
+  }
+  return true;
+}
+const bool env_seeded = seed_from_env();
+}  // namespace
+
+}  // namespace presto::check

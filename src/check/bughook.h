@@ -1,0 +1,34 @@
+// Hidden fault-injection hooks for validating the checking subsystem.
+//
+// The invariant oracle and the differential fuzzer are only trustworthy if
+// they demonstrably catch real protocol bugs. These hooks let a test (or
+// `presto_fuzz --inject-bug=...`) plant a classic coherence bug in an
+// otherwise-correct protocol — e.g. an invalidation that is acknowledged but
+// never applied — and assert that the oracle fires and the failure replays
+// bit-identically. Production code never sets them; the consulting branches
+// sit on cold handler paths. The PRESTO_TEST_BUG environment variable seeds
+// the flags on first use so subprocess-based tests can inject without an API.
+#pragma once
+
+namespace presto::check {
+
+struct BugHooks {
+  // Stache's Inv handler acknowledges the invalidation but leaves the stale
+  // ReadOnly copy in place — the textbook "lost invalidation" bug. Breaks
+  // single-writer/multiple-reader and, later, the data-value invariant.
+  bool skip_invalidate = false;
+
+  // The predictive presend pushes block bytes but installs them without
+  // updating the bytes at the target (install tag only) — pre-sent data
+  // diverges from the home's committed bytes.
+  bool drop_presend_data = false;
+};
+
+// Mutable process-wide hooks; initialized once from PRESTO_TEST_BUG
+// ("skip-invalidate" or "drop-presend-data", comma-separable).
+BugHooks& bug_hooks();
+
+// Maps a bug name to the corresponding flag; aborts on unknown names.
+void set_bug_hook(const char* name, bool on);
+
+}  // namespace presto::check

@@ -1,0 +1,107 @@
+// Differential schedule fuzzer for the coherence protocols.
+//
+// Generates seeded random phase-structured SPMD programs (a generalization
+// of tests/phase_property_test.cc: optional locks, reducers, drifting
+// assignments, mixed block sizes), runs each program under every applicable
+// protocol (Stache, predictive, predictive+anticipate, write-update) and
+// under perturbed network-latency models, then diffs everything the program
+// can observe:
+//
+//   * final shared memory contents,
+//   * per-read verification against a host-side reference,
+//   * reduction results and lock-protected counters,
+//   * the invariant oracle's verdict (attached in record mode).
+//
+// Timing may differ across protocols and latencies; program-visible values
+// may not (the paper's claim that schedules change *when* data moves, never
+// *what* a read observes). On a mismatch the failing program is greedily
+// shrunk (drop rounds, phases, block assignments, features) while the
+// failure signature reproduces, then dumped as a compact self-contained
+// text trace that `presto_fuzz --replay=<file>` re-executes bit-identically.
+// The simulation is deterministic, so seed + spec reproduce the run exactly;
+// the trace stores the fully-expanded spec so shrinking needs no re-derivation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "runtime/machine.h"
+
+namespace presto::check {
+
+// One phase of one round, fully expanded: per block, who writes and who
+// reads (writes happen first, then a barrier, then the reads — the
+// producer/consumer separation the compiler's directive placement produces).
+struct FuzzPhase {
+  std::vector<int> writer;                 // per block; -1 = nobody
+  std::vector<std::uint64_t> reader_mask;  // per block; bit per node
+  std::uint64_t lock_users = 0;            // nodes bumping the locked counter
+  bool reduce = false;                     // end the phase with a reduce_sum
+};
+
+struct FuzzRound {
+  std::vector<FuzzPhase> phases;
+};
+
+struct FuzzProgram {
+  int nodes = 2;
+  std::uint32_t block_size = 32;
+  int nblocks = 8;
+  bool use_locks = false;
+  std::uint64_t seed = 0;        // generator seed; salts the written values
+  std::string injected_bug;      // empty = none (see check/bughook.h)
+  std::vector<FuzzRound> rounds; // fully expanded, shrink-friendly
+};
+
+// Everything a program can observe, plus a determinism digest.
+struct RunResult {
+  std::vector<std::uint32_t> memory;  // final value per block (node 0 reads)
+  std::uint64_t lock_total = 0;       // final lock-protected counter
+  double reduce_digest = 0.0;         // accumulated reduction results
+  std::uint64_t read_mismatches = 0;  // reads differing from the host ref
+  std::uint64_t oracle_violations = 0;
+  std::string first_violation;        // empty if none
+  // Timing/traffic digest — compared only between identical configurations
+  // (the determinism self-check), never across protocols or latencies.
+  std::uint64_t exec_time = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct FuzzVerdict {
+  bool ok = true;
+  std::string report;     // human-readable description of the first failure
+  std::string signature;  // stable hash of the failure; equal across replays
+};
+
+// Seeded program generation (uses Rng::next_below_unbiased throughout).
+FuzzProgram generate(std::uint64_t seed);
+
+// True when the program is meaningful under write-update: no locks (an
+// update protocol cannot provide mutual exclusion) and a stable single
+// writer per block across the whole program (the hand-optimized SPMD
+// usage the protocol models).
+bool supports_write_update(const FuzzProgram& prog);
+
+// Runs the program under one protocol/network configuration with the oracle
+// attached in record mode. Deterministic: equal inputs give equal results.
+RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
+                      const net::NetConfig& net);
+
+// Full differential check: all applicable protocols under the default
+// latency model, plus perturbed latency models when `latency_sweep`.
+FuzzVerdict check_program(const FuzzProgram& prog, bool latency_sweep = true);
+
+// Greedy shrink: returns the smallest found program whose check_program
+// signature matches the original failure. `max_attempts` bounds re-runs.
+FuzzProgram shrink(const FuzzProgram& prog, const std::string& signature,
+                   bool latency_sweep, int max_attempts = 200);
+
+// Self-contained text trace (spec + seed + injected bug).
+std::string serialize_trace(const FuzzProgram& prog);
+// Parses a trace; aborts with a diagnostic on malformed input.
+FuzzProgram parse_trace(const std::string& text);
+
+}  // namespace presto::check

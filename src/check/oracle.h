@@ -1,0 +1,170 @@
+// Coherence invariant oracle.
+//
+// Maintains a shadow model of every cache block — the committed bytes (the
+// value of the most recent application write in simulated execution order)
+// plus the last writer — and checks, per simulated event, the invariants the
+// paper's central claim rests on (§3: schedules change *when* data moves,
+// never *what* a read observes):
+//
+//   * single-writer/multiple-reader — while a node writes a block, no other
+//     node holds a valid copy; while a node reads, no other node holds
+//     ReadWrite (sequentially consistent protocols only);
+//   * data-value — a read returns exactly the bytes of the most recent
+//     write in simulated-time order (execution order is a linearization of
+//     simulated time for data-race-free programs, see DESIGN.md);
+//   * presend coherence — any data-carrying protocol message (including the
+//     predictive protocol's BulkData presends) carries bytes equal to the
+//     sender's committed view of the block at send time, and installs of
+//     those bytes still match the committed view at arrival;
+//   * directory/cache agreement — via StacheProtocol::check_invariants(),
+//     which callers run at quiescent points; plus a final whole-memory
+//     sweep (every valid copy equals the committed bytes) at end of run.
+//
+// The write-update protocol deliberately provides only phase consistency
+// (readers may hold stale copies until the writer publishes), so under
+// Mode::kPhase the oracle tracks the shadow but only checks writer-side
+// sends; per-read data-value checking can be opted into with
+// set_strict_reads(true) by harnesses whose programs are phase-synchronized
+// (write -> publish -> barrier -> read), as the fuzzer's are.
+//
+// Observation is pure: the oracle never charges simulated time or schedules
+// events, so results are bit-identical with or without it. It is compiled in
+// always and attached per System when enabled — a runtime flag
+// (PRESTO_ORACLE=1/0) or by default in builds without NDEBUG (Debug /
+// sanitizer CI). Detached, the hot paths pay one null-pointer test
+// (mem/global_space.h read()/write(), proto/protocol.cc post()).
+//
+// A 256-event ring of recent accesses/messages is kept for failure triage;
+// the fuzzer embeds its tail in dumped trace files (docs/testing.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/global_space.h"
+#include "net/network.h"
+#include "proto/protocol.h"
+#include "sim/engine.h"
+
+namespace presto::check {
+
+// Consistency model the protocol under test claims to provide.
+enum class Mode : std::uint8_t {
+  kSC,     // sequentially consistent (Stache, predictive)
+  kPhase,  // phase-consistent (write-update: staleness until publish is legal)
+};
+
+enum class FailMode : std::uint8_t {
+  kAbort,   // dump the event ring and abort on first violation (debug runs)
+  kRecord,  // record and keep simulating (the fuzzer inspects afterwards)
+};
+
+struct Violation {
+  std::string what;
+  sim::Time when = 0;
+  int node = -1;
+  mem::BlockId block = 0;
+};
+
+class Oracle final : public mem::AccessObserver,
+                     public proto::CoherenceObserver,
+                     public net::Network::Observer {
+ public:
+  Oracle(mem::GlobalSpace& space, const sim::Engine* engine, Mode mode,
+         FailMode fail);
+
+  Mode mode() const { return mode_; }
+  FailMode fail_mode() const { return fail_; }
+
+  // Enables per-read data-value checking under Mode::kPhase (no-op for
+  // kSC, which always checks). Only valid for phase-synchronized programs.
+  void set_strict_reads(bool on) { strict_reads_ = on; }
+
+  // ---- mem::AccessObserver --------------------------------------------------
+  void on_app_read(int node, mem::BlockId b, std::size_t off,
+                   const void* seen, std::size_t n) override;
+  void on_app_write(int node, mem::BlockId b, std::size_t off,
+                    const void* data, std::size_t n) override;
+
+  // ---- proto::CoherenceObserver ---------------------------------------------
+  void on_data_send(int src, int dst, const proto::Msg& m) override;
+  void on_install(int node, mem::BlockId b, const std::byte* data,
+                  mem::Tag tag) override;
+
+  // ---- net::Network::Observer -----------------------------------------------
+  void on_message(int src, int dst, std::size_t bytes, sim::Time depart,
+                  sim::Time arrival) override;
+
+  // ---- Quiescent checks ------------------------------------------------------
+  // Whole-memory agreement sweep: every materialized, non-Invalid copy at
+  // every node must equal the committed bytes. SC mode only (stale valid
+  // copies are legal under phase consistency). Call with no transactions in
+  // flight (end of run). Returns the number of copies compared.
+  std::size_t final_sweep();
+
+  // ---- Results ----------------------------------------------------------------
+  std::uint64_t violation_count() const { return violation_count_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t reads_checked() const { return reads_checked_; }
+  std::uint64_t writes_checked() const { return writes_checked_; }
+  std::uint64_t sends_checked() const { return sends_checked_; }
+  std::uint64_t installs_checked() const { return installs_checked_; }
+
+  // The committed (most recently written) bytes of a block — the shadow the
+  // fuzzer uses as its host-side reference.
+  const std::byte* committed(mem::BlockId b) const;
+
+  // Renders the most recent ring events (oldest first), one per line.
+  std::string ring_dump(std::size_t max_events = 64) const;
+
+ private:
+  enum class Ev : std::uint8_t { kRead, kWrite, kInstall, kSend, kNet };
+  struct RingEvent {
+    sim::Time t = 0;
+    Ev kind = Ev::kRead;
+    std::int16_t a = -1;  // node / src
+    std::int16_t b = -1;  // dst (sends) or tag (installs)
+    std::uint8_t info = 0;  // MsgType for sends
+    mem::BlockId block = 0;
+  };
+  static constexpr std::size_t kRingSize = 256;
+  static constexpr std::size_t kMaxStoredViolations = 32;
+
+  void ensure_block(mem::BlockId b);
+  sim::Time now() const { return engine_ != nullptr ? engine_->now() : 0; }
+  void push_ring(Ev kind, int a, int b, std::uint8_t info, mem::BlockId blk);
+  void violation(int node, mem::BlockId b, std::string what);
+
+  mem::GlobalSpace& space_;
+  const sim::Engine* engine_;
+  const Mode mode_;
+  const FailMode fail_;
+  bool strict_reads_ = false;
+
+  // Flat shadow of the whole space (grown on demand, zero-filled to match
+  // zero-initialized frames) + last writer per block (-1 = never written).
+  std::vector<std::byte> committed_;
+  std::vector<std::int16_t> last_writer_;
+
+  std::vector<RingEvent> ring_;
+  std::size_t ring_next_ = 0;
+
+  std::vector<Violation> violations_;
+  std::uint64_t violation_count_ = 0;
+  std::uint64_t reads_checked_ = 0;
+  std::uint64_t writes_checked_ = 0;
+  std::uint64_t sends_checked_ = 0;
+  std::uint64_t installs_checked_ = 0;
+};
+
+// True when a System should attach an oracle without being asked:
+// PRESTO_ORACLE=1/0 overrides; otherwise on in builds without NDEBUG
+// (Debug / sanitizer CI) and off in optimized builds.
+bool oracle_enabled_by_default();
+
+// Oracle mode matching a protocol's consistency claim, by protocol name()
+// ("write-update" -> kPhase, everything else -> kSC).
+Mode mode_for_protocol(const char* protocol_name);
+
+}  // namespace presto::check

@@ -119,6 +119,8 @@ void GlobalSpace::read_slow(int node, Addr a, void* out, std::size_t n) {
     const std::byte* src =
         block_data(node, b) + (a & (cfg_.block_size - 1));
     std::memcpy(dst, src, chunk);
+    if (observer_ != nullptr) [[unlikely]]
+      observer_->on_app_read(node, b, a & (cfg_.block_size - 1), dst, chunk);
     a += chunk;
     dst += chunk;
     n -= chunk;
@@ -136,6 +138,8 @@ void GlobalSpace::write_slow(int node, Addr a, const void* in, std::size_t n) {
     const std::size_t chunk = n < in_block ? n : in_block;
     std::byte* dst = block_data(node, b) + (a & (cfg_.block_size - 1));
     std::memcpy(dst, src, chunk);
+    if (observer_ != nullptr) [[unlikely]]
+      observer_->on_app_write(node, b, a & (cfg_.block_size - 1), src, chunk);
     a += chunk;
     src += chunk;
     n -= chunk;
@@ -149,7 +153,10 @@ void GlobalSpace::rmw(int node, Addr a, std::size_t n,
   if (tag(node, b) != Tag::ReadWrite) resolve_fault(node, b, /*is_write=*/true);
   // Holding ReadWrite and not yielding makes the read-modify-write atomic
   // with respect to all other simulated processors.
-  fn(block_data(node, b) + (a & (cfg_.block_size - 1)));
+  std::byte* p = block_data(node, b) + (a & (cfg_.block_size - 1));
+  fn(p);
+  if (observer_ != nullptr) [[unlikely]]
+    observer_->on_app_write(node, b, a & (cfg_.block_size - 1), p, n);
 }
 
 }  // namespace presto::mem

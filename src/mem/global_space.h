@@ -42,6 +42,22 @@ class FaultHandler {
   ~FaultHandler() = default;
 };
 
+// Observer of every completed application access, at single-block
+// granularity (block-spanning accesses report once per block touched).
+// Implemented by the coherence invariant oracle (check/oracle.h); null in
+// normal runs, so the fast paths pay only a pointer test. Hooks run on the
+// accessing node's thread, after the bytes moved, with the tag still held.
+class AccessObserver {
+ public:
+  virtual void on_app_read(int node, BlockId b, std::size_t off,
+                           const void* seen, std::size_t n) = 0;
+  virtual void on_app_write(int node, BlockId b, std::size_t off,
+                            const void* data, std::size_t n) = 0;
+
+ protected:
+  ~AccessObserver() = default;
+};
+
 struct MemConfig {
   std::uint32_t block_size = 32;   // power of two, 8..page_size
   std::uint32_t page_size = 4096;  // power of two, multiple of block_size
@@ -101,6 +117,17 @@ class GlobalSpace {
         static_cast<std::uint8_t>(t);
   }
 
+  // Node-local bytes of block b if its page frame has been materialized,
+  // else nullptr. Never allocates — safe for whole-space validation sweeps.
+  const std::byte* peek_block(int node, BlockId b) const {
+    const PageId p = page_of_block(b);
+    const std::byte* f =
+        frames_[static_cast<std::size_t>(node)][static_cast<std::size_t>(p)]
+            .get();
+    if (f == nullptr) return nullptr;
+    return f + (block_base(b) & (cfg_.page_size - 1));
+  }
+
   // Pointer to the node-local bytes of block b (frame allocated on demand).
   std::byte* block_data(int node, BlockId b) {
     const PageId p = page_of_block(b);
@@ -115,6 +142,12 @@ class GlobalSpace {
 
   void set_fault_handler(FaultHandler* h) { fault_ = h; }
 
+  // Attaches the invariant oracle (or detaches with nullptr). Observation is
+  // pure: the observer never charges time or schedules events, so simulated
+  // results are bit-identical with or without it.
+  void set_access_observer(AccessObserver* o) { observer_ = o; }
+  AccessObserver* access_observer() const { return observer_; }
+
   // Permitted single-block accesses complete inline; faults and
   // block-spanning accesses take the out-of-line slow path.
   void read(int node, Addr a, void* out, std::size_t n) {
@@ -124,6 +157,8 @@ class GlobalSpace {
     if (off + n <= cfg_.block_size && tag(node, b) != Tag::Invalid)
         [[likely]] {
       std::memcpy(out, block_data(node, b) + off, n);
+      if (observer_ != nullptr) [[unlikely]]
+        observer_->on_app_read(node, b, off, out, n);
       return;
     }
     read_slow(node, a, out, n);
@@ -136,6 +171,8 @@ class GlobalSpace {
     if (off + n <= cfg_.block_size && tag(node, b) == Tag::ReadWrite)
         [[likely]] {
       std::memcpy(block_data(node, b) + off, in, n);
+      if (observer_ != nullptr) [[unlikely]]
+        observer_->on_app_write(node, b, off, in, n);
       return;
     }
     write_slow(node, a, in, n);
@@ -185,6 +222,7 @@ class GlobalSpace {
   std::vector<Arena> arenas_;
 
   FaultHandler* fault_ = nullptr;
+  AccessObserver* observer_ = nullptr;
 };
 
 }  // namespace presto::mem

@@ -48,9 +48,22 @@ class Network {
     ~MsgSink() = default;
   };
 
+  // Observer of every routed message (both delivery paths), used by the
+  // coherence oracle's event ring for failure-trace triage. Pure
+  // observation: never charges time or perturbs FIFO clamping.
+  class Observer {
+   public:
+    virtual void on_message(int src, int dst, std::size_t bytes,
+                            sim::Time depart, sim::Time arrival) = 0;
+
+   protected:
+    ~Observer() = default;
+  };
+
   Network(sim::Engine& engine, int nodes, const NetConfig& cfg);
 
   void set_msg_sink(MsgSink* sink) { sink_ = sink; }
+  void set_observer(Observer* o) { observer_ = o; }
 
   // Typed fast path: copies header+payload into the channel ring; the sink
   // receives the concatenated record at the arrival time. `wire_bytes` is
@@ -100,6 +113,7 @@ class Network {
   const int nodes_;
   const NetConfig cfg_;
   MsgSink* sink_ = nullptr;
+  Observer* observer_ = nullptr;
   // channels_[src][dst] allocated on first use; unordered_map nodes give the
   // delivery events stable Channel pointers.
   std::vector<std::unordered_map<int, Channel>> channels_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/bughook.h"
 #include "util/check.h"
 
 namespace presto::proto {
@@ -280,6 +281,8 @@ void PredictiveProtocol::handle(int self, const Msg& m) {
       auto& d = dir(self, m.block);
       std::memcpy(space_.block_data(self, m.block), m.data,
                   space_.block_size());
+      notify_install(self, m.block, m.data,
+                     d.req_write ? mem::Tag::ReadWrite : mem::Tag::ReadOnly);
       if (d.req_write) {
         d.owner = -1;
         d.readers = 0;
@@ -306,7 +309,10 @@ void PredictiveProtocol::handle_extra(int self, const Msg& m) {
   switch (m.type) {
     case MsgType::BulkData: {
       for (std::uint32_t k = 0; k < m.count; ++k)
-        install_block(self, m.block + k, m.data + k * bsz,
+        install_block(self, m.block + k,
+                      check::bug_hooks().drop_presend_data
+                          ? nullptr  // grant the tag but keep stale bytes
+                          : m.data + k * bsz,
                       static_cast<mem::Tag>(m.tag));
       rec_.node(self).presend_blocks_received += m.count;
       Msg r;

@@ -51,6 +51,8 @@ void Protocol::post(int src, int dst, const Msg& m, sim::Time depart) {
   auto& c = rec_.node(src);
   ++c.msgs_sent;
   c.bytes_sent += bytes;
+  if (observer_ != nullptr && m.data_len != 0) [[unlikely]]
+    observer_->on_data_send(src, dst, m);
   // Header and payload are copied into the (src, dst) channel ring before
   // this returns; m.data may point straight at GlobalSpace frame bytes.
   net_.send_msg(src, dst, bytes, depart, &m, sizeof(Msg), m.data, m.data_len);
@@ -96,6 +98,7 @@ void Protocol::install_block(int node, mem::BlockId b, const std::byte* data,
   if (data != nullptr)
     std::memcpy(space_.block_data(node, b), data, space_.block_size());
   space_.set_tag(node, b, tag);
+  notify_install(node, b, data, tag);
   if (is_waiting_on(node, b)) wake_waiter(node);
 }
 

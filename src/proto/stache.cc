@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "check/bughook.h"
 #include "util/check.h"
 
 namespace presto::proto {
@@ -150,7 +151,8 @@ void StacheProtocol::handle(int self, const Msg& m) {
     }
 
     case MsgType::Inv: {
-      space_.set_tag(self, m.block, mem::Tag::Invalid);
+      if (!check::bug_hooks().skip_invalidate)
+        space_.set_tag(self, m.block, mem::Tag::Invalid);
       Msg r;
       r.type = MsgType::InvAck;
       r.src = self;
@@ -173,6 +175,8 @@ void StacheProtocol::handle(int self, const Msg& m) {
       // Install the owner's data at the home.
       std::memcpy(space_.block_data(self, m.block), m.data,
                   space_.block_size());
+      notify_install(self, m.block, m.data,
+                     d.req_write ? mem::Tag::ReadWrite : mem::Tag::ReadOnly);
       if (d.req_write) {
         // RecallX path: owner invalidated; grant exclusive to requester.
         d.owner = -1;

@@ -209,6 +209,8 @@ void WriteUpdateProtocol::handle(int self, const Msg& m) {
                     m.data + k * bsz, bsz);
         if (space_.tag(self, m.block + k) == mem::Tag::Invalid)
           space_.set_tag(self, m.block + k, mem::Tag::ReadOnly);
+        notify_install(self, m.block + k, m.data + k * bsz,
+                       space_.tag(self, m.block + k));
       }
       if (space_.home_of_block(m.block) != self) {
         // Push to a reader (direct token==0, or forwarded token!=0):

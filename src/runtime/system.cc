@@ -43,6 +43,16 @@ System::System(const MachineConfig& cfg, ProtocolKind kind)
   barrier_ = std::make_unique<BarrierManager>(
       engine_, rec_, cfg.nodes, cfg.barrier_latency, cfg.reduce_per_byte);
   protocol_->set_barrier([this](int node) { barrier_->barrier(node); });
+  if (check::oracle_enabled_by_default()) enable_oracle(check::FailMode::kAbort);
+}
+
+check::Oracle& System::enable_oracle(check::FailMode fail) {
+  oracle_ = std::make_unique<check::Oracle>(
+      *space_, &engine_, check::mode_for_protocol(protocol_->name()), fail);
+  space_->set_access_observer(oracle_.get());
+  protocol_->set_coherence_observer(oracle_.get());
+  net_->set_observer(oracle_.get());
+  return *oracle_;
 }
 
 System::~System() = default;
@@ -77,6 +87,16 @@ void System::run(const std::function<void(NodeCtx&)>& body) {
   }
   engine_.run();
   exec_time_ = rec_.max(&stats::NodeCounters::finish);
+  if (oracle_ != nullptr) {
+    // End-of-run quiescent checks: whole-memory agreement sweep plus the
+    // directory/cache consistency audit for directory-based protocols. The
+    // audit aborts on failure, so it only runs in abort mode (the fuzzer's
+    // record mode must survive a buggy protocol to diff and shrink it).
+    oracle_->final_sweep();
+    if (oracle_->fail_mode() == check::FailMode::kAbort &&
+        kind_ != ProtocolKind::kWriteUpdate)
+      static_cast<proto::StacheProtocol*>(protocol_.get())->check_invariants();
+  }
 }
 
 stats::Report System::report(std::string label) const {

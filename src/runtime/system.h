@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "check/oracle.h"
 #include "mem/global_space.h"
 #include "net/network.h"
 #include "proto/predictive.h"
@@ -42,6 +43,15 @@ class System {
   proto::PredictiveProtocol* predictive();
   proto::WriteUpdateProtocol* writeupdate();
 
+  // Attaches the coherence invariant oracle (check/oracle.h) to this system's
+  // space, protocol and network. Attached automatically at construction when
+  // check::oracle_enabled_by_default() — PRESTO_ORACLE=1/0 overrides the
+  // build-type default (on without NDEBUG, off otherwise). Observation is
+  // pure, so simulated results are bit-identical either way. Calling again
+  // replaces the oracle (the fuzzer re-attaches with FailMode::kRecord).
+  check::Oracle& enable_oracle(check::FailMode fail);
+  check::Oracle* oracle() { return oracle_.get(); }
+
   // Runs `body` on every node to completion; callable once per System.
   void run(const std::function<void(NodeCtx&)>& body);
 
@@ -56,6 +66,7 @@ class System {
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<mem::GlobalSpace> space_;
   std::unique_ptr<proto::Protocol> protocol_;
+  std::unique_ptr<check::Oracle> oracle_;
   std::unique_ptr<BarrierManager> barrier_;
   std::vector<std::unique_ptr<NodeCtx>> ctxs_;
   sim::Time exec_time_ = 0;

@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 
@@ -42,9 +43,12 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   if (it == flags_.end()) return def;
   const std::string& v = it->second;
   char* end = nullptr;
+  errno = 0;
   const std::int64_t parsed = std::strtoll(v.c_str(), &end, 10);
   PRESTO_CHECK(!v.empty() && end == v.c_str() + v.size(),
                "flag --" << name << " expects an integer, got '" << v << "'");
+  PRESTO_CHECK(errno != ERANGE,
+               "flag --" << name << " integer out of range: '" << v << "'");
   return parsed;
 }
 
@@ -54,9 +58,12 @@ double Cli::get_double(const std::string& name, double def) const {
   if (it == flags_.end()) return def;
   const std::string& v = it->second;
   char* end = nullptr;
+  errno = 0;
   const double parsed = std::strtod(v.c_str(), &end);
   PRESTO_CHECK(!v.empty() && end == v.c_str() + v.size(),
                "flag --" << name << " expects a number, got '" << v << "'");
+  PRESTO_CHECK(errno != ERANGE,
+               "flag --" << name << " number out of range: '" << v << "'");
   return parsed;
 }
 

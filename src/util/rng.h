@@ -39,7 +39,29 @@ class Rng {
   }
 
   // Uniform integer in [0, n). n must be > 0.
+  //
+  // NOTE: `%` is modulo-biased for n that do not divide 2^64 (low values are
+  // marginally over-represented). Existing call sites keep this variant
+  // because golden tests depend on its exact consumption of the stream; new
+  // code that cares about the distribution (the protocol fuzzer) should use
+  // next_below_unbiased().
   std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  // Uniform integer in [0, n) with no modulo bias: rejection-samples the
+  // (2^64 mod n)-sized remainder region, so every value is exactly equally
+  // likely. Consumes a variable number of stream words (≥ 1, expected < 2),
+  // so it is NOT a drop-in replacement where stream positions are golden.
+  std::uint64_t next_below_unbiased(std::uint64_t n) {
+    // Values below 2^64 mod n belong to the incomplete final copy of [0, n)
+    // and would bias the modulo; reject them. (-n mod 2^64) mod n avoids
+    // 128-bit arithmetic for 2^64 mod n.
+    const std::uint64_t min = (0 - n) % n;
+    std::uint64_t x;
+    do {
+      x = next_u64();
+    } while (x < min);
+    return x % n;
+  }
 
   // Uniform integer in [lo, hi] inclusive.
   std::int64_t next_range(std::int64_t lo, std::int64_t hi) {

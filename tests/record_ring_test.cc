@@ -1,0 +1,173 @@
+// Direct unit tests for net::RecordRing — the allocation-free record queue
+// under both the network channels and the protocol dispatch queues. The
+// interesting paths are the ones steady-state traffic rarely exercises: the
+// compaction branch (long-lived non-empty queue with a large dead prefix),
+// two-span push reassembly, front-pointer validity across pops, and the
+// drain-rewind that makes steady state allocation-free.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/record_ring.h"
+#include "util/rng.h"
+
+namespace presto::net {
+namespace {
+
+std::string rec_str(const RecordRing& ring) {
+  std::size_t len;
+  const std::byte* p = ring.front(&len);
+  return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+std::string bytes(char c, std::size_t n) { return std::string(n, c); }
+
+TEST(RecordRing, TwoSpanPushReassemblesContiguously) {
+  RecordRing ring;
+  const std::string head = "header--", pay = "payload-bytes";
+  ring.push(head.data(), head.size(), pay.data(), pay.size());
+  EXPECT_EQ(rec_str(ring), head + pay);
+
+  // Either span may be empty.
+  ring.push(head.data(), head.size(), nullptr, 0);
+  ring.push(nullptr, 0, pay.data(), pay.size());
+  ring.push(nullptr, 0, nullptr, 0);  // zero-length record is legal
+  ring.pop();
+  EXPECT_EQ(rec_str(ring), head);
+  ring.pop();
+  EXPECT_EQ(rec_str(ring), pay);
+  ring.pop();
+  std::size_t len = 99;
+  ring.front(&len);
+  EXPECT_EQ(len, 0u);
+  ring.pop();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RecordRing, FrontPointerSurvivesPop) {
+  // The delivery path pops the record *before* handling it (so the handler
+  // can push to the same ring); the contract is that pop() never moves
+  // bytes, so the popped record stays readable until the next push().
+  RecordRing ring;
+  const std::string a = "first-record", b = "second-record";
+  ring.push(a.data(), a.size(), nullptr, 0);
+  ring.push(b.data(), b.size(), nullptr, 0);
+
+  std::size_t len_a;
+  const std::byte* pa = ring.front(&len_a);
+  ring.pop();
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(pa), len_a), a);
+
+  std::size_t len_b;
+  const std::byte* pb = ring.front(&len_b);
+  ring.pop();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(pb), len_b), b);
+}
+
+TEST(RecordRing, DrainRewindReusesTheArena) {
+  // Once the queue drains, the arena rewinds to offset zero: the next push
+  // lands at the same address, no allocation growth in steady state.
+  RecordRing ring;
+  const std::string r1 = bytes('x', 64);
+  ring.push(r1.data(), r1.size(), nullptr, 0);
+  std::size_t len;
+  const std::byte* first_addr = ring.front(&len);
+  ring.pop();
+  ASSERT_TRUE(ring.empty());
+
+  for (int i = 0; i < 1000; ++i) {
+    const std::string r = bytes(static_cast<char>('a' + i % 26), 64);
+    ring.push(r.data(), r.size(), nullptr, 0);
+    EXPECT_EQ(ring.front(&len), first_addr) << "arena did not rewind, i=" << i;
+    EXPECT_EQ(rec_str(ring), r);
+    ring.pop();
+    ASSERT_TRUE(ring.empty());
+  }
+}
+
+TEST(RecordRing, CompactionTriggersOnLargeDeadPrefix) {
+  // Build a dead prefix > 4096 bytes in front of fewer live bytes, then
+  // push: the branch head_ > 4096 && head_ > size - head_ must compact and
+  // preserve the live records exactly.
+  RecordRing ring;
+  const std::string big = bytes('B', 5000);
+  const std::string live1 = bytes('1', 100), live2 = bytes('2', 100);
+  ring.push(big.data(), big.size(), nullptr, 0);
+  ring.push(live1.data(), live1.size(), nullptr, 0);
+  ring.pop();  // dead prefix: 5004 bytes; live: 104 — compaction is armed
+
+  ring.push(live2.data(), live2.size(), nullptr, 0);  // compacts here
+  EXPECT_EQ(rec_str(ring), live1);
+  ring.pop();
+  EXPECT_EQ(rec_str(ring), live2);
+  ring.pop();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RecordRing, NoCompactionWhileLiveOutweighsDead) {
+  // Mirror case: dead prefix > 4096 but MORE live bytes behind it — the
+  // push must not compact (front pointer stays put; vector may still grow,
+  // so pin capacity first by pushing/draining a large record).
+  RecordRing ring;
+  const std::string warm = bytes('w', 20000);
+  ring.push(warm.data(), warm.size(), nullptr, 0);
+  ring.pop();  // empty -> rewind; capacity now ample, no reallocation below
+
+  const std::string dead = bytes('D', 4200);
+  const std::string live = bytes('L', 8000);
+  const std::string tail = bytes('t', 16);
+  ring.push(dead.data(), dead.size(), nullptr, 0);
+  ring.push(live.data(), live.size(), nullptr, 0);
+  ring.pop();  // dead: 4204 > 4096, live: 8004 > dead — keep in place
+
+  std::size_t len;
+  const std::byte* before = ring.front(&len);
+  ring.push(tail.data(), tail.size(), nullptr, 0);
+  EXPECT_EQ(ring.front(&len), before) << "compacted despite live > dead";
+  EXPECT_EQ(rec_str(ring), live);
+  ring.pop();
+  EXPECT_EQ(rec_str(ring), tail);
+  ring.pop();
+  EXPECT_TRUE(ring.empty());
+}
+
+// Seeded churn with a live queue crossing the compaction threshold many
+// times; every popped record must match a reference std::deque bytewise.
+TEST(RecordRing, RandomizedChurnMatchesReference) {
+  util::Rng rng(20260806);
+  RecordRing ring;
+  std::deque<std::string> ref;
+  std::uint64_t pushed = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const bool do_push = ref.empty() || rng.next_below_unbiased(3) != 0;
+    if (do_push) {
+      const std::size_t a = rng.next_below_unbiased(48);
+      const std::size_t b = rng.next_below_unbiased(200);
+      std::string rec;
+      rec.reserve(a + b);
+      for (std::size_t i = 0; i < a + b; ++i)
+        rec.push_back(static_cast<char>('A' + (pushed + i) % 53));
+      ring.push(rec.data(), a, rec.data() + a, b);
+      ref.push_back(std::move(rec));
+      ++pushed;
+    } else {
+      ASSERT_FALSE(ring.empty());
+      ASSERT_EQ(rec_str(ring), ref.front());
+      ring.pop();
+      ref.pop_front();
+    }
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(rec_str(ring), ref.front());
+    ring.pop();
+    ref.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace presto::net
