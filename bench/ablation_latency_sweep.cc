@@ -7,6 +7,7 @@
 #include "apps/water/water.h"
 #include "bench/bench_common.h"
 #include "runtime/machine.h"
+#include "util/pool.h"
 #include "util/table.h"
 
 using namespace presto;
@@ -14,6 +15,8 @@ using namespace presto;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto scale = bench::Scale::from_cli(cli);
+  const int jobs =
+      static_cast<int>(cli.get_int("jobs", util::default_pool_jobs()));
   cli.reject_unknown();
 
   apps::WaterParams params;
@@ -35,7 +38,7 @@ int main(int argc, char** argv) {
       {"hw_dsm", -1.0},
   };
 
-  for (const auto& pt : points) {
+  auto machine_for = [&](const Point& pt) {
     runtime::MachineConfig m =
         pt.latency_scale < 0
             ? runtime::MachineConfig::hw_dsm(scale.nodes, 64)
@@ -50,10 +53,29 @@ int main(int argc, char** argv) {
       m.costs.fault = mul(m.costs.fault);
       m.costs.handler = mul(m.costs.handler);
     }
-    const auto unopt =
-        apps::run_water(params, m, runtime::ProtocolKind::kStache, false);
-    const auto opt =
-        apps::run_water(params, m, runtime::ProtocolKind::kPredictive, true);
+    return m;
+  };
+
+  // Flatten the sweep into independent (point, variant) simulations and run
+  // them on the host pool; parallel_map returns index-ordered results, so
+  // the printed table is identical at any --jobs.
+  const int n_runs = static_cast<int>(points.size()) * 2;
+  const auto runs = util::parallel_map(n_runs, jobs, [&](int i) {
+    const Point& pt = points[static_cast<std::size_t>(i / 2)];
+    const bool optimized = (i % 2) != 0;
+    const runtime::MachineConfig m = machine_for(pt);
+    return optimized
+               ? apps::run_water(params, m, runtime::ProtocolKind::kPredictive,
+                                 true)
+               : apps::run_water(params, m, runtime::ProtocolKind::kStache,
+                                 false);
+  });
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const Point& pt = points[p];
+    const runtime::MachineConfig m = machine_for(pt);
+    const auto& unopt = runs[2 * p];
+    const auto& opt = runs[2 * p + 1];
     t.add_row({pt.name,
                util::fmt_double(sim::to_micros(m.net.wire_latency), 1) + " us",
                util::fmt_double(sim::to_seconds(unopt.report.exec), 4),
@@ -62,8 +84,6 @@ int main(int argc, char** argv) {
                                     static_cast<double>(opt.report.exec),
                                 3),
                util::fmt_double(sim::to_seconds(opt.report.presend), 4)});
-    std::printf("done: %s\n", pt.name);
-    std::fflush(stdout);
   }
 
   std::printf("\n== Ablation: remote-latency regime sweep (Water, %d nodes) "

@@ -36,7 +36,17 @@ struct MicroResult {
   double wall_s = 0.0;
   double events_per_sec = 0.0;
   std::uint64_t msgs = 0;
+  stats::HostCounters host;
 };
+
+void print_host(const stats::HostCounters& h) {
+  const double switch_rate =
+      h.run_wall_s > 0 ? static_cast<double>(h.handoffs) / h.run_wall_s : 0.0;
+  std::printf("  host: backend=%s handoffs=%llu direct_resumes=%llu "
+              "(%.0f switches/sec, run wall %.3fs)\n",
+              h.backend, (unsigned long long)h.handoffs,
+              (unsigned long long)h.direct_resumes, switch_rate, h.run_wall_s);
+}
 
 // Producer/consumer over `blocks` blocks for `rounds` rounds; coalescing is
 // disabled so the event count scales with blocks, not runs.
@@ -69,6 +79,7 @@ MicroResult run_micro(int nodes, int blocks, int rounds) {
   res.events = sys.engine().events_executed();
   res.events_per_sec = static_cast<double>(res.events) / res.wall_s;
   res.msgs = sys.network().messages_sent();
+  res.host = sys.recorder().host();
   return res;
 }
 
@@ -76,6 +87,7 @@ struct BarnesResult {
   double wall_s = 0.0;
   double checksum = 0.0;
   std::uint64_t msgs = 0;
+  stats::HostCounters host;
 };
 
 BarnesResult run_barnes_shaped(int nodes, std::size_t bodies, int steps) {
@@ -91,18 +103,22 @@ BarnesResult run_barnes_shaped(int nodes, std::size_t bodies, int steps) {
   res.wall_s = seconds_since(t0);
   res.checksum = r.checksum;
   res.msgs = r.report.msgs;
+  res.host = r.report.host;
   return res;
 }
 
-// Pre-rewrite (seed) numbers at the default scale, measured on the same
-// workloads with the std::function event queue, closure-based message
-// delivery, std::function fault indirection, and std::map schedules.
-// Update these alongside any future hot-path change so BENCH_host.json
-// always records the trajectory.
-// Median of three runs on the seed: micro 983815 events in ~0.97s at
-// nodes=4 blocks=512 rounds=192; barnes at nodes=8 bodies=2048 steps=2.
-constexpr double kBaselineMicroEventsPerSec = 1012973.0;
-constexpr double kBaselineBarnesWallS = 6.960;
+// Historical numbers at the default scale so BENCH_host.json always records
+// the trajectory; update alongside any future hot-path change.
+//   * seed: std::function event queue, closure-based message delivery,
+//     std::function fault indirection, std::map schedules, thread backend.
+//   * PR 1: zero-allocation events, typed dispatch, flat schedules — still
+//     one OS thread per simulated processor (mutex/condvar handoffs).
+// Workloads: micro at nodes=4 blocks=512 rounds=192; barnes at nodes=8
+// bodies=2048 steps=2.
+constexpr double kSeedMicroEventsPerSec = 1012973.0;
+constexpr double kSeedBarnesWallS = 6.960;
+constexpr double kPr1MicroEventsPerSec = 9235779.0;
+constexpr double kPr1BarnesWallS = 2.1863;
 
 }  // namespace
 
@@ -127,6 +143,7 @@ int main(int argc, char** argv) {
   std::printf("micro: %llu events in %.3fs -> %.0f events/sec (%llu msgs)\n",
               (unsigned long long)micro.events, micro.wall_s,
               micro.events_per_sec, (unsigned long long)micro.msgs);
+  print_host(micro.host);
 
   std::printf("barnes: nodes=%d bodies=%zu steps=%d ...\n", barnes_nodes,
               bodies, steps);
@@ -134,19 +151,16 @@ int main(int argc, char** argv) {
   const auto barnes = run_barnes_shaped(barnes_nodes, bodies, steps);
   std::printf("barnes: wall %.3fs, checksum %.9f (%llu msgs)\n",
               barnes.wall_s, barnes.checksum, (unsigned long long)barnes.msgs);
+  print_host(barnes.host);
 
   if (!json_path.empty()) {
     FILE* f = std::fopen(json_path.c_str(), "w");
     PRESTO_CHECK(f != nullptr, "cannot open " << json_path
                                               << " (run from the repo root)");
-    const double micro_speedup =
-        kBaselineMicroEventsPerSec > 0
-            ? micro.events_per_sec / kBaselineMicroEventsPerSec
-            : 0.0;
-    const double barnes_reduction =
-        kBaselineBarnesWallS > 0
-            ? 1.0 - barnes.wall_s / kBaselineBarnesWallS
-            : 0.0;
+    const double micro_vs_seed = micro.events_per_sec / kSeedMicroEventsPerSec;
+    const double micro_vs_pr1 = micro.events_per_sec / kPr1MicroEventsPerSec;
+    const double barnes_vs_seed = kSeedBarnesWallS / barnes.wall_s;
+    const double barnes_vs_pr1 = kPr1BarnesWallS / barnes.wall_s;
     std::fprintf(f,
                  "{\n"
                  "  \"micro\": {\n"
@@ -162,24 +176,45 @@ int main(int argc, char** argv) {
                  "    \"checksum\": %.9f,\n"
                  "    \"msgs\": %llu\n"
                  "  },\n"
-                 "  \"baseline\": {\n"
-                 "    \"micro_events_per_sec\": %.0f,\n"
-                 "    \"barnes_wall_s\": %.4f,\n"
-                 "    \"note\": \"seed implementation (PR 1 baseline), same "
-                 "workload sizes\"\n"
+                 "  \"host\": {\n"
+                 "    \"backend\": \"%s\",\n"
+                 "    \"micro_handoffs\": %llu,\n"
+                 "    \"micro_direct_resumes\": %llu,\n"
+                 "    \"barnes_handoffs\": %llu,\n"
+                 "    \"barnes_direct_resumes\": %llu\n"
                  "  },\n"
-                 "  \"vs_baseline\": {\n"
-                 "    \"micro_events_per_sec_speedup\": %.2f,\n"
-                 "    \"barnes_wall_clock_reduction_pct\": %.1f\n"
+                 "  \"baselines\": {\n"
+                 "    \"seed\": {\n"
+                 "      \"micro_events_per_sec\": %.0f,\n"
+                 "      \"barnes_wall_s\": %.4f,\n"
+                 "      \"note\": \"pre-rewrite simulation core, thread "
+                 "backend\"\n"
+                 "    },\n"
+                 "    \"pr1\": {\n"
+                 "      \"micro_events_per_sec\": %.0f,\n"
+                 "      \"barnes_wall_s\": %.4f,\n"
+                 "      \"note\": \"hot-path overhaul, thread backend\"\n"
+                 "    }\n"
+                 "  },\n"
+                 "  \"vs_baselines\": {\n"
+                 "    \"micro_speedup_vs_seed\": %.2f,\n"
+                 "    \"micro_speedup_vs_pr1\": %.2f,\n"
+                 "    \"barnes_speedup_vs_seed\": %.2f,\n"
+                 "    \"barnes_speedup_vs_pr1\": %.2f\n"
                  "  }\n"
                  "}\n",
                  micro_nodes, blocks, rounds,
                  (unsigned long long)micro.events, micro.wall_s,
                  micro.events_per_sec, (unsigned long long)micro.msgs,
                  barnes_nodes, bodies, steps, barnes.wall_s, barnes.checksum,
-                 (unsigned long long)barnes.msgs, kBaselineMicroEventsPerSec,
-                 kBaselineBarnesWallS, micro_speedup,
-                 100.0 * barnes_reduction);
+                 (unsigned long long)barnes.msgs, micro.host.backend,
+                 (unsigned long long)micro.host.handoffs,
+                 (unsigned long long)micro.host.direct_resumes,
+                 (unsigned long long)barnes.host.handoffs,
+                 (unsigned long long)barnes.host.direct_resumes,
+                 kSeedMicroEventsPerSec, kSeedBarnesWallS,
+                 kPr1MicroEventsPerSec, kPr1BarnesWallS, micro_vs_seed,
+                 micro_vs_pr1, barnes_vs_seed, barnes_vs_pr1);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }

@@ -6,6 +6,7 @@
 #include "apps/water/water.h"
 #include "bench/bench_common.h"
 #include "runtime/machine.h"
+#include "util/pool.h"
 #include "util/table.h"
 
 using namespace presto;
@@ -13,6 +14,8 @@ using namespace presto;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto scale = bench::Scale::from_cli(cli);
+  const int jobs =
+      static_cast<int>(cli.get_int("jobs", util::default_pool_jobs()));
   cli.reject_unknown();
 
   util::Table spec({"Program", "Brief Description", "Data set (paper)"});
@@ -30,20 +33,33 @@ int main(int argc, char** argv) {
   ap.iters = static_cast<int>(100 / scale.divide);
   if (scale.divide > 1) ap.n = 64;
   if (ap.iters < 1) ap.iters = 1;
-  const auto a =
-      apps::run_adaptive(ap, machine, runtime::ProtocolKind::kPredictive, true);
 
   apps::BarnesParams bp;
   bp.bodies = static_cast<std::size_t>(16384 / scale.divide);
-  const auto b =
-      apps::run_barnes(bp, machine, runtime::ProtocolKind::kPredictive, true);
 
   apps::WaterParams wp;
   wp.molecules = static_cast<std::size_t>(512 / scale.divide);
   wp.steps = static_cast<int>(20 / scale.divide);
   if (wp.steps < 2) wp.steps = 2;
-  const auto w =
-      apps::run_water(wp, machine, runtime::ProtocolKind::kPredictive, true);
+
+  // The three workloads are independent System instances; run them on the
+  // host pool (index-ordered results keep the table deterministic).
+  const auto results = util::parallel_map(3, jobs, [&](int i) {
+    switch (i) {
+      case 0:
+        return apps::run_adaptive(ap, machine,
+                                  runtime::ProtocolKind::kPredictive, true);
+      case 1:
+        return apps::run_barnes(bp, machine,
+                                runtime::ProtocolKind::kPredictive, true);
+      default:
+        return apps::run_water(wp, machine,
+                               runtime::ProtocolKind::kPredictive, true);
+    }
+  });
+  const auto& a = results[0];
+  const auto& b = results[1];
+  const auto& w = results[2];
 
   util::Table t({"Program", "shared accesses", "faults", "local hit %",
                  "presend blocks", "msgs", "sim exec (s)"});

@@ -9,6 +9,7 @@
 //
 // Exit status: 0 = all programs clean (or replay reproduced "ok"), 1 = a
 // failure was found (trace dumped to --dump-dir) or a replay still fails.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -19,6 +20,7 @@
 #include "check/fuzz.h"
 #include "util/check.h"
 #include "util/cli.h"
+#include "util/pool.h"
 
 namespace {
 
@@ -77,14 +79,31 @@ int main(int argc, char** argv) {
   const std::int64_t time_budget = cli.get_int("time-budget", 0);  // seconds
   const int shrink_attempts =
       static_cast<int>(cli.get_int("shrink-attempts", 200));
+  int jobs = static_cast<int>(
+      cli.get_int("jobs", presto::util::default_pool_jobs()));
   cli.reject_unknown();
+  PRESTO_CHECK(jobs >= 1, "--jobs must be >= 1");
 
   if (do_selfcheck) return selfcheck(latency_sweep);
   if (!replay_path.empty()) return replay(replay_path, latency_sweep);
 
+  if (!inject.empty() && jobs > 1) {
+    // Bug injection goes through the process-wide check::bug_hooks() table;
+    // concurrent instances would share the planted bug's bookkeeping.
+    std::printf("--inject-bug is process-wide; forcing --jobs=1\n");
+    jobs = 1;
+  }
+
+  // The corpus is embarrassingly parallel: each program is an independent
+  // simulation instance, so chunks of `jobs * 4` seeds run on the host pool.
+  // Determinism is preserved — on failure the lowest failing seed in the
+  // chunk is the one shrunk and dumped, exactly what the serial loop would
+  // have reported — and the time budget is honoured at chunk granularity.
   const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t chunk =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(jobs) * 4);
   std::int64_t checked = 0;
-  for (std::int64_t i = 0; i < count; ++i) {
+  for (std::int64_t base = 0; base < count; base += chunk) {
     if (time_budget > 0) {
       const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
                                std::chrono::steady_clock::now() - t0)
@@ -95,17 +114,37 @@ int main(int argc, char** argv) {
         break;
       }
     }
-    FuzzProgram prog = presto::check::generate(seed + static_cast<std::uint64_t>(i));
-    prog.injected_bug = inject;
-    const FuzzVerdict v = check_program(prog, latency_sweep);
-    ++checked;
-    if (v.ok) continue;
+    const std::int64_t n = std::min<std::int64_t>(chunk, count - base);
+    if (jobs > 1) {
+      std::printf("checking seeds %llu..%llu on %d host threads\n",
+                  static_cast<unsigned long long>(seed +
+                                                  static_cast<std::uint64_t>(base)),
+                  static_cast<unsigned long long>(
+                      seed + static_cast<std::uint64_t>(base + n - 1)),
+                  jobs);
+      std::fflush(stdout);
+    }
+    const std::vector<FuzzVerdict> verdicts = presto::util::parallel_map(
+        static_cast<int>(n), jobs, [&](int i) {
+          FuzzProgram prog = presto::check::generate(
+              seed + static_cast<std::uint64_t>(base + i));
+          prog.injected_bug = inject;
+          return check_program(prog, latency_sweep);
+        });
+    checked += n;
+    const auto bad = std::find_if(verdicts.begin(), verdicts.end(),
+                                  [](const FuzzVerdict& v) { return !v.ok; });
+    if (bad == verdicts.end()) continue;
 
+    const std::int64_t idx = base + (bad - verdicts.begin());
+    FuzzProgram prog =
+        presto::check::generate(seed + static_cast<std::uint64_t>(idx));
+    prog.injected_bug = inject;
     std::printf("FAILURE on seed %llu:\n%s\nshrinking...\n",
                 static_cast<unsigned long long>(prog.seed),
-                v.report.c_str());
+                bad->report.c_str());
     const FuzzProgram shrunk =
-        presto::check::shrink(prog, v.signature, latency_sweep,
+        presto::check::shrink(prog, bad->signature, latency_sweep,
                               shrink_attempts);
     const FuzzVerdict sv = check_program(shrunk, latency_sweep);
     std::filesystem::create_directories(dump_dir);
@@ -120,9 +159,9 @@ int main(int argc, char** argv) {
                 path.c_str(), latency_sweep ? "" : " --latency-sweep=0");
     return 1;
   }
-  std::printf("%lld program(s) clean (seed base %llu%s)\n",
+  std::printf("%lld program(s) clean (seed base %llu%s, jobs %d)\n",
               static_cast<long long>(checked),
               static_cast<unsigned long long>(seed),
-              latency_sweep ? ", latency sweep on" : "");
+              latency_sweep ? ", latency sweep on" : "", jobs);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "mem/global_space.h"
 #include "net/network.h"
 #include "proto/protocol.h"
+#include "sim/fiber.h"
 #include "sim/time.h"
 
 namespace presto::runtime {
@@ -31,6 +32,9 @@ struct MachineConfig {
   sim::Time reduce_per_byte = 50;                    // control-network combine
   sim::Time quantum_floor = 0;  // 0 = exact event-granularity interleaving
   std::uint64_t seed = 0x5EEDF00DULL;
+  // Host-side processor implementation (fibers vs OS threads); simulated
+  // results are bit-identical across backends, only host speed differs.
+  sim::Backend backend = sim::default_backend();
 
   static MachineConfig cm5_blizzard(int nodes = 32,
                                     std::uint32_t block_size = 32) {

@@ -1,5 +1,7 @@
 #include "runtime/system.h"
 
+#include <chrono>
+
 #include "util/check.h"
 
 namespace presto::runtime {
@@ -15,7 +17,7 @@ const char* protocol_kind_name(ProtocolKind k) {
 }
 
 System::System(const MachineConfig& cfg, ProtocolKind kind)
-    : cfg_(cfg), kind_(kind), rec_(cfg.nodes) {
+    : cfg_(cfg), kind_(kind), rec_(cfg.nodes), engine_(cfg.backend) {
   engine_.set_quantum_floor(cfg.quantum_floor);
   net_ = std::make_unique<net::Network>(engine_, cfg.nodes, cfg.net);
   space_ = std::make_unique<mem::GlobalSpace>(cfg.nodes, cfg.mem);
@@ -85,7 +87,20 @@ void System::run(const std::function<void(NodeCtx&)>& body) {
       ctx->counters().finish = ctx->proc().now();
     });
   }
+  const auto host_t0 = std::chrono::steady_clock::now();
   engine_.run();
+  stats::HostCounters& host = rec_.host();
+  host.run_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)
+          .count();
+  host.events = engine_.events_executed();
+  host.handoffs = engine_.handoffs();
+  host.direct_resumes = engine_.direct_resumes();
+  host.backend = sim::backend_name(engine_.backend());
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    host.yields += engine_.processor(n).yield_count();
+    host.blocks += engine_.processor(n).block_count();
+  }
   exec_time_ = rec_.max(&stats::NodeCounters::finish);
   if (oracle_ != nullptr) {
     // End-of-run quiescent checks: whole-memory agreement sweep plus the
@@ -126,6 +141,7 @@ stats::Report System::report(std::string label) const {
   r.msgs = net_->messages_sent();
   r.bytes = net_->bytes_sent();
   r.presend_blocks = rec_.sum(&stats::NodeCounters::presend_blocks_sent);
+  r.host = rec_.host();
   return r;
 }
 

@@ -5,7 +5,9 @@
 
 namespace presto::sim {
 
-Engine::Engine() = default;
+Engine::Engine(Backend backend)
+    : backend_(backend), fiber_stack_size_(Fiber::default_stack_size()) {}
+
 Engine::~Engine() = default;
 
 void Engine::check_delay(Time delay) const {
@@ -84,24 +86,39 @@ Processor* Engine::step_one() {
   return to;
 }
 
+void Engine::transfer(Processor* self, Processor* to) {
+  ++handoffs_;
+  if (backend_ == Backend::kFiber) {
+    FiberContext& from = self != nullptr ? self->fiber_->context() : main_ctx_;
+    fiber_switch(from, to->fiber_->context());
+    // Control came back: either our own resume event popped in some other
+    // context's drive, or (run()'s caller) the queue drained.
+    if (self != nullptr) self->fiber_resumed();  // throws Killed on teardown
+    return;
+  }
+  to->grant_control();
+  if (self != nullptr) self->park();  // until our own resume grants back
+}
+
 bool Engine::drive(Processor* self) {
   for (;;) {
     if (heap_.empty()) {
       if (self == nullptr) return true;
-      // An application thread drained the queue while parked in block():
+      // An application context drained the queue while parked in block():
       // either another processor still runs app code elsewhere (it will
       // never hand back — deadlock) or everything finished. Let run()'s
-      // caller make the call; this thread stays parked (teardown kills it).
+      // caller make the call; this context stays parked (teardown kills it).
       signal_done();
-      self->park();
+      self->park_forever();
       continue;
     }
     Processor* to = step_one();
     if (to == nullptr) continue;
-    if (to == self) return false;  // own resume: continue app code in place
-    to->grant_control();
-    if (self == nullptr) return false;  // run() goes to wait for the drain
-    self->park();                       // until our own resume grants back
+    if (to == self) {
+      ++direct_resumes_;
+      return false;  // own resume: continue app code in place
+    }
+    transfer(self, to);
     return false;
   }
 }
@@ -114,12 +131,32 @@ void Engine::drive_exit() {
     }
     Processor* to = step_one();
     if (to == nullptr) continue;
+    ++handoffs_;
     to->grant_control();
     return;
   }
 }
 
+FiberContext* Engine::drive_exit_target() {
+  for (;;) {
+    if (heap_.empty()) {
+      signal_done();
+      return &main_ctx_;
+    }
+    Processor* to = step_one();
+    if (to == nullptr) continue;
+    ++handoffs_;
+    return &to->fiber_->context();
+  }
+}
+
 void Engine::signal_done() {
+  if (backend_ == Backend::kFiber) {
+    // Single OS thread: run()'s caller observes the flag as soon as control
+    // switches back to it; no synchronization needed.
+    done_ = true;
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(done_mutex_);
     done_ = true;
@@ -128,10 +165,16 @@ void Engine::signal_done() {
 }
 
 void Engine::run() {
-  done_ = false;  // no application thread is running between runs
+  done_ = false;  // no application context is running between runs
   if (!drive(nullptr)) {
-    std::unique_lock<std::mutex> lock(done_mutex_);
-    done_cv_.wait(lock, [&] { return done_; });
+    if (backend_ == Backend::kFiber) {
+      // The handoff in drive() only returns once a fiber signalled the
+      // drain and switched back to this context.
+      PRESTO_CHECK(done_, "fiber engine resumed run() before drain");
+    } else {
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      done_cv_.wait(lock, [&] { return done_; });
+    }
   }
   for (const auto& p : processors_) {
     PRESTO_CHECK(!p->started() || p->finished() || !p->parked_in_block(),

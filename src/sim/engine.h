@@ -1,13 +1,17 @@
 // Deterministic discrete-event engine.
 //
 // Events execute in strict (time, insertion sequence) order. Simulated
-// processors (sim/processor.h) run application code on their own OS
-// threads, but exactly one thread runs at any moment, so execution is
+// processors (sim/processor.h) run application code on their own execution
+// contexts — user-level fibers by default, OS threads on the fallback
+// backend — but exactly one context runs at any moment, so execution is
 // sequentially deterministic and needs no other synchronization. The event
-// loop itself has no dedicated thread: run() drives it on the caller until
-// an event resumes a processor, after which whichever application thread
-// yields drives it inline (see processor.h for the run-token protocol);
-// run() then waits until the queue drains.
+// loop itself has no dedicated context: run() drives it on the caller until
+// an event resumes a processor, after which whichever application context
+// yields drives it inline (see processor.h for the run-token protocol). On
+// the fiber backend the whole engine lives on one OS thread and a handoff is
+// a user-level stack switch; on the thread backend run() parks on a condvar
+// until the queue drains. Both backends execute the identical event
+// sequence, so simulated results are bit-identical.
 //
 // The queue is built for host throughput: closures live in a slab of
 // fixed-size slots recycled through a freelist (no per-event heap
@@ -22,6 +26,7 @@
 #include <mutex>
 #include <vector>
 
+#include "sim/fiber.h"
 #include "sim/inline_fn.h"
 #include "sim/time.h"
 
@@ -31,11 +36,13 @@ class Processor;
 
 class Engine {
  public:
-  Engine();
+  explicit Engine(Backend backend = default_backend());
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  Backend backend() const { return backend_; }
 
   // Schedules fn to run in engine context at absolute time t (clamped to the
   // current time if in the past). Events at equal times run in schedule order.
@@ -67,8 +74,15 @@ class Engine {
   // is still blocked with no pending events.
   void run();
 
-  // Statistics.
+  // Statistics (host-side observability; never part of simulated results).
   std::uint64_t events_executed() const { return events_executed_; }
+  // Cross-context control transfers: run token handed to a different
+  // processor (a stack switch on the fiber backend, a futex wake + park on
+  // the thread backend).
+  std::uint64_t handoffs() const { return handoffs_; }
+  // Resume events that popped while their own processor was driving — the
+  // fast path costing zero context switches on either backend.
+  std::uint64_t direct_resumes() const { return direct_resumes_; }
 
   // Minimum compute time a processor may accumulate before yielding at the
   // horizon; 0 means exact event-granularity interleaving. Larger quanta
@@ -76,6 +90,13 @@ class Engine {
   // unaffected for data-race-free programs).
   void set_quantum_floor(Time q) { quantum_floor_ = q; }
   Time quantum_floor() const { return quantum_floor_; }
+
+  // Per-fiber stack size for processors created after this call (tests use
+  // tiny stacks to exercise overflow detection). Defaults to
+  // Fiber::default_stack_size(), i.e. the PRESTO_STACK_SIZE environment
+  // variable. No effect on the thread backend.
+  void set_fiber_stack_size(std::size_t bytes) { fiber_stack_size_ = bytes; }
+  std::size_t fiber_stack_size() const { return fiber_stack_size_; }
 
  private:
   friend class Processor;
@@ -104,19 +125,29 @@ class Engine {
 
   // Executes the next event; returns the processor it resumed, or nullptr.
   Processor* step_one();
-  // Event loop, called by the thread holding the run token. With self set
-  // (an application thread that yielded or blocked), returns once control is
-  // back with self's app code — either its own resume event popped, or the
-  // token went to another thread and came back via park(). With self null
-  // (run()'s caller), returns after draining the queue or handing the token
-  // to an application thread; returns true iff this call drained the queue.
+  // Event loop, called by the context holding the run token. With self set
+  // (an application context that yielded or blocked), returns once control
+  // is back with self's app code — either its own resume event popped, or
+  // the token went to another context and came back. With self null (run()'s
+  // caller), returns after draining the queue or handing the token to an
+  // application context; returns true iff this call drained the queue.
   bool drive(Processor* self);
-  // Drives on a thread whose processor body just finished: hands the token
-  // onward or, if the queue drained, signals run() — then returns so the
-  // thread can exit.
+  // Hands the run token from `self` (null = run()'s caller) to `to`. Fiber
+  // backend: a direct stack switch that returns when control comes back.
+  // Thread backend: wake the target, then park (or, for run()'s caller,
+  // return and wait on the drain condvar).
+  void transfer(Processor* self, Processor* to);
+  // Thread backend: drives on a thread whose processor body just finished —
+  // hands the token onward or, if the queue drained, signals run(); then
+  // returns so the thread can exit.
   void drive_exit();
+  // Fiber backend equivalent: returns the context the finished fiber must
+  // terminally switch to (the next resumed processor, or run()'s caller
+  // after signalling the drain).
+  FiberContext* drive_exit_target();
   void signal_done();
 
+  const Backend backend_;
   std::vector<HeapEntry> heap_;
   std::vector<std::unique_ptr<InlineFn[]>> slabs_;
   std::vector<std::uint32_t> free_;
@@ -126,9 +157,16 @@ class Engine {
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t handoffs_ = 0;
+  std::uint64_t direct_resumes_ = 0;
   Time quantum_floor_ = 0;
+  std::size_t fiber_stack_size_;
 
-  // run() parks here while application threads drive the event loop.
+  // Fiber backend: the saved context of run()'s caller while application
+  // fibers drive the event loop.
+  FiberContext main_ctx_;
+
+  // Thread backend: run() parks here while application threads drive.
   std::mutex done_mutex_;
   std::condition_variable done_cv_;
   bool done_ = false;

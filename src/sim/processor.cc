@@ -7,34 +7,55 @@ namespace presto::sim {
 
 Processor::Processor(Engine& engine, int id) : engine_(engine), id_(id) {}
 
-Processor::~Processor() {
-  if (thread_.joinable()) {
-    bool need_kill;
+Processor::~Processor() { teardown(); }
+
+void Processor::teardown() {
+  if (fiber_ != nullptr) {
+    if (!finished_) {
+      // Suspended mid-run (or never granted): switch in with the kill flag
+      // set; the fiber unwinds via Killed and terminally switches back here.
+      kill_ = true;
+      FiberContext killer;
+      kill_exit_ = &killer;
+      fiber_switch(killer, fiber_->context());
+      PRESTO_CHECK(finished_, "killed fiber did not unwind");
+    }
+    fiber_.reset();
+    return;
+  }
+  if (!thread_.joinable()) return;  // never started
+  if (!finished_) {
+    // Parked mid-run (engine torn down early): unwind via Killed.
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      need_kill = !finished_;
-      if (need_kill) {
-        // Parked mid-run (engine torn down early): unwind via Killed.
-        kill_ = true;
-        go_token_ = true;
-      }
+      kill_ = true;
+      go_token_ = true;
     }
-    if (need_kill) cv_.notify_all();
-    thread_.join();
+    cv_.notify_all();
   }
+  thread_.join();
 }
 
 void Processor::start(std::function<void()> body, Time start_time) {
   PRESTO_CHECK(!started_, "processor " << id_ << " started twice");
   started_ = true;
   clock_ = start_time;
-  thread_ = std::thread(&Processor::thread_main, this, std::move(body));
+  body_ = std::move(body);
+  if (engine_.backend() == Backend::kFiber) {
+    fiber_ = std::make_unique<Fiber>(&Processor::fiber_entry, this,
+                                     engine_.fiber_stack_size());
+  } else {
+    thread_ = std::thread(&Processor::thread_main, this);
+  }
   engine_.schedule_at(start_time, [this] { mark_resume(); });
 }
 
-void Processor::thread_main(std::function<void()> body) {
+bool Processor::run_body() {
   bool killed = false;
   try {
+    // Scope the body so its captures are destroyed before the exit handoff
+    // on either backend.
+    std::function<void()> body = std::move(body_);
     park();  // initial grant, delivered by the start-time resume event
     body();
   } catch (const Killed&) {
@@ -42,9 +63,21 @@ void Processor::thread_main(std::function<void()> body) {
     killed = true;
   }
   finished_ = true;
+  return killed;
+}
+
+void Processor::thread_main() {
   // The body ran to completion while this thread held the run token: keep
   // driving the event loop until control passes elsewhere, then exit.
-  if (!killed) engine_.drive_exit();
+  if (!run_body()) engine_.drive_exit();
+}
+
+FiberContext* Processor::fiber_entry(void* self_void) {
+  auto* self = static_cast<Processor*>(self_void);
+  if (self->run_body()) return self->kill_exit_;
+  // Keep driving the event loop on this (now dead-to-the-simulation) stack
+  // until control must pass elsewhere; that handoff is the fiber's last act.
+  return self->engine_.drive_exit_target();
 }
 
 void Processor::mark_resume() {
@@ -62,10 +95,33 @@ void Processor::grant_control() {
 }
 
 void Processor::park() {
+  if (engine_.backend() == Backend::kFiber) {
+    // A fiber only executes after control was switched to it, so the grant
+    // already happened; only a teardown kill needs handling.
+    if (kill_) throw Killed{};
+    return;
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return go_token_; });
   go_token_ = false;
   if (kill_) throw Killed{};
+}
+
+void Processor::fiber_resumed() {
+  PRESTO_CHECK(fiber_->canary_intact(),
+               "fiber stack overflow on processor "
+                   << id_ << " (" << fiber_->stack_size()
+                   << " bytes); increase PRESTO_STACK_SIZE");
+  if (kill_) throw Killed{};
+}
+
+void Processor::park_forever() {
+  if (engine_.backend() == Backend::kFiber) {
+    fiber_switch(fiber_->context(), engine_.main_ctx_);
+    fiber_resumed();  // teardown kill: throws
+    PRESTO_FAIL("processor " << id_ << " resumed after queue drain");
+  }
+  park();
 }
 
 void Processor::wake(Time t) {

@@ -1,18 +1,23 @@
-// A simulated processor running application code on a dedicated OS thread.
+// A simulated processor running application code on its own execution
+// context: a user-level fiber by default, or a dedicated OS thread on the
+// fallback backend (sim/fiber.h::Backend, chosen per Engine).
 //
-// Exactly one thread executes at a time, so execution is sequentially
+// Exactly one context executes at a time, so execution is sequentially
 // deterministic. There is no dedicated engine thread handing out time
-// slices: whichever application thread yields (at the event horizon or in
+// slices: whichever application context yields (at the event horizon or in
 // block()) drives the engine's event loop inline until its own resume event
-// pops, and only parks — handing the run token to the target thread — when
-// an event resumes a *different* processor. The common case, a processor
-// yielding and resuming with no other processor scheduled in between, costs
-// zero context switches; a cross-processor switch costs one wake + one park
-// instead of the two round trips a central engine thread would need.
+// pops, and only hands the run token to the target context when an event
+// resumes a *different* processor. The common case, a processor yielding
+// and resuming with no other processor scheduled in between, costs zero
+// context switches on either backend. A cross-processor handoff costs one
+// user-level stack switch (~tens of ns) on the fiber backend; on the thread
+// backend it is one wake + one park, i.e. two futex syscalls and a kernel
+// context switch. Both backends execute the identical event sequence, so
+// simulated results are bit-identical (tests/backend_equivalence_test.cc).
 //
 // Application code advances its local virtual clock with charge() and parks
 // with block() until an engine-context event calls wake(). Protocol handlers
-// execute in engine context (inside whichever thread is driving); the cycles
+// execute in engine context (inside whichever context is driving); the cycles
 // they consume on a node whose application thread is computing are
 // accumulated via add_stolen() and folded into the application clock at the
 // next charge() (a documented approximation, see DESIGN.md §2).
@@ -21,9 +26,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "sim/fiber.h"
 #include "sim/time.h"
 
 namespace presto::sim {
@@ -42,7 +49,8 @@ class Processor {
 
   // ---- Engine-context interface -------------------------------------------
 
-  // Spawns the thread and schedules the body to begin at start_time.
+  // Creates the execution context (fiber or thread, per the engine's
+  // backend) and schedules the body to begin at start_time.
   void start(std::function<void()> body, Time start_time = 0);
 
   // Schedules a resume for a processor parked in block(). If the processor
@@ -57,7 +65,7 @@ class Processor {
   bool finished() const { return finished_; }
   bool parked_in_block() const { return blocked_; }
 
-  // ---- Application-thread interface ---------------------------------------
+  // ---- Application-context interface ---------------------------------------
 
   // Local virtual clock.
   Time now() const { return clock_; }
@@ -82,24 +90,51 @@ class Processor {
  private:
   struct Killed {};
 
-  void thread_main(std::function<void()> body);
+  // Shared body wrapper: initial park, body, Killed unwind; returns whether
+  // the context was killed. Runs on the fiber or the dedicated thread.
+  bool run_body();
+  void thread_main();
+  // Fiber entry (sim/fiber.h): runs the body, then either hands the run
+  // token onward via the engine's exit path or, when killed, switches back
+  // to the context that performed the kill. The returned context is the
+  // fiber's terminal switch target.
+  static FiberContext* fiber_entry(void* self);
+
   // Engine-context resume event: flags the engine to transfer control here.
   void mark_resume();
-  // Hands the run token to this processor's thread (called by the driver).
+  // Thread backend: hands the run token to this processor's thread.
   void grant_control();
-  // Waits on this processor's own thread for the run token; throws Killed on
-  // teardown.
+  // Thread backend: waits for the run token; throws Killed on teardown.
+  // Fiber backend: the switch itself is the wait, so this only checks for a
+  // teardown kill (the initial park after the first switch-in).
   void park();
+  // Called after a fiber switch lands back in this processor: validates the
+  // stack canary and unwinds via Killed if the engine is being torn down.
+  void fiber_resumed();
+  // Queue drained while this context still holds live frames (deadlock or
+  // teardown): signal run()'s caller and park until killed.
+  void park_forever();
+  // Backend-uniform destructor path: kill + unwind only when the context
+  // started and has not finished; otherwise just reclaim resources.
+  void teardown();
+
   void absorb_stolen();
   void maybe_yield_at_horizon();
 
   Engine& engine_;
   const int id_;
 
+  // Thread backend.
   std::thread thread_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool go_token_ = false;  // run token: this thread may execute app code
+
+  // Fiber backend.
+  std::unique_ptr<Fiber> fiber_;
+  FiberContext* kill_exit_ = nullptr;  // killer's context during teardown
+
+  std::function<void()> body_;  // held from start() until run_body() takes it
   bool kill_ = false;
 
   Time clock_ = 0;

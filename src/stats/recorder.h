@@ -38,6 +38,21 @@ struct NodeCounters {
   std::uint64_t schedule_entries = 0;  // live entries recorded at this home
 };
 
+// Host-side (wall-clock) execution counters for one Engine run. These are
+// observability only — they describe how fast the host executed the
+// simulation and never feed back into simulated results, so they may differ
+// across backends and machines while every NodeCounters value stays
+// bit-identical. Surfaced by bench/host_throughput and System::run.
+struct HostCounters {
+  double run_wall_s = 0.0;            // wall time inside System::run
+  std::uint64_t events = 0;           // engine events executed
+  std::uint64_t handoffs = 0;         // cross-context run-token transfers
+  std::uint64_t direct_resumes = 0;   // self-resumes (zero-switch fast path)
+  std::uint64_t yields = 0;           // sum of processor horizon yields
+  std::uint64_t blocks = 0;           // sum of processor block() parks
+  const char* backend = "";           // "fiber" or "thread"
+};
+
 class Recorder {
  public:
   explicit Recorder(int nodes) : nodes_(static_cast<std::size_t>(nodes)) {}
@@ -69,8 +84,12 @@ class Recorder {
                                 static_cast<double>(nodes_.size());
   }
 
+  HostCounters& host() { return host_; }
+  const HostCounters& host() const { return host_; }
+
  private:
   std::vector<NodeCounters> nodes_;
+  HostCounters host_;
 };
 
 }  // namespace presto::stats

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "stats/recorder.h"
 
 namespace presto::stats {
 
@@ -32,6 +33,10 @@ struct Report {
   std::uint64_t msgs = 0;
   std::uint64_t bytes = 0;
   std::uint64_t presend_blocks = 0;
+
+  // Host-side (wall-clock) execution counters for the run that produced this
+  // report. Observability only — never part of simulated results.
+  HostCounters host;
 
   // Formatted outputs for a set of versions of one application; times are
   // normalized to the fastest version, as in the paper's figures.

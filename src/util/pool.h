@@ -1,0 +1,107 @@
+// Host thread pool for running independent Engine instances in parallel.
+//
+// Each Engine is internally sequential (one OS thread on the fiber backend),
+// so experiment sweeps, multi-workload tables, and fuzz corpora scale with
+// host cores only by running many *instances* side by side. parallel_map
+// does exactly that: fn(0..n-1) on up to `jobs` worker threads, results
+// delivered in index order regardless of completion order, so every caller
+// stays deterministic — the output of a parallel sweep is byte-identical to
+// the serial one.
+//
+// Requirements on fn: calls for different indices must be independent — in
+// particular each call must create its own System/Engine (engines are not
+// thread-safe, but distinct instances share nothing mutable). The fiber
+// backend is per-OS-thread by construction (thread-local switch bookkeeping),
+// so fibers and the pool compose freely. Process-wide test hooks
+// (check/bughook.h) are the one exception; callers that set them run with
+// jobs=1.
+//
+// The default worker count comes from PRESTO_JOBS, falling back to
+// std::thread::hardware_concurrency(); tools expose it as --jobs.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace presto::util {
+
+inline int default_pool_jobs() {
+  static const int jobs = [] {
+    const char* v = std::getenv("PRESTO_JOBS");
+    if (v != nullptr && v[0] != '\0') {
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      PRESTO_CHECK(end != nullptr && *end == '\0' && n > 0 && n <= 4096,
+                   "PRESTO_JOBS: expected a positive thread count, got '"
+                       << v << "'");
+      return static_cast<int>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return jobs;
+}
+
+// Runs fn(i) for i in [0, n) on up to `jobs` host threads and returns the
+// results in index order. jobs <= 1 (or n <= 1) degenerates to a plain
+// serial loop on the caller — useful both for determinism-by-construction
+// and because callers compare serial vs parallel output in tests. The first
+// exception thrown by any fn is rethrown on the caller after all workers
+// stop (remaining indices may be skipped once a failure is recorded).
+template <typename Fn>
+auto parallel_map(int n, int jobs, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(0))>> {
+  using R = std::decay_t<decltype(fn(0))>;
+  std::vector<R> out(static_cast<std::size_t>(n > 0 ? n : 0));
+  if (n <= 0) return out;
+  if (jobs > n) jobs = n;
+  if (jobs <= 1) {
+    for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = fn(i);
+    return out;
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        out[static_cast<std::size_t>(i)] = fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(jobs));
+  for (int t = 0; t < jobs; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return out;
+}
+
+// Result-less variant for callers that only want the side effects (each
+// index still independent; same failure semantics).
+template <typename Fn>
+void parallel_for(int n, int jobs, Fn&& fn) {
+  parallel_map(n, jobs, [&fn](int i) {
+    fn(i);
+    return 0;
+  });
+}
+
+}  // namespace presto::util

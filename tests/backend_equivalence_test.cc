@@ -1,0 +1,122 @@
+// Backend equivalence: the fiber and thread processor backends differ only
+// in how control is transferred between simulated processors (user-level
+// stack switch vs mutex/condvar run token), so every simulated result —
+// per-node counters, traffic, event counts, exec times, final memory image —
+// must be bit-identical between them for every protocol. This is the
+// guarantee that lets the default backend change without touching a single
+// golden number.
+#include <gtest/gtest.h>
+
+#include "apps/barnes/barnes.h"
+#include "runtime/machine.h"
+#include "golden_workload.h"
+
+namespace presto {
+namespace {
+
+using runtime::ProtocolKind;
+using testutil::run_micro_workload;
+using testutil::WorkloadResult;
+
+void expect_equal(const stats::NodeCounters& a, const stats::NodeCounters& b,
+                  int node) {
+  SCOPED_TRACE("node " + std::to_string(node));
+  EXPECT_EQ(a.remote_wait, b.remote_wait);
+  EXPECT_EQ(a.presend, b.presend);
+  EXPECT_EQ(a.barrier_wait, b.barrier_wait);
+  EXPECT_EQ(a.lock_wait, b.lock_wait);
+  EXPECT_EQ(a.finish, b.finish);
+  EXPECT_EQ(a.shared_reads, b.shared_reads);
+  EXPECT_EQ(a.shared_writes, b.shared_writes);
+  EXPECT_EQ(a.read_faults, b.read_faults);
+  EXPECT_EQ(a.write_faults, b.write_faults);
+  EXPECT_EQ(a.local_faults, b.local_faults);
+  EXPECT_EQ(a.msgs_sent, b.msgs_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.presend_blocks_sent, b.presend_blocks_sent);
+  EXPECT_EQ(a.presend_blocks_received, b.presend_blocks_received);
+  EXPECT_EQ(a.presend_msgs, b.presend_msgs);
+  EXPECT_EQ(a.schedule_entries, b.schedule_entries);
+}
+
+void expect_equal(const WorkloadResult& a, const WorkloadResult& b) {
+  ASSERT_EQ(a.counters.size(), b.counters.size());
+  for (std::size_t n = 0; n < a.counters.size(); ++n)
+    expect_equal(a.counters[n], b.counters[n], static_cast<int>(n));
+  EXPECT_EQ(a.msgs, b.msgs);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.exec, b.exec);
+  EXPECT_EQ(a.mem_hash, b.mem_hash);
+}
+
+class BackendEquivalenceTest
+    : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(BackendEquivalenceTest, MicroWorkloadBitIdentical) {
+  const WorkloadResult fiber = run_micro_workload(
+      GetParam(), /*quantum_floor=*/0, /*nodes=*/4, /*rounds=*/6,
+      sim::Backend::kFiber);
+  const WorkloadResult thread = run_micro_workload(
+      GetParam(), /*quantum_floor=*/0, /*nodes=*/4, /*rounds=*/6,
+      sim::Backend::kThread);
+  expect_equal(fiber, thread);
+}
+
+// A nonzero quantum floor exercises horizon yields — extra voluntary control
+// transfers that must also land at identical virtual times on both backends.
+TEST_P(BackendEquivalenceTest, MicroWorkloadWithQuantumFloorBitIdentical) {
+  const WorkloadResult fiber = run_micro_workload(
+      GetParam(), /*quantum_floor=*/500, /*nodes=*/4, /*rounds=*/4,
+      sim::Backend::kFiber);
+  const WorkloadResult thread = run_micro_workload(
+      GetParam(), /*quantum_floor=*/500, /*nodes=*/4, /*rounds=*/4,
+      sim::Backend::kThread);
+  expect_equal(fiber, thread);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, BackendEquivalenceTest,
+    ::testing::Values(ProtocolKind::kStache, ProtocolKind::kPredictive,
+                      ProtocolKind::kPredictiveAnticipate,
+                      ProtocolKind::kWriteUpdate),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) -> std::string {
+      switch (info.param) {
+        case ProtocolKind::kStache: return "Stache";
+        case ProtocolKind::kPredictive: return "Predictive";
+        case ProtocolKind::kPredictiveAnticipate: return "PredictiveAnticipate";
+        case ProtocolKind::kWriteUpdate: return "WriteUpdate";
+      }
+      return "Unknown";
+    });
+
+TEST(BackendEquivalenceBarnes, ChecksumAndReportBitIdentical) {
+  apps::BarnesParams params;
+  params.bodies = 256;
+  params.steps = 2;
+
+  runtime::MachineConfig m = runtime::MachineConfig::cm5_blizzard(4, 32);
+  m.backend = sim::Backend::kFiber;
+  const auto fiber =
+      apps::run_barnes(params, m, ProtocolKind::kPredictive, true);
+  m.backend = sim::Backend::kThread;
+  const auto thread =
+      apps::run_barnes(params, m, ProtocolKind::kPredictive, true);
+
+  EXPECT_EQ(fiber.checksum, thread.checksum);
+  EXPECT_EQ(fiber.report.exec, thread.report.exec);
+  EXPECT_EQ(fiber.report.remote_wait, thread.report.remote_wait);
+  EXPECT_EQ(fiber.report.presend, thread.report.presend);
+  EXPECT_EQ(fiber.report.shared_accesses, thread.report.shared_accesses);
+  EXPECT_EQ(fiber.report.faults, thread.report.faults);
+  EXPECT_EQ(fiber.report.msgs, thread.report.msgs);
+  EXPECT_EQ(fiber.report.bytes, thread.report.bytes);
+  EXPECT_EQ(fiber.report.presend_blocks, thread.report.presend_blocks);
+  // The host-side counters are the one legitimate difference: a fiber run
+  // reports its backend name and cheap direct resumes.
+  EXPECT_STREQ(fiber.report.host.backend, "fiber");
+  EXPECT_STREQ(thread.report.host.backend, "thread");
+}
+
+}  // namespace
+}  // namespace presto

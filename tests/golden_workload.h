@@ -36,9 +36,12 @@ inline std::uint64_t fnv1a(std::uint64_t h, const void* p, std::size_t n) {
 
 inline WorkloadResult run_micro_workload(runtime::ProtocolKind kind,
                                          sim::Time quantum_floor = 0,
-                                         int nodes = 4, int rounds = 6) {
+                                         int nodes = 4, int rounds = 6,
+                                         sim::Backend backend =
+                                             sim::default_backend()) {
   runtime::MachineConfig cfg = runtime::MachineConfig::cm5_blizzard(nodes, 32);
   cfg.quantum_floor = quantum_floor;
+  cfg.backend = backend;
   runtime::System sys(cfg, kind);
   auto& space = sys.space();
 

@@ -201,5 +201,140 @@ TEST(Engine, TeardownWithNeverRunProcessorDoesNotHang) {
   SUCCEED();
 }
 
+// Teardown must be uniform across backends for every processor lifecycle
+// stage: never started, started but never scheduled (engine never ran),
+// and already finished. Each case exercises a distinct destructor path
+// (no context at all / Killed unwind / plain join-and-free).
+class BackendTeardownTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(BackendTeardownTest, NeverStartedProcessor) {
+  auto e = std::make_unique<Engine>(GetParam());
+  e->add_processor();  // start() never called: no body, no context
+  e.reset();
+  SUCCEED();
+}
+
+TEST_P(BackendTeardownTest, StartedButNeverRunProcessor) {
+  auto e = std::make_unique<Engine>(GetParam());
+  auto& p = e->add_processor();
+  bool ran = false;
+  p.start([&] { ran = true; });
+  e.reset();  // engine destroyed without run(): body must NOT execute
+  EXPECT_FALSE(ran);
+}
+
+TEST_P(BackendTeardownTest, FinishedProcessor) {
+  auto e = std::make_unique<Engine>(GetParam());
+  auto& p = e->add_processor();
+  p.start([&] { p.charge(10); });
+  e->run();
+  EXPECT_TRUE(p.finished());
+  e.reset();
+  SUCCEED();
+}
+
+TEST_P(BackendTeardownTest, MixedLifecyclesInOneEngine) {
+  auto e = std::make_unique<Engine>(GetParam());
+  e->add_processor();  // never started
+  auto& p = e->add_processor();
+  p.start([&] { p.charge(5); });  // started, never run
+  e.reset();
+  SUCCEED();
+}
+
+TEST_P(BackendTeardownTest, DeadlockIsDetected) {
+  const Backend backend = GetParam();
+  auto deadlock = [backend] {
+    Engine e(backend);
+    auto& p = e.add_processor();
+    p.start([&] { p.block(); });  // nobody ever wakes it
+    e.run();
+  };
+  EXPECT_DEATH(deadlock(), "deadlock");
+}
+
+TEST_P(BackendTeardownTest, ManyProcessorsDeterministicFinish) {
+  const Backend backend = GetParam();
+  auto run_once = [backend] {
+    Engine e(backend);
+    const int n = 16;
+    std::vector<Processor*> ps;
+    for (int i = 0; i < n; ++i) ps.push_back(&e.add_processor());
+    std::vector<Time> finish(n, 0);
+    for (int i = 0; i < n; ++i) {
+      Processor* p = ps[static_cast<std::size_t>(i)];
+      p->start([p, i, &finish] {
+        for (int k = 0; k < 20; ++k) p->charge(10 + (i * 7 + k) % 13);
+        finish[static_cast<std::size_t>(i)] = p->now();
+      });
+    }
+    e.run();
+    return finish;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, BackendTeardownTest,
+                         ::testing::Values(Backend::kFiber, Backend::kThread),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return std::string(backend_name(info.param));
+                         });
+
+namespace overflow {
+// Recursion with a per-frame buffer small enough that every frame touches
+// its page: the PROT_NONE guard below the fiber stack faults before the
+// overflow can reach a neighbouring allocation.
+int burn(int depth) {
+  volatile char buf[512];
+  buf[0] = static_cast<char>(depth);
+  if (depth <= 0) return buf[0];
+  return burn(depth - 1) + buf[0];
+}
+}  // namespace overflow
+
+TEST(FiberBackend, StackOverflowDiesInsteadOfCorrupting) {
+  auto overflow_run = [] {
+    Engine e(Backend::kFiber);
+    e.set_fiber_stack_size(64 * 1024);
+    auto& p = e.add_processor();
+    p.start([] { overflow::burn(1 << 20); });
+    e.run();
+  };
+  // Death by guard-page fault (no message) or by the canary check's
+  // "fiber stack overflow" diagnostic, depending on where the frames land.
+  EXPECT_DEATH(overflow_run(), "");
+}
+
+TEST(FiberBackend, EngineReportsSwitchCounters) {
+  // Two interleaving processors: horizon yields force real handoffs.
+  Engine e(Backend::kFiber);
+  auto& a = e.add_processor();
+  auto& b = e.add_processor();
+  a.start([&a] {
+    for (int i = 0; i < 10; ++i) a.charge(10);
+  });
+  b.start([&b] {
+    for (int i = 0; i < 10; ++i) b.charge(10);
+  });
+  e.run();
+  EXPECT_EQ(e.backend(), Backend::kFiber);
+  EXPECT_GT(e.handoffs(), 0u);
+
+  // One processor alone: its blocked context drives the wake events inline
+  // and resumes itself — the zero-switch fast path, never a handoff.
+  Engine solo(Backend::kFiber);
+  auto& p = solo.add_processor();
+  p.start([&p] {
+    for (int i = 0; i < 5; ++i) {
+      p.charge(10);
+      p.block();
+    }
+  });
+  for (Time t = 1; t <= 5; ++t)
+    solo.schedule_at(t * 100, [&p, t] { p.wake(t * 100); });
+  solo.run();
+  EXPECT_GT(solo.direct_resumes(), 0u);
+}
+
 }  // namespace
 }  // namespace presto::sim
