@@ -1,6 +1,6 @@
 // Host-throughput harness: how fast does the simulator itself run?
 //
-// Two workloads bracket the hot paths:
+// Three workloads bracket the hot paths:
 //   * "micro"  — a protocol-message-dominated producer/consumer sweep on the
 //     predictive protocol with coalescing disabled, so every presend block
 //     travels in its own BulkData/BulkAck pair: the event queue, message
@@ -8,15 +8,25 @@
 //   * "barnes" — a Barnes–Hut N-body run (the paper's Fig. 6 shape): a mix
 //     of application compute, fine-grain access checks, schedule recording,
 //     and presend traffic.
+//   * "water"  — the paper's §5.3 molecular-dynamics workload: static
+//     repetitive producer-consumer sharing on positions, heavy on schedule
+//     recording and directory probes at a few hot home nodes.
 //
-// Emits results/BENCH_host.json with host events/sec (micro) and wall-clock
-// (barnes), next to the pre-rewrite baseline captured at the same scale so
-// every future PR sees the perf trajectory. See docs/performance.md.
+// Emits results/BENCH_host.json with host events/sec (micro), wall-clock
+// (barnes/water), and the metadata-layer counters (directory probes,
+// schedule lookups, resident metadata bytes), next to the pre-rewrite
+// baselines captured at the same scale so every future PR sees the perf
+// trajectory. See docs/performance.md.
+//
+// --min-micro-eps=N exits non-zero if micro events/sec lands below N — the
+// CI perf-smoke job passes a conservative floor so a hot-path regression
+// fails the build instead of landing silently.
 #include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "apps/barnes/barnes.h"
+#include "apps/water/water.h"
 #include "runtime/system.h"
 #include "util/check.h"
 #include "util/cli.h"
@@ -36,6 +46,8 @@ struct MicroResult {
   double wall_s = 0.0;
   double events_per_sec = 0.0;
   std::uint64_t msgs = 0;
+  std::uint64_t dir_probes = 0;
+  std::uint64_t sched_lookups = 0;
   stats::HostCounters host;
 };
 
@@ -43,9 +55,10 @@ void print_host(const stats::HostCounters& h) {
   const double switch_rate =
       h.run_wall_s > 0 ? static_cast<double>(h.handoffs) / h.run_wall_s : 0.0;
   std::printf("  host: backend=%s handoffs=%llu direct_resumes=%llu "
-              "(%.0f switches/sec, run wall %.3fs)\n",
+              "(%.0f switches/sec, run wall %.3fs, metadata %llu bytes)\n",
               h.backend, (unsigned long long)h.handoffs,
-              (unsigned long long)h.direct_resumes, switch_rate, h.run_wall_s);
+              (unsigned long long)h.direct_resumes, switch_rate, h.run_wall_s,
+              (unsigned long long)h.metadata_bytes);
 }
 
 // Producer/consumer over `blocks` blocks for `rounds` rounds; coalescing is
@@ -79,18 +92,33 @@ MicroResult run_micro(int nodes, int blocks, int rounds) {
   res.events = sys.engine().events_executed();
   res.events_per_sec = static_cast<double>(res.events) / res.wall_s;
   res.msgs = sys.network().messages_sent();
+  res.dir_probes = sys.recorder().sum(&stats::NodeCounters::dir_probes);
+  res.sched_lookups = sys.recorder().sum(&stats::NodeCounters::sched_lookups);
   res.host = sys.recorder().host();
   return res;
 }
 
-struct BarnesResult {
+struct AppBenchResult {
   double wall_s = 0.0;
   double checksum = 0.0;
   std::uint64_t msgs = 0;
+  std::uint64_t dir_probes = 0;
+  std::uint64_t sched_lookups = 0;
   stats::HostCounters host;
 };
 
-BarnesResult run_barnes_shaped(int nodes, std::size_t bodies, int steps) {
+AppBenchResult from_app(const apps::AppResult& r, double wall_s) {
+  AppBenchResult res;
+  res.wall_s = wall_s;
+  res.checksum = r.checksum;
+  res.msgs = r.report.msgs;
+  res.dir_probes = r.report.dir_probes;
+  res.sched_lookups = r.report.sched_lookups;
+  res.host = r.report.host;
+  return res;
+}
+
+AppBenchResult run_barnes_shaped(int nodes, std::size_t bodies, int steps) {
   apps::BarnesParams params;
   params.bodies = bodies;
   params.steps = steps;
@@ -99,12 +127,19 @@ BarnesResult run_barnes_shaped(int nodes, std::size_t bodies, int steps) {
   const auto r = apps::run_barnes(params, machine,
                                   runtime::ProtocolKind::kPredictive,
                                   /*directives=*/true);
-  BarnesResult res;
-  res.wall_s = seconds_since(t0);
-  res.checksum = r.checksum;
-  res.msgs = r.report.msgs;
-  res.host = r.report.host;
-  return res;
+  return from_app(r, seconds_since(t0));
+}
+
+AppBenchResult run_water_shaped(int nodes, std::size_t molecules, int steps) {
+  apps::WaterParams params;
+  params.molecules = molecules;
+  params.steps = steps;
+  const auto machine = runtime::MachineConfig::cm5_blizzard(nodes, 32);
+  const auto t0 = Clock::now();
+  const auto r = apps::run_water(params, machine,
+                                 runtime::ProtocolKind::kPredictive,
+                                 /*directives=*/true);
+  return from_app(r, seconds_since(t0));
 }
 
 // Historical numbers at the default scale so BENCH_host.json always records
@@ -113,12 +148,16 @@ BarnesResult run_barnes_shaped(int nodes, std::size_t bodies, int steps) {
 //     std::function fault indirection, std::map schedules, thread backend.
 //   * PR 1: zero-allocation events, typed dispatch, flat schedules — still
 //     one OS thread per simulated processor (mutex/condvar handoffs).
+//   * PR 3: fiber backend (cooperative single-thread scheduling).
 // Workloads: micro at nodes=4 blocks=512 rounds=192; barnes at nodes=8
-// bodies=2048 steps=2.
+// bodies=2048 steps=2; water (added in the metadata-flattening PR, no
+// earlier baseline) at nodes=8 molecules=512 steps=2.
 constexpr double kSeedMicroEventsPerSec = 1012973.0;
 constexpr double kSeedBarnesWallS = 6.960;
 constexpr double kPr1MicroEventsPerSec = 9235779.0;
 constexpr double kPr1BarnesWallS = 2.1863;
+constexpr double kPr3MicroEventsPerSec = 11312053.0;
+constexpr double kPr3BarnesWallS = 0.2865;
 
 }  // namespace
 
@@ -132,6 +171,12 @@ int main(int argc, char** argv) {
   const std::size_t bodies = static_cast<std::size_t>(
       cli.get_int("bodies", quick ? 256 : 2048));
   const int steps = static_cast<int>(cli.get_int("steps", 2));
+  const int water_nodes = static_cast<int>(cli.get_int("water-nodes", 8));
+  const std::size_t molecules = static_cast<std::size_t>(
+      cli.get_int("molecules", quick ? 128 : 512));
+  const int water_steps = static_cast<int>(cli.get_int("water-steps", 2));
+  const double min_micro_eps =
+      static_cast<double>(cli.get_int("min-micro-eps", 0));
   const std::string json_path =
       cli.get("json", quick ? "" : "results/BENCH_host.json");
   cli.reject_unknown();
@@ -140,18 +185,35 @@ int main(int argc, char** argv) {
               blocks, rounds);
   std::fflush(stdout);
   const auto micro = run_micro(micro_nodes, blocks, rounds);
-  std::printf("micro: %llu events in %.3fs -> %.0f events/sec (%llu msgs)\n",
+  std::printf("micro: %llu events in %.3fs -> %.0f events/sec (%llu msgs, "
+              "%llu dir probes, %llu sched lookups)\n",
               (unsigned long long)micro.events, micro.wall_s,
-              micro.events_per_sec, (unsigned long long)micro.msgs);
+              micro.events_per_sec, (unsigned long long)micro.msgs,
+              (unsigned long long)micro.dir_probes,
+              (unsigned long long)micro.sched_lookups);
   print_host(micro.host);
 
   std::printf("barnes: nodes=%d bodies=%zu steps=%d ...\n", barnes_nodes,
               bodies, steps);
   std::fflush(stdout);
   const auto barnes = run_barnes_shaped(barnes_nodes, bodies, steps);
-  std::printf("barnes: wall %.3fs, checksum %.9f (%llu msgs)\n",
-              barnes.wall_s, barnes.checksum, (unsigned long long)barnes.msgs);
+  std::printf("barnes: wall %.3fs, checksum %.9f (%llu msgs, %llu dir "
+              "probes, %llu sched lookups)\n",
+              barnes.wall_s, barnes.checksum, (unsigned long long)barnes.msgs,
+              (unsigned long long)barnes.dir_probes,
+              (unsigned long long)barnes.sched_lookups);
   print_host(barnes.host);
+
+  std::printf("water: nodes=%d molecules=%zu steps=%d ...\n", water_nodes,
+              molecules, water_steps);
+  std::fflush(stdout);
+  const auto water = run_water_shaped(water_nodes, molecules, water_steps);
+  std::printf("water: wall %.3fs, checksum %.9f (%llu msgs, %llu dir "
+              "probes, %llu sched lookups)\n",
+              water.wall_s, water.checksum, (unsigned long long)water.msgs,
+              (unsigned long long)water.dir_probes,
+              (unsigned long long)water.sched_lookups);
+  print_host(water.host);
 
   if (!json_path.empty()) {
     FILE* f = std::fopen(json_path.c_str(), "w");
@@ -159,8 +221,10 @@ int main(int argc, char** argv) {
                                               << " (run from the repo root)");
     const double micro_vs_seed = micro.events_per_sec / kSeedMicroEventsPerSec;
     const double micro_vs_pr1 = micro.events_per_sec / kPr1MicroEventsPerSec;
+    const double micro_vs_pr3 = micro.events_per_sec / kPr3MicroEventsPerSec;
     const double barnes_vs_seed = kSeedBarnesWallS / barnes.wall_s;
     const double barnes_vs_pr1 = kPr1BarnesWallS / barnes.wall_s;
+    const double barnes_vs_pr3 = kPr3BarnesWallS / barnes.wall_s;
     std::fprintf(f,
                  "{\n"
                  "  \"micro\": {\n"
@@ -168,13 +232,28 @@ int main(int argc, char** argv) {
                  "    \"events\": %llu,\n"
                  "    \"wall_s\": %.4f,\n"
                  "    \"events_per_sec\": %.0f,\n"
-                 "    \"msgs\": %llu\n"
+                 "    \"msgs\": %llu,\n"
+                 "    \"dir_probes\": %llu,\n"
+                 "    \"sched_lookups\": %llu,\n"
+                 "    \"metadata_bytes\": %llu\n"
                  "  },\n"
                  "  \"barnes\": {\n"
                  "    \"nodes\": %d, \"bodies\": %zu, \"steps\": %d,\n"
                  "    \"wall_s\": %.4f,\n"
                  "    \"checksum\": %.9f,\n"
-                 "    \"msgs\": %llu\n"
+                 "    \"msgs\": %llu,\n"
+                 "    \"dir_probes\": %llu,\n"
+                 "    \"sched_lookups\": %llu,\n"
+                 "    \"metadata_bytes\": %llu\n"
+                 "  },\n"
+                 "  \"water\": {\n"
+                 "    \"nodes\": %d, \"molecules\": %zu, \"steps\": %d,\n"
+                 "    \"wall_s\": %.4f,\n"
+                 "    \"checksum\": %.9f,\n"
+                 "    \"msgs\": %llu,\n"
+                 "    \"dir_probes\": %llu,\n"
+                 "    \"sched_lookups\": %llu,\n"
+                 "    \"metadata_bytes\": %llu\n"
                  "  },\n"
                  "  \"host\": {\n"
                  "    \"backend\": \"%s\",\n"
@@ -194,29 +273,59 @@ int main(int argc, char** argv) {
                  "      \"micro_events_per_sec\": %.0f,\n"
                  "      \"barnes_wall_s\": %.4f,\n"
                  "      \"note\": \"hot-path overhaul, thread backend\"\n"
+                 "    },\n"
+                 "    \"pr3\": {\n"
+                 "      \"micro_events_per_sec\": %.0f,\n"
+                 "      \"barnes_wall_s\": %.4f,\n"
+                 "      \"note\": \"fiber backend, hash-map protocol "
+                 "metadata\"\n"
                  "    }\n"
                  "  },\n"
                  "  \"vs_baselines\": {\n"
                  "    \"micro_speedup_vs_seed\": %.2f,\n"
                  "    \"micro_speedup_vs_pr1\": %.2f,\n"
+                 "    \"micro_speedup_vs_pr3\": %.2f,\n"
                  "    \"barnes_speedup_vs_seed\": %.2f,\n"
-                 "    \"barnes_speedup_vs_pr1\": %.2f\n"
+                 "    \"barnes_speedup_vs_pr1\": %.2f,\n"
+                 "    \"barnes_speedup_vs_pr3\": %.2f\n"
                  "  }\n"
                  "}\n",
                  micro_nodes, blocks, rounds,
                  (unsigned long long)micro.events, micro.wall_s,
                  micro.events_per_sec, (unsigned long long)micro.msgs,
+                 (unsigned long long)micro.dir_probes,
+                 (unsigned long long)micro.sched_lookups,
+                 (unsigned long long)micro.host.metadata_bytes,
                  barnes_nodes, bodies, steps, barnes.wall_s, barnes.checksum,
-                 (unsigned long long)barnes.msgs, micro.host.backend,
+                 (unsigned long long)barnes.msgs,
+                 (unsigned long long)barnes.dir_probes,
+                 (unsigned long long)barnes.sched_lookups,
+                 (unsigned long long)barnes.host.metadata_bytes,
+                 water_nodes, molecules, water_steps, water.wall_s,
+                 water.checksum, (unsigned long long)water.msgs,
+                 (unsigned long long)water.dir_probes,
+                 (unsigned long long)water.sched_lookups,
+                 (unsigned long long)water.host.metadata_bytes,
+                 micro.host.backend,
                  (unsigned long long)micro.host.handoffs,
                  (unsigned long long)micro.host.direct_resumes,
                  (unsigned long long)barnes.host.handoffs,
                  (unsigned long long)barnes.host.direct_resumes,
                  kSeedMicroEventsPerSec, kSeedBarnesWallS,
-                 kPr1MicroEventsPerSec, kPr1BarnesWallS, micro_vs_seed,
-                 micro_vs_pr1, barnes_vs_seed, barnes_vs_pr1);
+                 kPr1MicroEventsPerSec, kPr1BarnesWallS,
+                 kPr3MicroEventsPerSec, kPr3BarnesWallS, micro_vs_seed,
+                 micro_vs_pr1, micro_vs_pr3, barnes_vs_seed, barnes_vs_pr1,
+                 barnes_vs_pr3);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (min_micro_eps > 0 && micro.events_per_sec < min_micro_eps) {
+    std::fprintf(stderr,
+                 "FAIL: micro events/sec %.0f below floor %.0f "
+                 "(host throughput regression)\n",
+                 micro.events_per_sec, min_micro_eps);
+    return 1;
   }
   return 0;
 }

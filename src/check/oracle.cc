@@ -25,6 +25,7 @@ void Oracle::ensure_block(mem::BlockId b) {
   std::size_t cap = last_writer_.size() < 64 ? 64 : last_writer_.size() * 2;
   if (cap < need) cap = need;
   last_writer_.resize(cap, -1);
+  multi_writer_.resize(cap, 0);
   committed_.resize(cap * bsz);  // zero-filled, matching fresh frames
 }
 
@@ -78,6 +79,9 @@ void Oracle::on_app_write(int node, mem::BlockId b, std::size_t off,
   std::memcpy(committed_.data() +
                   static_cast<std::size_t>(b) * space_.block_size() + off,
               data, n);
+  const std::int16_t prev = last_writer_[static_cast<std::size_t>(b)];
+  if (prev != -1 && prev != static_cast<std::int16_t>(node))
+    multi_writer_[static_cast<std::size_t>(b)] = 1;
   last_writer_[static_cast<std::size_t>(b)] = static_cast<std::int16_t>(node);
   ++writes_checked_;
   push_ring(Ev::kWrite, node, -1, static_cast<std::uint8_t>(n), b);
@@ -130,12 +134,17 @@ void Oracle::on_data_send(int src, int dst, const proto::Msg& m) {
     ensure_block(b);
     // Presend coherence: the payload snapshotted into the channel must equal
     // the committed bytes of the block at send time. Under phase consistency
-    // only the writer's own publishes are required to be fresh.
+    // only the writer's own publishes are required to be fresh, and only
+    // while the publisher is the block's sole writer ever — once two nodes
+    // have written the same block (false sharing), each publishes a whole
+    // block holding only its own stores, so no single payload can equal the
+    // merged committed view.
     const bool must_match =
         mode_ == Mode::kSC ||
         (m.type == proto::MsgType::UpdateData &&
          last_writer_[static_cast<std::size_t>(b)] ==
-             static_cast<std::int16_t>(src));
+             static_cast<std::int16_t>(src) &&
+         multi_writer_[static_cast<std::size_t>(b)] == 0);
     if (must_match &&
         std::memcmp(m.data + static_cast<std::size_t>(k) * bsz,
                     committed_.data() + static_cast<std::size_t>(b) * bsz,

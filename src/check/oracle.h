@@ -146,6 +146,12 @@ class Oracle final : public mem::AccessObserver,
   // zero-initialized frames) + last writer per block (-1 = never written).
   std::vector<std::byte> committed_;
   std::vector<std::int16_t> last_writer_;
+  // Sticky per-block flag: two distinct nodes have written this block. Under
+  // phase consistency the committed shadow is then a merged view no single
+  // writer's local copy holds (false sharing — each writer publishes whole
+  // blocks containing only its own stores), so the writer-side publish check
+  // does not apply.
+  std::vector<std::uint8_t> multi_writer_;
 
   std::vector<RingEvent> ring_;
   std::size_t ring_next_ = 0;

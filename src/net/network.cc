@@ -8,17 +8,21 @@ Network::Network(sim::Engine& engine, int nodes, const NetConfig& cfg)
     : engine_(engine),
       nodes_(nodes),
       cfg_(cfg),
-      channels_(static_cast<std::size_t>(nodes)),
+      channels_(static_cast<std::size_t>(nodes) *
+                static_cast<std::size_t>(nodes)),
       per_node_msgs_(static_cast<std::size_t>(nodes), 0),
       per_node_bytes_(static_cast<std::size_t>(nodes), 0) {}
 
-Network::Channel& Network::channel(int src, int dst) {
-  return channels_[static_cast<std::size_t>(src)][dst];
-}
-
 std::size_t Network::channels_used() const {
   std::size_t n = 0;
-  for (const auto& per_src : channels_) n += per_src.size();
+  for (const auto& ch : channels_)
+    if (ch.used) ++n;
+  return n;
+}
+
+std::size_t Network::metadata_bytes() const {
+  std::size_t n = channels_.capacity() * sizeof(Channel);
+  for (const auto& ch : channels_) n += ch.ring.capacity_bytes();
   return n;
 }
 
@@ -32,9 +36,10 @@ sim::Time Network::route(int src, int dst, std::size_t bytes,
                         static_cast<sim::Time>(bytes) * cfg_.per_byte);
   sim::Time arrival = depart + latency;
 
-  auto& fifo = channel(src, dst).last_arrival;
-  if (arrival <= fifo) arrival = fifo + 1;
-  fifo = arrival;
+  Channel& ch = channel(src, dst);
+  ch.used = true;
+  if (arrival <= ch.last_arrival) arrival = ch.last_arrival + 1;
+  ch.last_arrival = arrival;
 
   ++messages_;
   bytes_ += bytes;

@@ -15,12 +15,15 @@
 //   * send — closure delivery for control messages and tests; the callable
 //     goes straight into the engine's event queue.
 //
-// Channel state (FIFO clamp + ring) is allocated lazily per used channel, so
-// large node counts only pay for the channels that actually carry traffic.
+// Channel state (FIFO clamp + ring) lives in one dense nodes² table indexed
+// by src*nodes+dst: a channel lookup is one multiply-add, the FIFO clamp and
+// ring head share a cache line, and the table is allocated exactly once up
+// front — Channel pointers captured by in-flight delivery events stay stable
+// because the vector never grows. Rings start empty, so an idle channel
+// costs sizeof(Channel), not a ring arena.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -99,24 +102,32 @@ class Network {
   // Channels that have carried at least one message (test/telemetry hook).
   std::size_t channels_used() const;
 
+  // Host bytes held by the channel table and its record-ring arenas.
+  std::size_t metadata_bytes() const;
+
  private:
   struct Channel {
     sim::Time last_arrival = 0;
+    bool used = false;  // carried at least one message
     RecordRing ring;
   };
 
   // Computes the FIFO-clamped arrival time and records traffic stats.
   sim::Time route(int src, int dst, std::size_t bytes, sim::Time depart);
-  Channel& channel(int src, int dst);
+  Channel& channel(int src, int dst) {
+    return channels_[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(nodes_) +
+                     static_cast<std::size_t>(dst)];
+  }
 
   sim::Engine& engine_;
   const int nodes_;
   const NetConfig cfg_;
   MsgSink* sink_ = nullptr;
   Observer* observer_ = nullptr;
-  // channels_[src][dst] allocated on first use; unordered_map nodes give the
-  // delivery events stable Channel pointers.
-  std::vector<std::unordered_map<int, Channel>> channels_;
+  // Dense nodes² table, [src*nodes + dst]; sized once in the constructor and
+  // never resized (delivery events hold Channel pointers).
+  std::vector<Channel> channels_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::vector<std::uint64_t> per_node_msgs_;

@@ -56,6 +56,9 @@ class RecordRing {
     head_ += sizeof(std::uint32_t) + len;
   }
 
+  // Host memory held by the arena (high-water capacity).
+  std::size_t capacity_bytes() const { return buf_.capacity(); }
+
  private:
   std::vector<unsigned char> buf_;
   std::size_t head_ = 0;  // arena offset of the front record

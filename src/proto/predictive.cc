@@ -16,58 +16,98 @@ PredictiveProtocol::PredictiveProtocol(sim::Engine& engine, net::Network& net,
       sched_(static_cast<std::size_t>(space.nodes())),
       cur_phase_(static_cast<std::size_t>(space.nodes()), -1),
       outstanding_(static_cast<std::size_t>(space.nodes()), 0),
-      conflict_policy_(conflicts) {
-  presend_recall_.resize(static_cast<std::size_t>(space.nodes()));
-}
+      push_batch_(static_cast<std::size_t>(space.nodes()),
+                  std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>>(
+                      static_cast<std::size_t>(space.nodes()))),
+      inv_batch_(static_cast<std::size_t>(space.nodes()),
+                 std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>>(
+                     static_cast<std::size_t>(space.nodes()))),
+      blocks_per_page_(space.page_size() / space.block_size()),
+      conflict_policy_(conflicts) {}
 
 void PredictiveProtocol::PhaseSched::ensure_sorted() {
   if (sorted) return;
   std::sort(recs.begin(), recs.end(),
             [](const Rec& a, const Rec& b) { return a.block < b.block; });
-  for (std::uint32_t i = 0; i < recs.size(); ++i) index[recs[i].block] = i;
+  for (std::uint32_t i = 0; i < recs.size(); ++i)
+    index.at(recs[i].block) = i + 1;
   sorted = true;
+}
+
+PredictiveProtocol::PhaseSched& PredictiveProtocol::ensure_phase(int home,
+                                                                 int phase) {
+  auto& phases = sched_[static_cast<std::size_t>(home)];
+  const auto p = static_cast<std::size_t>(phase);
+  if (p >= phases.size()) phases.resize(p + 1);
+  if (phases[p] == nullptr) {
+    phases[p] = std::make_unique<PhaseSched>();
+    phases[p]->index.configure(blocks_per_page_);
+  }
+  return *phases[p];
 }
 
 std::size_t PredictiveProtocol::schedule_size(int home, int phase) const {
   const auto& phases = sched_[static_cast<std::size_t>(home)];
-  const auto it = phases.find(phase);
-  return it == phases.end() ? 0 : it->second.recs.size();
+  const auto p = static_cast<std::size_t>(phase);
+  if (phase < 0 || p >= phases.size() || phases[p] == nullptr) return 0;
+  return phases[p]->recs.size();
+}
+
+std::size_t PredictiveProtocol::metadata_bytes() const {
+  std::size_t n = StacheProtocol::metadata_bytes();
+  for (const auto& phases : sched_) {
+    n += phases.capacity() * sizeof(phases[0]);
+    for (const auto& ps : phases) {
+      if (ps == nullptr) continue;
+      n += sizeof(PhaseSched) + ps->recs.capacity() * sizeof(PhaseSched::Rec) +
+           ps->index.bytes_resident();
+    }
+  }
+  for (const auto& per_node : push_batch_)
+    for (const auto& v : per_node) n += v.capacity() * sizeof(v[0]);
+  for (const auto& per_node : inv_batch_)
+    for (const auto& v : per_node) n += v.capacity() * sizeof(v[0]);
+  return n;
 }
 
 void PredictiveProtocol::record_request(int home, mem::BlockId b,
                                         int requester, bool is_write) {
   const int phase = cur_phase_[static_cast<std::size_t>(home)];
   if (phase < 0) return;
-  auto& ps = sched_[static_cast<std::size_t>(home)][phase];
-  auto [it, inserted] =
-      ps.index.try_emplace(b, static_cast<std::uint32_t>(ps.recs.size()));
-  if (inserted) {
+  auto& ps = ensure_phase(home, phase);
+  ++rec_.node(home).sched_lookups;
+  std::uint32_t& slot = ps.index.at(b);
+  if (slot == 0) {
     ps.sorted = ps.sorted && (ps.recs.empty() || b > ps.recs.back().block);
     ps.recs.push_back(PhaseSched::Rec{b, Entry{}});
+    slot = static_cast<std::uint32_t>(ps.recs.size());
     ++ps.gen;
     ++stats_.entries_recorded;
     ++rec_.node(home).schedule_entries;
   }
-  Entry& e = ps.recs[it->second].e;
+  Entry& e = ps.recs[slot - 1].e;
   if (!e.first_set) {
     e.first_set = true;
     e.first_is_write = is_write;
   }
   if (is_write)
-    e.writers |= bit(requester);
+    e.writers.set(requester);
   else
-    e.readers |= bit(requester);
+    e.readers.set(requester);
 }
 
 PredictiveProtocol::Kind PredictiveProtocol::derive(const Entry& e) const {
-  if (e.writers == 0) return Kind::kRead;
-  if (single_bit(e.writers) && (e.readers & ~e.writers) == 0)
-    return Kind::kWrite;
+  if (e.writers.none()) return Kind::kRead;
+  util::NodeSet readers_only = e.readers;
+  readers_only.subtract(e.writers);
+  if (e.writers.single() && readers_only.none()) return Kind::kWrite;
   return Kind::kConflict;
 }
 
 void PredictiveProtocol::phase_flush(int node, int phase) {
-  sched_[static_cast<std::size_t>(node)].erase(phase);
+  auto& phases = sched_[static_cast<std::size_t>(node)];
+  const auto p = static_cast<std::size_t>(phase);
+  if (phase >= 0 && p < phases.size()) phases[p].reset();
 }
 
 void PredictiveProtocol::phase_begin(int node, int phase) {
@@ -82,11 +122,13 @@ void PredictiveProtocol::phase_begin(int node, int phase) {
 
 void PredictiveProtocol::do_presend(int node, int phase) {
   auto& phases = sched_[static_cast<std::size_t>(node)];
-  const auto sit = phases.find(phase);
-  if (sit == phases.end() || sit->second.recs.empty()) return;
-  // Value reference into the unordered_map: stable across rehashes (only
-  // erased by phase_flush, which cannot run during this node's presend).
-  PhaseSched& ps = sit->second;
+  const auto pi = static_cast<std::size_t>(phase);
+  if (phase < 0 || pi >= phases.size() || phases[pi] == nullptr ||
+      phases[pi]->recs.empty())
+    return;
+  // unique_ptr target: stable while the phase vector grows mid-walk (only
+  // phase_flush frees it, and it cannot run during this node's presend).
+  PhaseSched& ps = *phases[pi];
   auto& p = proc(node);
   auto& out = outstanding_[static_cast<std::size_t>(node)];
   PRESTO_CHECK(out == 0, "nested presend on node " << node);
@@ -97,13 +139,13 @@ void PredictiveProtocol::do_presend(int node, int phase) {
     if (k == Kind::kConflict) {
       if (conflict_policy_ == ConflictPolicy::kAnticipate) {
         // Anticipate the first stable state before the conflict (§3.4).
-        if (!e.first_is_write && e.readers != 0) return {Kind::kRead, -1};
-        if (e.first_is_write && single_bit(e.writers))
-          return {Kind::kWrite, bit_index(e.writers)};
+        if (!e.first_is_write && e.readers.any()) return {Kind::kRead, -1};
+        if (e.first_is_write && e.writers.single())
+          return {Kind::kWrite, e.writers.first()};
       }
       return {Kind::kConflict, -1};
     }
-    return {k, k == Kind::kWrite ? bit_index(e.writers) : -1};
+    return {k, k == Kind::kWrite ? e.writers.first() : -1};
   };
 
   // ---- Stage 1: recall dirty data held by remote owners --------------------
@@ -120,7 +162,8 @@ void PredictiveProtocol::do_presend(int node, int phase) {
     if (ps.gen != gen) {
       ps.ensure_sorted();
       gen = ps.gen;
-      idx = ps.index.at(b);
+      ++rec_.node(node).sched_lookups;
+      idx = ps.index.at(b) - 1;
     }
     // Copy: the entry may have gained readers/writers during the yield, and
     // recs may reallocate under later insertions.
@@ -137,7 +180,7 @@ void PredictiveProtocol::do_presend(int node, int phase) {
     d.busy = true;
     d.req_node = node;
     d.req_write = kind == Kind::kWrite;
-    presend_recall_[static_cast<std::size_t>(node)].insert(b);
+    d.presend_recall = true;
     Msg m;
     m.type = kind == Kind::kWrite ? MsgType::RecallX : MsgType::RecallS;
     m.src = node;
@@ -149,10 +192,10 @@ void PredictiveProtocol::do_presend(int node, int phase) {
   while (out > 0) p.block();
 
   // ---- Stage 2: coalesced pushes and pre-invalidations ----------------------
-  std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>> push(
-      static_cast<std::size_t>(space_.nodes()));
-  std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>> inv(
-      static_cast<std::size_t>(space_.nodes()));
+  auto& push = push_batch_[static_cast<std::size_t>(node)];
+  auto& inv = inv_batch_[static_cast<std::size_t>(node)];
+  for (auto& v : push) v.clear();
+  for (auto& v : inv) v.clear();
 
   // No yields inside this walk (sends happen after it), so the schedule
   // cannot change mid-iteration; one up-front sort suffices.
@@ -166,14 +209,12 @@ void PredictiveProtocol::do_presend(int node, int phase) {
     if (kind == Kind::kRead) {
       PRESTO_CHECK(d.state != DirEntry::S::Excl,
                    "presend read entry still exclusive after recalls");
-      const std::uint64_t targets = e.readers & ~d.readers & ~bit(node);
-      std::uint64_t rest = targets;
-      while (rest) {
-        const int t = __builtin_ctzll(rest);
-        rest &= rest - 1;
+      util::NodeSet targets = e.readers.without(node);
+      targets.subtract(d.readers);
+      targets.for_each([&](int t) {
         push[static_cast<std::size_t>(t)].emplace_back(b, mem::Tag::ReadOnly);
-      }
-      if (targets != 0) {
+      });
+      if (targets.any()) {
         d.readers |= targets;
         d.state = DirEntry::S::Shared;
         if (space_.tag(node, b) == mem::Tag::ReadWrite)
@@ -183,28 +224,22 @@ void PredictiveProtocol::do_presend(int node, int phase) {
       if (writer == node) {
         // Pre-invalidate remote copies so the home's writes do not stall.
         if (d.state == DirEntry::S::Shared) {
-          std::uint64_t rest = d.readers;
-          while (rest) {
-            const int t = __builtin_ctzll(rest);
-            rest &= rest - 1;
+          d.readers.for_each([&](int t) {
             inv[static_cast<std::size_t>(t)].emplace_back(b,
                                                           mem::Tag::Invalid);
-          }
-          d.readers = 0;
+          });
+          d.readers.clear();
           d.state = DirEntry::S::Idle;
           space_.set_tag(node, b, mem::Tag::ReadWrite);
         }
       } else {
         if (d.state == DirEntry::S::Excl) continue;  // owner == writer
-        std::uint64_t rest = d.readers & ~bit(writer);
-        while (rest) {
-          const int t = __builtin_ctzll(rest);
-          rest &= rest - 1;
+        d.readers.without(writer).for_each([&](int t) {
           inv[static_cast<std::size_t>(t)].emplace_back(b, mem::Tag::Invalid);
-        }
+        });
         push[static_cast<std::size_t>(writer)].emplace_back(
             b, mem::Tag::ReadWrite);
-        d.readers = 0;
+        d.readers.clear();
         d.owner = writer;
         d.state = DirEntry::S::Excl;
         space_.set_tag(node, b, mem::Tag::Invalid);
@@ -274,22 +309,20 @@ void PredictiveProtocol::send_bulk_runs(
 
 void PredictiveProtocol::handle(int self, const Msg& m) {
   if (m.type == MsgType::RecallAckData) {
-    auto& recalls = presend_recall_[static_cast<std::size_t>(self)];
-    const auto it = recalls.find(m.block);
-    if (it != recalls.end()) {
-      recalls.erase(it);
-      auto& d = dir(self, m.block);
+    auto& d = dir(self, m.block);
+    if (d.presend_recall) {
+      d.presend_recall = false;
       std::memcpy(space_.block_data(self, m.block), m.data,
                   space_.block_size());
       notify_install(self, m.block, m.data,
                      d.req_write ? mem::Tag::ReadWrite : mem::Tag::ReadOnly);
       if (d.req_write) {
         d.owner = -1;
-        d.readers = 0;
+        d.readers.clear();
         d.state = DirEntry::S::Idle;
         space_.set_tag(self, m.block, mem::Tag::ReadWrite);
       } else {
-        d.readers |= bit(d.owner);
+        d.readers.set(d.owner);
         d.owner = -1;
         d.state = DirEntry::S::Shared;
         space_.set_tag(self, m.block, mem::Tag::ReadOnly);

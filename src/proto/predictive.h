@@ -26,8 +26,7 @@
 //     stabilizes all block states before the phase's computation starts.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
 
 #include "proto/stache.h"
 
@@ -72,6 +71,8 @@ class PredictiveProtocol : public StacheProtocol {
   // travels in its own message.
   void set_coalescing(bool on) { coalescing_ = on; }
 
+  std::size_t metadata_bytes() const override;
+
  protected:
   void record_request(int home, mem::BlockId b, int requester,
                       bool is_write) override;
@@ -80,28 +81,31 @@ class PredictiveProtocol : public StacheProtocol {
 
  private:
   struct Entry {
-    std::uint64_t readers = 0;
-    std::uint64_t writers = 0;
+    util::NodeSet readers;
+    util::NodeSet writers;
     bool first_is_write = false;
     bool first_set = false;
   };
   enum class Kind { kRead, kWrite, kConflict };
 
   // One phase's communication schedule. Recording is an O(1) append plus a
-  // hash probe; the block ordering that run coalescing needs is established
-  // lazily, by sorting once at presend time, instead of paying a std::map
-  // node allocation and rebalance per recorded block. Presend iterates in
-  // block order while new requests may keep arriving (the recording home is
-  // also presending), so insertions bump `gen` and the iterator re-sorts and
-  // re-locates — reproducing std::map iteration-under-insertion semantics:
-  // blocks inserted behind the cursor are skipped, ahead of it are visited.
+  // flat block-indexed probe — no hashing, no rehash, ever. The index table
+  // stores record-index + 1 (0 = not recorded), chunk-materialized per page
+  // like the directory, so a probe is two shifts and an indirection into
+  // memory this home already touches. The block ordering that run coalescing
+  // needs is established lazily, by sorting once at presend time. Presend
+  // iterates in block order while new requests may keep arriving (the
+  // recording home is also presending), so insertions bump `gen` and the
+  // iterator re-sorts and re-locates — reproducing std::map
+  // iteration-under-insertion semantics: blocks inserted behind the cursor
+  // are skipped, ahead of it are visited.
   struct PhaseSched {
     struct Rec {
       mem::BlockId block;
       Entry e;
     };
     std::vector<Rec> recs;
-    std::unordered_map<mem::BlockId, std::uint32_t> index;  // block -> recs idx
+    util::BlockTable<std::uint32_t> index;  // block -> recs idx + 1; 0 absent
     std::uint64_t gen = 0;  // bumped per insertion
     bool sorted = true;     // recs ascending by block
 
@@ -109,21 +113,28 @@ class PredictiveProtocol : public StacheProtocol {
   };
 
   Kind derive(const Entry& e) const;
-  static bool single_bit(std::uint64_t v) { return v && !(v & (v - 1)); }
-  static int bit_index(std::uint64_t v) { return __builtin_ctzll(v); }
 
+  PhaseSched& ensure_phase(int home, int phase);
   void do_presend(int node, int phase);
   void send_bulk_runs(int node, int target,
                       const std::vector<std::pair<mem::BlockId, mem::Tag>>& blocks,
                       bool invalidate);
 
-  // sched_[home][phase] -> flat schedule (sorted lazily for run coalescing).
-  std::vector<std::unordered_map<int, PhaseSched>> sched_;
+  // sched_[home][phase] -> flat schedule, materialized on first record.
+  // unique_ptr keeps PhaseSched references stable while the phase vector
+  // grows (presend holds one across yields).
+  std::vector<std::vector<std::unique_ptr<PhaseSched>>> sched_;
   std::vector<int> cur_phase_;
   std::vector<int> outstanding_;  // presend acks/recalls awaited per node
-  // Blocks with a presend-initiated recall in flight, per home node (their
-  // RecallAckData must not run the normal transaction-completion path).
-  std::vector<std::unordered_set<mem::BlockId>> presend_recall_;
+  // Per-(presending node, target) presend batches, reused across phases
+  // (cleared, not freed). Per node because all nodes presend concurrently:
+  // send_bulk_runs yields inside charge(), so another node's presend can run
+  // mid-batch.
+  std::vector<std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>>>
+      push_batch_;
+  std::vector<std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>>>
+      inv_batch_;
+  std::uint32_t blocks_per_page_ = 1;
   ConflictPolicy conflict_policy_;
   bool coalescing_ = true;
   Stats stats_;

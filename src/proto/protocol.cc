@@ -41,6 +41,14 @@ Protocol::Protocol(sim::Engine& engine, net::Network& net,
       dispatch_(static_cast<std::size_t>(space.nodes())),
       scratch_(static_cast<std::size_t>(space.nodes())) {}
 
+std::size_t Protocol::metadata_bytes() const {
+  std::size_t n = busy_until_.capacity() * sizeof(busy_until_[0]) +
+                  waiting_.capacity() * sizeof(waiting_[0]);
+  for (const auto& r : dispatch_) n += r.capacity_bytes();
+  for (const auto& s : scratch_) n += s.capacity();
+  return n;
+}
+
 void Protocol::install() {
   space_.set_fault_handler(this);
   net_.set_msg_sink(this);

@@ -143,6 +143,12 @@ class Protocol : public net::Network::MsgSink, public mem::FaultHandler {
 
   const ProtoCosts& costs() const { return costs_; }
 
+  // Host bytes held by protocol metadata (directories, schedules, reader
+  // sets, pools, dispatch rings, scratch). Base counts the framework's own
+  // structures; protocols add their metadata on top. Surfaced as
+  // stats::HostCounters::metadata_bytes at end of run.
+  virtual std::size_t metadata_bytes() const;
+
   // net::Network::MsgSink — arrival: serialize on the destination's protocol
   // dispatch unit, then run handle() after its occupancy.
   void on_msg(int dst, const std::byte* rec, std::size_t len) final;

@@ -28,17 +28,61 @@ StacheProtocol::StacheProtocol(sim::Engine& engine, net::Network& net,
                                mem::GlobalSpace& space, stats::Recorder& rec,
                                const ProtoCosts& costs)
     : Protocol(engine, net, space, rec, costs),
-      dir_(static_cast<std::size_t>(space.nodes())) {}
+      dir_(static_cast<std::size_t>(space.nodes())) {
+  PRESTO_CHECK(space.nodes() <= util::NodeSet::kMaxNodes,
+               "directory sharer sets hold " << util::NodeSet::kMaxNodes
+                                             << " nodes; " << space.nodes()
+                                             << " needs the Bitset spill");
+  const std::uint32_t bpp = space.page_size() / space.block_size();
+  for (auto& t : dir_) t.configure(bpp);
+}
 
-StacheProtocol::DirEntry& StacheProtocol::dir(int home, mem::BlockId b) {
-  return dir_[static_cast<std::size_t>(home)][b];
+void StacheProtocol::pend_push(DirEntry& d, int node, bool is_write) {
+  std::uint32_t idx;
+  if (pend_free_ != kNoPend) {
+    idx = pend_free_;
+    pend_free_ = pend_pool_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(pend_pool_.size());
+    pend_pool_.emplace_back();
+  }
+  auto& n = pend_pool_[idx];
+  n.node = node;
+  n.is_write = is_write;
+  n.next = kNoPend;
+  if (d.pend_tail == kNoPend) {
+    d.pend_head = idx;
+  } else {
+    pend_pool_[d.pend_tail].next = idx;
+  }
+  d.pend_tail = idx;
+}
+
+std::pair<int, bool> StacheProtocol::pend_pop(DirEntry& d) {
+  PRESTO_CHECK(d.pend_head != kNoPend, "pend_pop on empty chain");
+  const std::uint32_t idx = d.pend_head;
+  auto& n = pend_pool_[idx];
+  const std::pair<int, bool> out{n.node, n.is_write};
+  d.pend_head = n.next;
+  if (d.pend_head == kNoPend) d.pend_tail = kNoPend;
+  n.next = pend_free_;
+  pend_free_ = idx;
+  return out;
+}
+
+std::size_t StacheProtocol::metadata_bytes() const {
+  std::size_t n = Protocol::metadata_bytes();
+  for (const auto& t : dir_) n += t.bytes_resident();
+  n += pend_pool_.capacity() * sizeof(PendNode);
+  return n;
 }
 
 std::size_t StacheProtocol::check_invariants() const {
   std::size_t checked = 0;
   for (int h = 0; h < space_.nodes(); ++h) {
-    for (const auto& [b, d] : dir_[static_cast<std::size_t>(h)]) {
-      if (d.busy) continue;  // transient transaction state
+    dir_[static_cast<std::size_t>(h)].for_each([&](mem::BlockId b,
+                                                   const DirEntry& d) {
+      if (d.busy) return;  // transient transaction state
       ++checked;
       switch (d.state) {
         case DirEntry::S::Idle:
@@ -52,11 +96,11 @@ std::size_t StacheProtocol::check_invariants() const {
         case DirEntry::S::Shared:
           PRESTO_CHECK(space_.tag(h, b) == mem::Tag::ReadOnly,
                        "Shared block " << b << ": home tag wrong");
-          PRESTO_CHECK(d.readers != 0,
+          PRESTO_CHECK(d.readers.any(),
                        "Shared block " << b << " with no readers");
           for (int n = 0; n < space_.nodes(); ++n) {
             if (n == h) continue;
-            const bool listed = (d.readers & bit(n)) != 0;
+            const bool listed = d.readers.test(n);
             const mem::Tag t = space_.tag(n, b);
             PRESTO_CHECK(listed ? t == mem::Tag::ReadOnly
                                 : t == mem::Tag::Invalid,
@@ -77,7 +121,7 @@ std::size_t StacheProtocol::check_invariants() const {
                          "Excl block " << b << ": stale copy at node " << n);
           break;
       }
-    }
+    });
   }
   return checked;
 }
@@ -180,13 +224,13 @@ void StacheProtocol::handle(int self, const Msg& m) {
       if (d.req_write) {
         // RecallX path: owner invalidated; grant exclusive to requester.
         d.owner = -1;
-        d.readers = 0;
+        d.readers.clear();
         d.state = DirEntry::S::Idle;
         space_.set_tag(self, m.block, mem::Tag::ReadWrite);
         complete_getx(self, m.block, d.req_node);
       } else {
         // RecallS path: owner downgraded to a reader.
-        d.readers |= bit(d.owner);
+        d.readers.set(d.owner);
         d.owner = -1;
         d.state = DirEntry::S::Shared;
         space_.set_tag(self, m.block, mem::Tag::ReadOnly);
@@ -218,12 +262,12 @@ void StacheProtocol::start_request(int home, mem::BlockId b, int requester,
   auto& d = dir(home, b);
   STACHE_TRACE(b,
                "T=%lld home %d start_request req=%d w=%d state=%d owner=%d "
-               "busy=%d pend=%zu\n",
+               "busy=%d pend=%d\n",
                static_cast<long long>(engine_.now()), home, requester,
                static_cast<int>(is_write), static_cast<int>(d.state), d.owner,
-               static_cast<int>(d.busy), d.pending.size());
+               static_cast<int>(d.busy), static_cast<int>(d.has_pending()));
   if (d.busy) {
-    d.pending.emplace_back(requester, is_write);
+    pend_push(d, requester, is_write);
     return;
   }
   record_request(home, b, requester, is_write);
@@ -253,8 +297,8 @@ void StacheProtocol::start_request(int home, mem::BlockId b, int requester,
       complete_getx(home, b, requester);
       return;
     case DirEntry::S::Shared: {
-      const std::uint64_t to_inv = d.readers & ~bit(requester);
-      if (to_inv == 0) {
+      const util::NodeSet to_inv = d.readers.without(requester);
+      if (to_inv.none()) {
         // Sole-reader upgrade.
         complete_getx(home, b, requester);
         return;
@@ -262,15 +306,14 @@ void StacheProtocol::start_request(int home, mem::BlockId b, int requester,
       d.busy = true;
       d.req_node = requester;
       d.req_write = true;
-      d.acks_needed = __builtin_popcountll(to_inv);
-      for (int n = 0; n < space_.nodes(); ++n) {
-        if (!(to_inv & bit(n))) continue;
+      d.acks_needed = to_inv.count();
+      to_inv.for_each([&](int n) {
         Msg r;
         r.type = MsgType::Inv;
         r.src = home;
         r.block = b;
         send_from_handler(home, n, std::move(r));
-      }
+      });
       return;
     }
     case DirEntry::S::Excl: {
@@ -307,7 +350,7 @@ void StacheProtocol::grant(int home, mem::BlockId b, int requester,
 void StacheProtocol::complete_gets(int home, mem::BlockId b, int requester) {
   auto& d = dir(home, b);
   if (requester != home) {
-    d.readers |= bit(requester);
+    d.readers.set(requester);
     d.state = DirEntry::S::Shared;
     // The home's own copy drops to ReadOnly so its future writes fault.
     if (space_.tag(home, b) == mem::Tag::ReadWrite)
@@ -320,7 +363,7 @@ void StacheProtocol::complete_gets(int home, mem::BlockId b, int requester) {
 
 void StacheProtocol::complete_getx(int home, mem::BlockId b, int requester) {
   auto& d = dir(home, b);
-  d.readers = 0;
+  d.readers.clear();
   if (requester == home) {
     d.owner = -1;
     d.state = DirEntry::S::Idle;
@@ -338,9 +381,8 @@ void StacheProtocol::finish_transaction(int home, mem::BlockId b) {
   auto& d = dir(home, b);
   d.req_node = -1;
   d.acks_needed = 0;
-  if (!d.pending.empty()) {
-    const auto [node, is_write] = d.pending.front();
-    d.pending.pop_front();
+  if (d.has_pending()) {
+    const auto [node, is_write] = pend_pop(d);
     // Process the queued request after another handler occupancy slot. The
     // entry stays busy until then: a request arriving in the gap must queue
     // *behind* the dequeued one, or a spinning requester could jump the

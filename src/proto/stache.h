@@ -11,14 +11,23 @@
 //
 // The four-message producer-consumer pattern of §3.2 falls out directly:
 // consumer GetS -> home RecallS -> producer RecallAckData -> home DataS.
+//
+// Directory layout: home assignment is page-grained, so each home's
+// directory is a flat block-indexed table of page chunks
+// (util::BlockTable<DirEntry>) rather than a hash map — a probe is two
+// shifts and an indirection, and phase-repetitive traffic walks dense,
+// cache-resident runs (docs/performance.md §8). Queued requests spill into
+// a pooled FIFO chain (PendPool) instead of a per-entry deque, so
+// steady-state queuing never allocates.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "proto/protocol.h"
+#include "util/bitset.h"
+#include "util/block_table.h"
 
 namespace presto::proto {
 
@@ -41,30 +50,61 @@ class StacheProtocol : public Protocol {
   // violation; returns the number of directory entries checked.
   std::size_t check_invariants() const;
 
- protected:
+  static constexpr std::uint32_t kNoPend = 0xffffffffu;
+
   struct DirEntry {
     enum class S : std::uint8_t { Idle, Shared, Excl };
     S state = S::Idle;
-    std::uint64_t readers = 0;  // remote ReadOnly copies (bit per node)
-    int owner = -1;             // remote ReadWrite owner when Excl
 
     // In-flight transaction (requests queue behind it).
     bool busy = false;
-    int req_node = -1;
     bool req_write = false;
-    int acks_needed = 0;
-    std::deque<std::pair<int, bool>> pending;  // (requester, is_write)
+    // Predictive protocol: a presend-initiated recall is in flight (its
+    // RecallAckData must not run the normal transaction-completion path).
+    bool presend_recall = false;
+    std::int32_t owner = -1;     // remote ReadWrite owner when Excl
+    std::int32_t req_node = -1;
+    std::int32_t acks_needed = 0;
+    util::NodeSet readers;       // remote ReadOnly copies
+    // Pooled FIFO chain of queued (requester, is_write) requests.
+    std::uint32_t pend_head = kNoPend;
+    std::uint32_t pend_tail = kNoPend;
+
+    bool has_pending() const { return pend_head != kNoPend; }
   };
 
+  // Read-only audit walk over every materialized directory entry (test
+  // hook: the dir-audit test rebuilds a reference directory from the access
+  // tags and cross-checks it against this flat layout).
+  template <typename Fn>
+  void for_each_dir_entry(Fn&& fn) const {
+    for (int h = 0; h < space_.nodes(); ++h)
+      dir_[static_cast<std::size_t>(h)].for_each(
+          [&](mem::BlockId b, const DirEntry& d) { fn(h, b, d); });
+  }
+
+  // Host bytes held by protocol metadata (directory chunks, pending pool,
+  // dispatch rings, scratch) — surfaced as stats::HostCounters::metadata_bytes.
+  std::size_t metadata_bytes() const override;
+
+ protected:
   void handle(int self, const Msg& m) override;
 
-  // Home-side transaction engine.
-  DirEntry& dir(int home, mem::BlockId b);
+  // Home-side transaction engine. A directory probe is the protocol's
+  // single hottest metadata access; every call is counted per home node.
+  DirEntry& dir(int home, mem::BlockId b) {
+    ++rec_.node(home).dir_probes;
+    return dir_[static_cast<std::size_t>(home)].at(b);
+  }
   void start_request(int home, mem::BlockId b, int requester, bool is_write);
   void complete_gets(int home, mem::BlockId b, int requester);
   void complete_getx(int home, mem::BlockId b, int requester);
   void finish_transaction(int home, mem::BlockId b);
   void grant(int home, mem::BlockId b, int requester, mem::Tag tag);
+
+  // Pending-request spill arena: fixed-size nodes recycled via a freelist.
+  void pend_push(DirEntry& d, int node, bool is_write);
+  std::pair<int, bool> pend_pop(DirEntry& d);
 
   // Hook for the predictive protocol: called for every request the home
   // processes (all of which involve communication — purely local accesses
@@ -85,10 +125,17 @@ class StacheProtocol : public Protocol {
     return is_write ? t == mem::Tag::ReadWrite : t != mem::Tag::Invalid;
   }
 
-  static std::uint64_t bit(int n) { return 1ULL << n; }
+  // dir_[home]: flat block-indexed directory, chunk-materialized per page.
+  std::vector<util::BlockTable<DirEntry>> dir_;
 
-  // dir_[home] maps block -> entry, created on first request.
-  std::vector<std::unordered_map<mem::BlockId, DirEntry>> dir_;
+ private:
+  struct PendNode {
+    std::int32_t node = -1;
+    bool is_write = false;
+    std::uint32_t next = kNoPend;
+  };
+  std::vector<PendNode> pend_pool_;
+  std::uint32_t pend_free_ = kNoPend;
 };
 
 }  // namespace presto::proto

@@ -12,7 +12,53 @@ WriteUpdateProtocol::WriteUpdateProtocol(sim::Engine& engine,
     : Protocol(engine, net, space, rec, costs),
       readers_(static_cast<std::size_t>(space.nodes())),
       dirty_(static_cast<std::size_t>(space.nodes())),
-      outstanding_(static_cast<std::size_t>(space.nodes()), 0) {}
+      outstanding_(static_cast<std::size_t>(space.nodes()), 0) {
+  PRESTO_CHECK(space.nodes() <= util::NodeSet::kMaxNodes,
+               "reader sets hold " << util::NodeSet::kMaxNodes << " nodes; "
+                                   << space.nodes()
+                                   << " needs the Bitset spill");
+  const std::uint32_t bpp = space.page_size() / space.block_size();
+  for (auto& t : readers_) t.configure(bpp);
+  for (auto& t : dirty_) t.configure(bpp);
+}
+
+std::uint64_t WriteUpdateProtocol::alloc_token(ForwardState init) {
+  std::uint32_t slot;
+  if (fwd_free_ != kNoSlot) {
+    slot = fwd_free_;
+    fwd_free_ = fwd_pool_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(fwd_pool_.size());
+    fwd_pool_.emplace_back();
+  }
+  init.live = true;
+  init.next_free = kNoSlot;
+  fwd_pool_[slot] = init;
+  return static_cast<std::uint64_t>(slot) + 1;
+}
+
+WriteUpdateProtocol::ForwardState& WriteUpdateProtocol::forward_state(
+    std::uint64_t token) {
+  PRESTO_CHECK(token != 0 && token <= fwd_pool_.size() &&
+                   fwd_pool_[static_cast<std::size_t>(token - 1)].live,
+               "stray forward token " << token);
+  return fwd_pool_[static_cast<std::size_t>(token - 1)];
+}
+
+void WriteUpdateProtocol::release_token(std::uint64_t token) {
+  auto& fs = forward_state(token);
+  fs.live = false;
+  fs.next_free = fwd_free_;
+  fwd_free_ = static_cast<std::uint32_t>(token - 1);
+}
+
+std::size_t WriteUpdateProtocol::metadata_bytes() const {
+  std::size_t n = Protocol::metadata_bytes();
+  for (const auto& t : readers_) n += t.bytes_resident();
+  for (const auto& t : dirty_) n += t.bytes_resident();
+  n += fwd_pool_.capacity() * sizeof(ForwardState);
+  return n;
+}
 
 void WriteUpdateProtocol::on_fault(int node, mem::BlockId b, bool is_write) {
   auto& c = rec_.node(node);
@@ -21,7 +67,7 @@ void WriteUpdateProtocol::on_fault(int node, mem::BlockId b, bool is_write) {
 
   if (is_write) {
     ++c.write_faults;
-    dirty_[static_cast<std::size_t>(node)].insert(b);
+    dirty_[static_cast<std::size_t>(node)].at(b) = 1;
     if (space_.tag(node, b) == mem::Tag::ReadOnly) {
       // Upgrade in place: no invalidations in an update protocol.
       p.charge(costs_.fault);
@@ -81,30 +127,20 @@ void WriteUpdateProtocol::send_update_run(int src, int dst, mem::BlockId b0,
 int WriteUpdateProtocol::forward_run(int home, mem::BlockId b0,
                                      std::uint32_t count, std::uint64_t token,
                                      int skip_node) {
-  auto& rd = readers_[static_cast<std::size_t>(home)];
   int sent = 0;
   std::uint32_t i = 0;
   while (i < count) {
-    const auto it = rd.find(b0 + i);
-    const std::uint64_t mask =
-        (it == rd.end() ? 0 : it->second) & ~bit(skip_node);
+    const util::NodeSet mask = reader_mask(home, b0 + i).without(skip_node);
     // Extend a sub-run with an identical reader mask.
     std::uint32_t j = i + 1;
-    while (j < count) {
-      const auto jt = rd.find(b0 + j);
-      const std::uint64_t jmask =
-          (jt == rd.end() ? 0 : jt->second) & ~bit(skip_node);
-      if (jmask != mask) break;
+    while (j < count &&
+           reader_mask(home, b0 + j).without(skip_node) == mask)
       ++j;
-    }
-    if (mask != 0) {
-      std::uint64_t rest = mask;
-      while (rest) {
-        const int r = __builtin_ctzll(rest);
-        rest &= rest - 1;
+    if (mask.any()) {
+      mask.for_each([&](int r) {
         send_update_run(home, r, b0 + i, j - i, token, /*from_app=*/false);
         ++sent;
-      }
+      });
     }
     i = j;
   }
@@ -120,7 +156,6 @@ void WriteUpdateProtocol::wu_publish(int node, mem::Addr base,
 
   const mem::BlockId first = space_.block_of(base);
   const mem::BlockId last = space_.block_of(base + len - 1);
-  auto& rd = readers_[static_cast<std::size_t>(node)];
   auto& dirty = dirty_[static_cast<std::size_t>(node)];
 
   // Home-owned blocks: push directly to every recorded reader, coalescing
@@ -131,45 +166,41 @@ void WriteUpdateProtocol::wu_publish(int node, mem::Addr base,
       ++b;
       continue;
     }
-    const auto it = rd.find(b);
-    const std::uint64_t mask = it == rd.end() ? 0 : it->second;
+    const util::NodeSet mask = reader_mask(node, b);
     mem::BlockId e = b + 1;
-    while (e <= last && space_.home_of_block(e) == node) {
-      const auto et = rd.find(e);
-      if ((et == rd.end() ? 0 : et->second) != mask) break;
+    while (e <= last && space_.home_of_block(e) == node &&
+           reader_mask(node, e) == mask)
       ++e;
-    }
-    if (mask != 0) {
-      std::uint64_t rest = mask;
-      while (rest) {
-        const int r = __builtin_ctzll(rest);
-        rest &= rest - 1;
+    if (mask.any()) {
+      mask.for_each([&](int r) {
         p.charge(costs_.presend_per_block);
         send_update_run(node, r, b, static_cast<std::uint32_t>(e - b),
                         /*token=*/0, /*from_app=*/true);
         ++out;
-      }
+      });
     }
     b = e;
   }
 
   // Dirty remote blocks: push coalesced runs to the home, which forwards to
   // its readers and acknowledges end-to-end.
+  auto is_dirty = [&](mem::BlockId blk) {
+    const std::uint8_t* d = dirty.peek(blk);
+    return d != nullptr && *d != 0;
+  };
   b = first;
   while (b <= last) {
-    if (space_.home_of_block(b) == node || dirty.count(b) == 0) {
+    if (space_.home_of_block(b) == node || !is_dirty(b)) {
       ++b;
       continue;
     }
     const int home = space_.home_of_block(b);
     mem::BlockId e = b + 1;
-    while (e <= last && space_.home_of_block(e) == home && dirty.count(e))
-      ++e;
+    while (e <= last && space_.home_of_block(e) == home && is_dirty(e)) ++e;
     p.charge(costs_.presend_per_block);
-    const std::uint64_t token = next_token_++;
-    forwards_[token] =
+    const std::uint64_t token = alloc_token(
         ForwardState{node, /*acks_left=*/-1,
-                     static_cast<std::uint32_t>(e - b)};
+                     static_cast<std::uint32_t>(e - b), false, kNoSlot});
     send_update_run(node, home, b, static_cast<std::uint32_t>(e - b), token,
                     /*from_app=*/true);
     ++out;
@@ -185,8 +216,10 @@ void WriteUpdateProtocol::handle(int self, const Msg& m) {
     case MsgType::WuGetS: {
       // self is home. Record readers (read requests only) and reply with
       // the home's current contents; no invalidation, no recall.
-      if (static_cast<mem::Tag>(m.tag) == mem::Tag::ReadOnly)
-        readers_[static_cast<std::size_t>(self)][m.block] |= bit(m.src);
+      if (static_cast<mem::Tag>(m.tag) == mem::Tag::ReadOnly) {
+        ++rec_.node(self).dir_probes;
+        readers_[static_cast<std::size_t>(self)].at(m.block).set(m.src);
+      }
       Msg r;
       r.type = MsgType::WuData;
       r.src = self;
@@ -224,12 +257,12 @@ void WriteUpdateProtocol::handle(int self, const Msg& m) {
         send_from_handler(self, m.src, std::move(r));
       } else {
         // Writer->home run: forward to readers, then acknowledge.
-        auto& fs = forwards_[m.token];
+        auto& fs = forward_state(m.token);
         fs.writer = m.src;
         fs.count = m.count;
         const int sent = forward_run(self, m.block, m.count, m.token, m.src);
         if (sent == 0) {
-          forwards_.erase(m.token);
+          release_token(m.token);
           Msg r;
           r.type = MsgType::UpdateAck;
           r.src = self;
@@ -251,17 +284,16 @@ void WriteUpdateProtocol::handle(int self, const Msg& m) {
           proc(self).wake(engine_.now());
       } else {
         // Reader ack for a forwarded run; self is the home.
-        const auto it = forwards_.find(m.token);
-        PRESTO_CHECK(it != forwards_.end(), "stray forwarded UpdateAck");
-        if (--it->second.acks_left == 0) {
+        auto& fs = forward_state(m.token);
+        if (--fs.acks_left == 0) {
           Msg r;
           r.type = MsgType::UpdateAck;
           r.src = self;
           r.block = m.block;
-          r.count = it->second.count;
+          r.count = fs.count;
           r.token = 0;
-          send_from_handler(self, it->second.writer, std::move(r));
-          forwards_.erase(it);
+          send_from_handler(self, fs.writer, std::move(r));
+          release_token(m.token);
         }
       }
       break;

@@ -11,13 +11,19 @@
 // notes (§3.2), update protocols do not provide sequential consistency; the
 // SPMD application is responsible for phase synchronization (publish +
 // barrier before readers consume).
+//
+// Metadata layout mirrors Stache's flat directory: reader sets and dirty
+// marks live in block-indexed page chunks (util::BlockTable) keyed straight
+// by block id, and in-flight forward state lives in a token slot pool —
+// the wire token is the slot index + 1, recycled LIFO, so steady-state
+// publishing never touches a hash table or allocates.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "proto/protocol.h"
+#include "util/bitset.h"
+#include "util/block_table.h"
 
 namespace presto::proto {
 
@@ -44,15 +50,36 @@ class WriteUpdateProtocol : public Protocol {
   };
   const Stats& stats() const { return stats_; }
 
+  std::size_t metadata_bytes() const override;
+
  protected:
   void handle(int self, const Msg& m) override;
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
   struct ForwardState {
-    int writer = -1;
-    int acks_left = 0;
+    std::int32_t writer = -1;
+    std::int32_t acks_left = 0;
     std::uint32_t count = 0;
+    bool live = false;
+    std::uint32_t next_free = kNoSlot;
   };
+
+  // Reader set recorded at `home` for block b (empty if never recorded).
+  util::NodeSet reader_mask(int home, mem::BlockId b) {
+    ++rec_.node(home).dir_probes;
+    const util::NodeSet* s =
+        readers_[static_cast<std::size_t>(home)].peek(b);
+    return s == nullptr ? util::NodeSet{} : *s;
+  }
+
+  // Token slot pool: wire token = slot + 1 (0 means "final ack, no forward
+  // state"). Slots recycle LIFO; the pool only grows to the peak number of
+  // concurrently in-flight forwarded runs.
+  std::uint64_t alloc_token(ForwardState init);
+  ForwardState& forward_state(std::uint64_t token);
+  void release_token(std::uint64_t token);
 
   // Forwards a run of blocks installed at the home to all readers; returns
   // the number of reader messages sent (0 if no readers).
@@ -61,15 +88,13 @@ class WriteUpdateProtocol : public Protocol {
   void send_update_run(int src, int dst, mem::BlockId b0, std::uint32_t count,
                        std::uint64_t token, bool from_app);
 
-  static std::uint64_t bit(int n) { return 1ULL << n; }
-
-  // readers_[home][block] — remote ReadOnly copies recorded at the home.
-  std::vector<std::unordered_map<mem::BlockId, std::uint64_t>> readers_;
-  // dirty_[node] — non-home blocks written locally since the last publish.
-  std::vector<std::unordered_set<mem::BlockId>> dirty_;
+  // readers_[home].at(block) — remote ReadOnly copies recorded at the home.
+  std::vector<util::BlockTable<util::NodeSet>> readers_;
+  // dirty_[node].at(block) — non-home blocks written locally since startup.
+  std::vector<util::BlockTable<std::uint8_t>> dirty_;
   std::vector<int> outstanding_;  // publish acks awaited per node
-  std::unordered_map<std::uint64_t, ForwardState> forwards_;
-  std::uint64_t next_token_ = 1;
+  std::vector<ForwardState> fwd_pool_;
+  std::uint32_t fwd_free_ = kNoSlot;
   Stats stats_;
 };
 

@@ -101,6 +101,8 @@ void System::run(const std::function<void(NodeCtx&)>& body) {
     host.yields += engine_.processor(n).yield_count();
     host.blocks += engine_.processor(n).block_count();
   }
+  host.metadata_bytes =
+      protocol_->metadata_bytes() + net_->metadata_bytes();
   exec_time_ = rec_.max(&stats::NodeCounters::finish);
   if (oracle_ != nullptr) {
     // End-of-run quiescent checks: whole-memory agreement sweep plus the
@@ -141,6 +143,8 @@ stats::Report System::report(std::string label) const {
   r.msgs = net_->messages_sent();
   r.bytes = net_->bytes_sent();
   r.presend_blocks = rec_.sum(&stats::NodeCounters::presend_blocks_sent);
+  r.dir_probes = rec_.sum(&stats::NodeCounters::dir_probes);
+  r.sched_lookups = rec_.sum(&stats::NodeCounters::sched_lookups);
   r.host = rec_.host();
   return r;
 }

@@ -36,6 +36,12 @@ struct NodeCounters {
   std::uint64_t presend_blocks_received = 0;
   std::uint64_t presend_msgs = 0;
   std::uint64_t schedule_entries = 0;  // live entries recorded at this home
+
+  // Metadata access counts (deterministic, but layout-dependent: they count
+  // protocol metadata probes, not simulated events, so golden pins exclude
+  // them).
+  std::uint64_t dir_probes = 0;      // directory / reader-set probes at home
+  std::uint64_t sched_lookups = 0;   // schedule index probes at this home
 };
 
 // Host-side (wall-clock) execution counters for one Engine run. These are
@@ -50,6 +56,7 @@ struct HostCounters {
   std::uint64_t direct_resumes = 0;   // self-resumes (zero-switch fast path)
   std::uint64_t yields = 0;           // sum of processor horizon yields
   std::uint64_t blocks = 0;           // sum of processor block() parks
+  std::uint64_t metadata_bytes = 0;   // protocol + network metadata resident
   const char* backend = "";           // "fiber" or "thread"
 };
 

@@ -34,6 +34,11 @@ struct Report {
   std::uint64_t bytes = 0;
   std::uint64_t presend_blocks = 0;
 
+  // Metadata-layer access counts (summed over nodes): directory/reader-set
+  // probes and schedule index probes at the home nodes.
+  std::uint64_t dir_probes = 0;
+  std::uint64_t sched_lookups = 0;
+
   // Host-side (wall-clock) execution counters for the run that produced this
   // report. Observability only — never part of simulated results.
   HostCounters host;

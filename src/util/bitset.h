@@ -1,5 +1,11 @@
-// Dynamic bit vector used by the compiler's iterative dataflow solver and by
-// protocol sharer masks wider than 64 nodes.
+// Bit-vector sharer sets.
+//
+// NodeSet is the protocol-metadata workhorse: a single-word set of node ids
+// for directory sharer/reader masks, schedule reader/writer sets, and the
+// directory-audit validator. One machine word covers the CM-5-scale
+// machines the simulator models (≤ 64 nodes; protocol constructors check
+// this). Machines wider than NodeSet::kMaxNodes must spill to the dynamic
+// Bitset below, which the compiler's iterative dataflow solver already uses.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +14,72 @@
 #include "util/check.h"
 
 namespace presto::util {
+
+class NodeSet {
+ public:
+  static constexpr int kMaxNodes = 64;
+
+  constexpr NodeSet() = default;
+
+  static constexpr NodeSet of(int n) { return NodeSet(1ULL << n); }
+  static constexpr NodeSet from_word(std::uint64_t w) { return NodeSet(w); }
+  constexpr std::uint64_t word() const { return w_; }
+
+  void set(int n) { w_ |= 1ULL << n; }
+  void reset(int n) { w_ &= ~(1ULL << n); }
+  constexpr bool test(int n) const { return (w_ >> n) & 1; }
+  void clear() { w_ = 0; }
+
+  constexpr bool any() const { return w_ != 0; }
+  constexpr bool none() const { return w_ == 0; }
+  // Exactly one member.
+  constexpr bool single() const { return w_ != 0 && (w_ & (w_ - 1)) == 0; }
+  int count() const { return __builtin_popcountll(w_); }
+  // Lowest member; undefined when empty.
+  int first() const { return __builtin_ctzll(w_); }
+
+  NodeSet& operator|=(NodeSet o) {
+    w_ |= o.w_;
+    return *this;
+  }
+  NodeSet& operator&=(NodeSet o) {
+    w_ &= o.w_;
+    return *this;
+  }
+  // Set difference (this \ o).
+  void subtract(NodeSet o) { w_ &= ~o.w_; }
+  constexpr NodeSet without(int n) const { return NodeSet(w_ & ~(1ULL << n)); }
+
+  friend constexpr NodeSet operator|(NodeSet a, NodeSet b) {
+    return NodeSet(a.w_ | b.w_);
+  }
+  friend constexpr NodeSet operator&(NodeSet a, NodeSet b) {
+    return NodeSet(a.w_ & b.w_);
+  }
+  friend constexpr bool operator==(NodeSet a, NodeSet b) {
+    return a.w_ == b.w_;
+  }
+  friend constexpr bool operator!=(NodeSet a, NodeSet b) {
+    return a.w_ != b.w_;
+  }
+
+  // Visits members in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::uint64_t w = w_;
+    while (w) {
+      fn(__builtin_ctzll(w));
+      w &= w - 1;
+    }
+  }
+
+ private:
+  explicit constexpr NodeSet(std::uint64_t w) : w_(w) {}
+  std::uint64_t w_ = 0;
+};
+
+static_assert(sizeof(NodeSet) == 8 && NodeSet::kMaxNodes == 64,
+              "NodeSet is one machine word; wider machines spill to Bitset");
 
 class Bitset {
  public:

@@ -1,0 +1,98 @@
+// Page-chunked, lazily materialized per-block metadata table.
+//
+// Protocol metadata (directory entries, sharer sets, dirty marks) is keyed
+// by cache block over a contiguous address space whose home assignment is
+// page-grained: a home node owns whole pages, so the blocks it keeps state
+// for cluster into dense page-sized runs. A hash table pays a hash + probe
+// + scattered cache line per touch on exactly the structures iterative
+// phases hammer every round; this table instead indexes straight into a
+// per-page chunk of `blocks_per_page` value-initialized slots, materialized
+// on first touch so untouched pages cost one null pointer. Lookup is two
+// shifts, a mask, and one predictable indirection — no hashing, no rehash,
+// stable references for the lifetime of the table (chunks never move; only
+// the page-pointer vector grows, and `at()` hands out references into the
+// chunks, never into that vector).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/check.h"
+
+namespace presto::util {
+
+template <typename T>
+class BlockTable {
+ public:
+  using BlockId = std::uint64_t;
+
+  BlockTable() = default;
+  explicit BlockTable(std::uint32_t blocks_per_page) {
+    configure(blocks_per_page);
+  }
+
+  void configure(std::uint32_t blocks_per_page) {
+    PRESTO_CHECK(blocks_per_page != 0 &&
+                     (blocks_per_page & (blocks_per_page - 1)) == 0,
+                 "blocks_per_page must be a power of two, got "
+                     << blocks_per_page);
+    shift_ = static_cast<std::uint32_t>(__builtin_ctz(blocks_per_page));
+    mask_ = blocks_per_page - 1;
+  }
+
+  std::uint32_t blocks_per_page() const { return mask_ + 1; }
+
+  // Reference to block b's slot; materializes the page chunk on first touch
+  // (value-initialized, so a fresh slot equals a default-constructed T).
+  T& at(BlockId b) {
+    const std::size_t page = static_cast<std::size_t>(b >> shift_);
+    if (page >= chunks_.size()) chunks_.resize(page + 1);
+    auto& chunk = chunks_[page];
+    if (chunk == nullptr) chunk.reset(new T[static_cast<std::size_t>(mask_) + 1]());
+    return chunk[static_cast<std::size_t>(b) & mask_];
+  }
+
+  // Read-only peek that never materializes: nullptr if the page chunk does
+  // not exist yet (the slot is then logically default-constructed).
+  const T* peek(BlockId b) const {
+    const std::size_t page = static_cast<std::size_t>(b >> shift_);
+    if (page >= chunks_.size() || chunks_[page] == nullptr) return nullptr;
+    return &chunks_[page][static_cast<std::size_t>(b) & mask_];
+  }
+
+  // Visits every slot of every materialized chunk in ascending block order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t per = static_cast<std::size_t>(mask_) + 1;
+    for (std::size_t page = 0; page < chunks_.size(); ++page) {
+      const auto& chunk = chunks_[page];
+      if (chunk == nullptr) continue;
+      for (std::size_t i = 0; i < per; ++i)
+        fn(static_cast<BlockId>((page << shift_) + i), chunk[i]);
+    }
+  }
+
+  std::size_t pages_resident() const {
+    std::size_t n = 0;
+    for (const auto& c : chunks_)
+      if (c != nullptr) ++n;
+    return n;
+  }
+
+  // Host memory held by materialized chunks plus the page-pointer spine.
+  std::size_t bytes_resident() const {
+    return pages_resident() * (static_cast<std::size_t>(mask_) + 1) *
+               sizeof(T) +
+           chunks_.capacity() * sizeof(chunks_[0]);
+  }
+
+  void clear() { chunks_.clear(); }
+
+ private:
+  std::uint32_t shift_ = 0;
+  std::uint32_t mask_ = 0;
+  std::vector<std::unique_ptr<T[]>> chunks_;
+};
+
+}  // namespace presto::util

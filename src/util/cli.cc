@@ -2,7 +2,6 @@
 
 #include <cerrno>
 #include <cstdlib>
-#include <string_view>
 
 #include "util/check.h"
 
@@ -26,19 +25,25 @@ Cli::Cli(int argc, char** argv) {
   }
 }
 
-bool Cli::has(const std::string& name) const {
-  queried_.insert(name);
-  return flags_.count(name) > 0;
+void Cli::note_query(std::string_view name) const {
+  // Transparent find first: the common case (name already recorded) must not
+  // build a temporary std::string.
+  if (queried_.find(name) == queried_.end()) queried_.emplace(name);
 }
 
-std::string Cli::get(const std::string& name, const std::string& def) const {
-  queried_.insert(name);
+bool Cli::has(std::string_view name) const {
+  note_query(name);
+  return flags_.find(name) != flags_.end();
+}
+
+std::string Cli::get(std::string_view name, const std::string& def) const {
+  note_query(name);
   const auto it = flags_.find(name);
   return it == flags_.end() ? def : it->second;
 }
 
-std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
-  queried_.insert(name);
+std::int64_t Cli::get_int(std::string_view name, std::int64_t def) const {
+  note_query(name);
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   const std::string& v = it->second;
@@ -52,8 +57,8 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   return parsed;
 }
 
-double Cli::get_double(const std::string& name, double def) const {
-  queried_.insert(name);
+double Cli::get_double(std::string_view name, double def) const {
+  note_query(name);
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   const std::string& v = it->second;
@@ -67,8 +72,8 @@ double Cli::get_double(const std::string& name, double def) const {
   return parsed;
 }
 
-bool Cli::get_bool(const std::string& name, bool def) const {
-  queried_.insert(name);
+bool Cli::get_bool(std::string_view name, bool def) const {
+  note_query(name);
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   return it->second != "0" && it->second != "false";
@@ -77,7 +82,7 @@ bool Cli::get_bool(const std::string& name, bool def) const {
 void Cli::reject_unknown() const {
   std::string unknown;
   for (const auto& [name, value] : flags_) {
-    if (queried_.count(name)) continue;
+    if (queried_.find(name) != queried_.end()) continue;
     if (!unknown.empty()) unknown += ", ";
     unknown += "--" + name;
   }

@@ -5,12 +5,18 @@
 // with a clear message instead of silently reading as 0, and programs call
 // reject_unknown() after their last get*() so a mistyped flag aborts instead
 // of being ignored.
+//
+// Lookups take std::string_view and the maps use transparent comparators, so
+// has()/get*() with a string literal never constructs a temporary
+// std::string — benches poll flags in loops and should not allocate per
+// lookup.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 
 namespace presto::util {
 
@@ -18,21 +24,28 @@ class Cli {
  public:
   Cli(int argc, char** argv);
 
-  bool has(const std::string& name) const;
-  std::string get(const std::string& name, const std::string& def) const;
+  bool has(std::string_view name) const;
+  std::string get(std::string_view name, const std::string& def) const;
   // Aborts if the value is not a (fully consumed) base-10 integer / number.
-  std::int64_t get_int(const std::string& name, std::int64_t def) const;
-  double get_double(const std::string& name, double def) const;
-  bool get_bool(const std::string& name, bool def = false) const;
+  std::int64_t get_int(std::string_view name, std::int64_t def) const;
+  double get_double(std::string_view name, double def) const;
+  bool get_bool(std::string_view name, bool def = false) const;
 
   // Aborts, listing the offenders, if any provided --flag was never looked
   // up through the accessors above. Call once after the last get*().
   void reject_unknown() const;
 
+  // Distinct flag names the program has queried so far (test hook: repeated
+  // lookups of the same name must not grow this).
+  std::size_t queried_count() const { return queried_.size(); }
+
  private:
-  std::map<std::string, std::string> flags_;
+  // Records the query without allocating when the name was already queried.
+  void note_query(std::string_view name) const;
+
+  std::map<std::string, std::string, std::less<>> flags_;
   // Flags the program asked about — the de-facto set of valid names.
-  mutable std::set<std::string> queried_;
+  mutable std::set<std::string, std::less<>> queried_;
 };
 
 }  // namespace presto::util

@@ -1,0 +1,79 @@
+// util::Cli flag parsing and the allocation-free lookup contract.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+#include "util/cli.h"
+
+using presto::util::Cli;
+
+namespace {
+
+Cli make_cli(std::initializer_list<const char*> args) {
+  static std::vector<const char*> argv;
+  argv.assign({"prog"});
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()),
+             const_cast<char**>(argv.data()));
+}
+
+TEST(Cli, ParsesValueAndBoolForms) {
+  const Cli cli = make_cli({"--blocks=512", "--rounds", "192", "--quick"});
+  EXPECT_TRUE(cli.has("blocks"));
+  EXPECT_EQ(cli.get_int("blocks", 0), 512);
+  EXPECT_EQ(cli.get_int("rounds", 0), 192);
+  EXPECT_TRUE(cli.get_bool("quick"));
+  EXPECT_FALSE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get("json", "default"), "default");
+  EXPECT_EQ(cli.get_double("missing", 2.5), 2.5);
+}
+
+// Lookups take std::string_view: a literal (or any non-owning view) must work
+// without constructing a std::string at the call site, and the transparent
+// map comparators resolve it without a temporary key either.
+TEST(Cli, LookupAcceptsStringView) {
+  const Cli cli = make_cli({"--alpha=1"});
+  constexpr std::string_view key = "alpha";
+  EXPECT_TRUE(cli.has(key));
+  EXPECT_EQ(cli.get_int(key, 0), 1);
+  const char buf[] = {'a', 'l', 'p', 'h', 'a', 'X'};  // not NUL-terminated
+  EXPECT_TRUE(cli.has(std::string_view(buf, 5)));
+}
+
+// Regression for the per-lookup allocation fix: repeated queries of the same
+// name must not grow the queried-names set (the old code built a temporary
+// std::string per call and inserted it every time).
+TEST(Cli, RepeatedLookupsRecordNameOnce) {
+  const Cli cli = make_cli({"--blocks=512"});
+  EXPECT_EQ(cli.queried_count(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    (void)cli.has("blocks");
+    (void)cli.get_int("blocks", 0);
+  }
+  EXPECT_EQ(cli.queried_count(), 1u);
+  (void)cli.get("other", "");
+  EXPECT_EQ(cli.queried_count(), 2u);
+}
+
+TEST(Cli, RejectUnknownPassesWhenAllQueried) {
+  const Cli cli = make_cli({"--blocks=512", "--quick"});
+  (void)cli.get_int("blocks", 0);
+  (void)cli.get_bool("quick");
+  cli.reject_unknown();  // must not abort
+}
+
+TEST(CliDeath, RejectUnknownAbortsOnUnqueriedFlag) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Cli cli = make_cli({"--typo=1"});
+  EXPECT_DEATH(cli.reject_unknown(), "unknown flag");
+}
+
+TEST(CliDeath, MalformedIntegerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Cli cli = make_cli({"--blocks=12x"});
+  EXPECT_DEATH((void)cli.get_int("blocks", 0), "expects an integer");
+}
+
+}  // namespace

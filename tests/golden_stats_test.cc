@@ -104,4 +104,82 @@ TEST(GoldenStats, PredictiveSmallRun) {
       testutil::run_micro_workload(runtime::ProtocolKind::kPredictive), g);
 }
 
+// Compact digest pins across every protocol × coherence block size. These
+// freeze the simulated behavior of the directory, sharer-set, schedule and
+// channel metadata across the layouts the flat rewrite replaces: any layout
+// change that perturbs message counts, wire bytes, event counts, simulated
+// time, fault counts, or final memory/tag contents trips here.
+struct MatrixGolden {
+  runtime::ProtocolKind kind;
+  std::uint32_t block_size;
+  std::uint64_t msgs, bytes, events;
+  sim::Time exec;
+  std::uint64_t faults;  // read + write faults summed over nodes
+  std::uint64_t mem_hash;
+};
+
+const char* kind_id(runtime::ProtocolKind k) {
+  switch (k) {
+    case runtime::ProtocolKind::kStache: return "kStache";
+    case runtime::ProtocolKind::kPredictive: return "kPredictive";
+    case runtime::ProtocolKind::kPredictiveAnticipate:
+      return "kPredictiveAnticipate";
+    case runtime::ProtocolKind::kWriteUpdate: return "kWriteUpdate";
+  }
+  return "?";
+}
+
+TEST(GoldenStats, ProtocolBlockSizeMatrix) {
+  using runtime::ProtocolKind;
+  const MatrixGolden table[] = {
+      {ProtocolKind::kStache, 32, 6903ull, 196368ull, 16749ull, 249736440,
+       2277ull, 14559042160599073619ull},
+      {ProtocolKind::kStache, 128, 1850ull, 121376ull, 4607ull, 72437540,
+       611ull, 9683470072194729308ull},
+      {ProtocolKind::kStache, 1024, 435ull, 166704ull, 1174ull, 26442760,
+       141ull, 5269624061003381707ull},
+      {ProtocolKind::kPredictive, 32, 7022ull, 201984ull, 18534ull, 244331520,
+       1896ull, 14559042160599073619ull},
+      {ProtocolKind::kPredictive, 128, 1869ull, 125008ull, 5103ull, 70490520,
+       500ull, 9683470072194729308ull},
+      {ProtocolKind::kPredictive, 1024, 434ull, 174880ull, 1313ull, 24603360,
+       84ull, 5269624061003381707ull},
+      {ProtocolKind::kPredictiveAnticipate, 32, 6962ull, 201024ull, 20108ull,
+       237321660, 1662ull, 14559042160599073619ull},
+      {ProtocolKind::kPredictiveAnticipate, 128, 1854ull, 124768ull, 5463ull,
+       68646520, 443ull, 9683470072194729308ull},
+      {ProtocolKind::kPredictiveAnticipate, 1024, 434ull, 174880ull, 1313ull,
+       24603360, 84ull, 5269624061003381707ull},
+      {ProtocolKind::kWriteUpdate, 32, 6882ull, 230208ull, 17897ull,
+       105085720, 957ull, 2800090443976628580ull},
+      {ProtocolKind::kWriteUpdate, 128, 1788ull, 155328ull, 4534ull, 29901120,
+       255ull, 17181031399765319607ull},
+      {ProtocolKind::kWriteUpdate, 1024, 318ull, 192480ull, 840ull, 11759960,
+       45ull, 15502453886649105430ull},
+  };
+  for (const auto& g : table) {
+    SCOPED_TRACE(std::string(runtime::protocol_kind_name(g.kind)) + " bsz=" +
+                 std::to_string(g.block_size));
+    const auto r = testutil::run_micro_workload(
+        g.kind, /*quantum_floor=*/0, /*nodes=*/4, /*rounds=*/6,
+        sim::default_backend(), g.block_size);
+    std::uint64_t faults = 0;
+    for (const auto& c : r.counters) faults += c.read_faults + c.write_faults;
+    EXPECT_EQ(r.msgs, g.msgs);
+    EXPECT_EQ(r.bytes, g.bytes);
+    EXPECT_EQ(r.events, g.events);
+    EXPECT_EQ(r.exec, g.exec);
+    EXPECT_EQ(faults, g.faults);
+    EXPECT_EQ(r.mem_hash, g.mem_hash);
+    if (::testing::Test::HasFailure()) {
+      std::printf("ACTUAL: {ProtocolKind::%s, %u, %lluull, %lluull, %lluull, "
+                  "%lld, %lluull, %lluull},\n",
+                  kind_id(g.kind), g.block_size,
+                  (unsigned long long)r.msgs, (unsigned long long)r.bytes,
+                  (unsigned long long)r.events, (long long)r.exec,
+                  (unsigned long long)faults, (unsigned long long)r.mem_hash);
+    }
+  }
+}
+
 }  // namespace

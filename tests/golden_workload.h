@@ -38,8 +38,10 @@ inline WorkloadResult run_micro_workload(runtime::ProtocolKind kind,
                                          sim::Time quantum_floor = 0,
                                          int nodes = 4, int rounds = 6,
                                          sim::Backend backend =
-                                             sim::default_backend()) {
-  runtime::MachineConfig cfg = runtime::MachineConfig::cm5_blizzard(nodes, 32);
+                                             sim::default_backend(),
+                                         std::uint32_t block_size = 32) {
+  runtime::MachineConfig cfg =
+      runtime::MachineConfig::cm5_blizzard(nodes, block_size);
   cfg.quantum_floor = quantum_floor;
   cfg.backend = backend;
   runtime::System sys(cfg, kind);
@@ -52,6 +54,11 @@ inline WorkloadResult run_micro_workload(runtime::ProtocolKind kind,
   const std::uint32_t bsz = cfg.mem.block_size;
   const int blocks_per_page =
       static_cast<int>(cfg.mem.page_size / bsz);
+  const std::size_t total_bytes =
+      static_cast<std::size_t>(nodes) * cfg.mem.page_size;
+  // Write-update provides phase consistency only: writers publish their
+  // dirty blocks before the barrier that separates them from the readers.
+  proto::WriteUpdateProtocol* wu = sys.writeupdate();
 
   sys.run([&](runtime::NodeCtx& c) {
     for (int r = 0; r < rounds; ++r) {
@@ -63,6 +70,7 @@ inline WorkloadResult run_micro_workload(runtime::ProtocolKind kind,
             c.write<int>(base + static_cast<mem::Addr>(pg) * 4096 +
                              static_cast<mem::Addr>(b) * bsz,
                          r * 1000 + pg * 100 + b);
+        if (wu != nullptr) wu->wu_publish(c.id(), base, total_bytes);
       }
       c.barrier();
       c.phase(1);
@@ -82,6 +90,7 @@ inline WorkloadResult run_micro_workload(runtime::ProtocolKind kind,
             c.write<int>(base + static_cast<mem::Addr>(pg) * 4096 +
                              static_cast<mem::Addr>(b) * bsz,
                          -(r * 1000 + pg * 100 + b));
+        if (wu != nullptr) wu->wu_publish(c.id(), base, total_bytes);
       }
       c.barrier();
     }
