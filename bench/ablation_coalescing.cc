@@ -18,8 +18,9 @@ namespace {
 // Synthetic kernel: one producer node writes a large contiguous region each
 // iteration; every other node reads all of it (maximum coalescing benefit).
 stats::Report run_stream(int nodes, std::size_t kilobytes, int iters,
-                         bool coalesce) {
+                         bool coalesce, const trace::TraceConfig& tcfg) {
   auto machine = runtime::MachineConfig::cm5_blizzard(nodes, 32);
+  machine.trace = tcfg;
   runtime::System sys(machine, runtime::ProtocolKind::kPredictive);
   sys.predictive()->set_coalescing(coalesce);
   const std::size_t bytes = kilobytes * 1024;
@@ -53,11 +54,12 @@ int main(int argc, char** argv) {
   const std::size_t kb =
       static_cast<std::size_t>(cli.get_int("kb", 64) / scale.divide + 1);
   const int iters = static_cast<int>(cli.get_int("iters", 8));
+  const auto trace_cfg = bench::trace_from_cli(cli);
   cli.reject_unknown();
 
   std::vector<stats::Report> reports;
   for (const bool coalesce : {true, false})
-    reports.push_back(run_stream(scale.nodes, kb, iters, coalesce));
+    reports.push_back(run_stream(scale.nodes, kb, iters, coalesce, trace_cfg));
 
   bench::print_results("Ablation: presend bulk coalescing (producer-consumer "
                        "stream, " + std::to_string(kb) + " KiB/iter)",

@@ -22,8 +22,9 @@ struct Result {
 template <typename Agg, typename OwnedFn>
 Result run_stencil(const std::string& label, runtime::ProtocolKind kind,
                    bool directives, int nodes, std::size_t n, int iters,
-                   OwnedFn owned) {
+                   OwnedFn owned, const trace::TraceConfig& tcfg) {
   auto machine = runtime::MachineConfig::cm5_blizzard(nodes, 32);
+  machine.trace = tcfg;
   runtime::System sys(machine, kind);
   Agg a = Agg::create(sys.space(), n, n);
   Agg b = Agg::create(sys.space(), n, n);
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
   // At least 6 sweeps so the schedules have repetition to exploit.
   const int iters = std::max<int>(
       6, static_cast<int>(cli.get_int("iters", 20) / scale.divide));
+  const auto trace_cfg = bench::trace_from_cli(cli);
   cli.reject_unknown();
 
   auto rowblock_owned = [](runtime::NodeCtx& c,
@@ -96,10 +98,10 @@ int main(int argc, char** argv) {
     const char* suffix = opt ? " + predictive" : " (stache)";
     auto rb = run_stencil<runtime::Aggregate2D<float>>(
         std::string("row-block") + suffix, kind, opt, scale.nodes, n, iters,
-        rowblock_owned);
+        rowblock_owned, trace_cfg);
     auto ti = run_stencil<runtime::TiledAggregate2D<float>>(
         std::string("tiled") + suffix, kind, opt, scale.nodes, n, iters,
-        tiled_owned);
+        tiled_owned, trace_cfg);
     reports.push_back(rb.report);
     reports.push_back(ti.report);
     checksums.push_back(rb.checksum);

@@ -16,10 +16,12 @@ int main(int argc, char** argv) {
   apps::AdaptiveParams params;
   params.n = scale.divide > 1 ? 64 : 128;
   params.iters = static_cast<int>(cli.get_int("iters", 60) / scale.divide);
+  const auto trace_cfg = bench::trace_from_cli(cli);
   cli.reject_unknown();
   if (params.iters < 4) params.iters = 4;
 
-  const auto machine = runtime::MachineConfig::cm5_blizzard(scale.nodes, 32);
+  auto machine = runtime::MachineConfig::cm5_blizzard(scale.nodes, 32);
+  machine.trace = trace_cfg;
 
   std::vector<stats::Report> reports;
   std::vector<apps::AppResult> results;

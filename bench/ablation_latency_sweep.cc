@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const auto scale = bench::Scale::from_cli(cli);
   const int jobs =
       static_cast<int>(cli.get_int("jobs", util::default_pool_jobs()));
+  const auto trace_cfg = bench::trace_from_cli(cli);
   cli.reject_unknown();
 
   apps::WaterParams params;
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
       m.costs.fault = mul(m.costs.fault);
       m.costs.handler = mul(m.costs.handler);
     }
+    m.trace = trace_cfg;
     return m;
   };
 

@@ -9,6 +9,7 @@
 
 #include "apps/common/versions.h"
 #include "stats/report.h"
+#include "trace/config.h"
 #include "util/cli.h"
 
 namespace presto::bench {
@@ -29,11 +30,21 @@ struct Scale {
   }
 };
 
+// --trace=FILE[:cat,cat...] records a deterministic event trace of each run
+// (docs/observability.md). ".json" writes Perfetto trace_event JSON, any
+// other extension the binary format for presto_trace. When a bench runs
+// several Systems, runs after the first get a ".N" path suffix.
+inline trace::TraceConfig trace_from_cli(const util::Cli& cli) {
+  return trace::TraceConfig::from_spec(cli.get("trace", ""));
+}
+
 inline void print_results(const std::string& title,
                           const std::vector<stats::Report>& reports) {
   std::printf("\n== %s ==\n", title.c_str());
   std::printf("%s", stats::Report::bars(reports).c_str());
   std::printf("%s", stats::Report::table(reports).c_str());
+  const std::string trace = stats::Report::trace_summary(reports);
+  if (!trace.empty()) std::printf("%s", trace.c_str());
   std::fflush(stdout);
 }
 

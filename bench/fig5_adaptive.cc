@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
       cli.get_int("mesh", static_cast<std::int64_t>(params.n)));
   params.iters =
       static_cast<int>(cli.get_int("iters", params.iters) / scale.divide);
+  const auto trace_cfg = bench::trace_from_cli(cli);
   cli.reject_unknown();
   if (scale.divide > 1 && params.n > 32) params.n /= 2;
   if (params.iters < 1) params.iters = 1;
@@ -39,8 +40,9 @@ int main(int argc, char** argv) {
   std::vector<apps::AppResult> results;
   std::vector<stats::Report> reports;
   for (const auto& v : versions) {
-    const auto machine =
+    auto machine =
         runtime::MachineConfig::cm5_blizzard(scale.nodes, v.block);
+    machine.trace = trace_cfg;
     auto r = apps::run_adaptive(params, machine,
                                 v.optimized
                                     ? runtime::ProtocolKind::kPredictive

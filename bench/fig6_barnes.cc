@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
       cli.get_int("bodies", static_cast<std::int64_t>(params.bodies)) /
       scale.divide);
   params.steps = static_cast<int>(cli.get_int("steps", params.steps));
+  const auto trace_cfg = bench::trace_from_cli(cli);
   cli.reject_unknown();
   if (params.bodies < 64) params.bodies = 64;
 
@@ -41,8 +42,9 @@ int main(int argc, char** argv) {
   std::vector<apps::AppResult> results;
   std::vector<stats::Report> reports;
   for (const auto& v : versions) {
-    const auto machine =
+    auto machine =
         runtime::MachineConfig::cm5_blizzard(scale.nodes, v.block);
+    machine.trace = trace_cfg;
     auto r = apps::run_barnes(params, machine, v.kind, v.directives);
     r.report.label = apps::version_label(v.label, v.block);
     std::printf("%-20s checksum=%.9f\n", r.report.label.c_str(), r.checksum);

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> splash_blocks =
       cli.get_bool("splash-sweep") ? block_sizes
                                    : std::vector<std::uint32_t>{128};
+  const auto trace_cfg = bench::trace_from_cli(cli);
   cli.reject_unknown();
 
   std::vector<apps::AppResult> results;
@@ -54,8 +55,9 @@ int main(int argc, char** argv) {
     apps::AppResult best;
     bool have = false;
     for (const std::uint32_t block : v.splash ? splash_blocks : block_sizes) {
-      const auto machine =
+      auto machine =
           runtime::MachineConfig::cm5_blizzard(scale.nodes, block);
+      machine.trace = trace_cfg;
       auto r = v.splash ? apps::run_water_splash(params, machine)
                         : apps::run_water(params, machine, v.kind,
                                           v.directives);

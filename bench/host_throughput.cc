@@ -48,6 +48,7 @@ struct MicroResult {
   std::uint64_t msgs = 0;
   std::uint64_t dir_probes = 0;
   std::uint64_t sched_lookups = 0;
+  std::uint64_t trace_events = 0;  // traced variant only
   stats::HostCounters host;
 };
 
@@ -62,9 +63,12 @@ void print_host(const stats::HostCounters& h) {
 }
 
 // Producer/consumer over `blocks` blocks for `rounds` rounds; coalescing is
-// disabled so the event count scales with blocks, not runs.
-MicroResult run_micro(int nodes, int blocks, int rounds) {
-  const auto cfg = runtime::MachineConfig::cm5_blizzard(nodes, 32);
+// disabled so the event count scales with blocks, not runs. With `traced`
+// the full event tracer records in memory (no file write), measuring the
+// tracer-enabled overhead against the untraced run.
+MicroResult run_micro(int nodes, int blocks, int rounds, bool traced = false) {
+  auto cfg = runtime::MachineConfig::cm5_blizzard(nodes, 32);
+  cfg.trace.enabled = traced;
   runtime::System sys(cfg, runtime::ProtocolKind::kPredictive);
   sys.predictive()->set_coalescing(false);
   const mem::Addr a = sys.space().alloc_on_node(
@@ -94,6 +98,8 @@ MicroResult run_micro(int nodes, int blocks, int rounds) {
   res.msgs = sys.network().messages_sent();
   res.dir_probes = sys.recorder().sum(&stats::NodeCounters::dir_probes);
   res.sched_lookups = sys.recorder().sum(&stats::NodeCounters::sched_lookups);
+  if (sys.tracer() != nullptr)
+    res.trace_events = sys.tracer()->summary().events;
   res.host = sys.recorder().host();
   return res;
 }
@@ -193,6 +199,17 @@ int main(int argc, char** argv) {
               (unsigned long long)micro.sched_lookups);
   print_host(micro.host);
 
+  // Same workload with the event tracer recording in memory: the cost of
+  // `--trace` when someone actually wants a trace (the disabled-tracer cost
+  // is a null-pointer test, covered by the zero-overhead tests).
+  const auto traced = run_micro(micro_nodes, blocks, rounds, /*traced=*/true);
+  const double trace_overhead_pct =
+      micro.wall_s > 0 ? (traced.wall_s / micro.wall_s - 1.0) * 100.0 : 0.0;
+  std::printf("micro+trace: %.0f events/sec (%+.1f%% wall vs untraced, "
+              "%llu trace events)\n",
+              traced.events_per_sec, trace_overhead_pct,
+              (unsigned long long)traced.trace_events);
+
   std::printf("barnes: nodes=%d bodies=%zu steps=%d ...\n", barnes_nodes,
               bodies, steps);
   std::fflush(stdout);
@@ -236,6 +253,12 @@ int main(int argc, char** argv) {
                  "    \"dir_probes\": %llu,\n"
                  "    \"sched_lookups\": %llu,\n"
                  "    \"metadata_bytes\": %llu\n"
+                 "  },\n"
+                 "  \"micro_traced\": {\n"
+                 "    \"events_per_sec\": %.0f,\n"
+                 "    \"wall_s\": %.4f,\n"
+                 "    \"overhead_pct\": %.1f,\n"
+                 "    \"trace_events\": %llu\n"
                  "  },\n"
                  "  \"barnes\": {\n"
                  "    \"nodes\": %d, \"bodies\": %zu, \"steps\": %d,\n"
@@ -296,6 +319,8 @@ int main(int argc, char** argv) {
                  (unsigned long long)micro.dir_probes,
                  (unsigned long long)micro.sched_lookups,
                  (unsigned long long)micro.host.metadata_bytes,
+                 traced.events_per_sec, traced.wall_s, trace_overhead_pct,
+                 (unsigned long long)traced.trace_events,
                  barnes_nodes, bodies, steps, barnes.wall_s, barnes.checksum,
                  (unsigned long long)barnes.msgs,
                  (unsigned long long)barnes.dir_probes,

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const auto scale = bench::Scale::from_cli(cli);
   const int jobs =
       static_cast<int>(cli.get_int("jobs", util::default_pool_jobs()));
+  const auto trace_cfg = bench::trace_from_cli(cli);
   cli.reject_unknown();
 
   util::Table spec({"Program", "Brief Description", "Data set (paper)"});
@@ -27,7 +28,8 @@ int main(int argc, char** argv) {
   std::printf("Table 1: Benchmark applications\n%s\n", spec.to_string().c_str());
 
   // Measured workload characteristics (optimized versions, scaled sizes).
-  const auto machine = runtime::MachineConfig::cm5_blizzard(scale.nodes, 32);
+  auto machine = runtime::MachineConfig::cm5_blizzard(scale.nodes, 32);
+  machine.trace = trace_cfg;
 
   apps::AdaptiveParams ap;
   ap.iters = static_cast<int>(100 / scale.divide);

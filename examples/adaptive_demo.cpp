@@ -7,6 +7,7 @@
 
 #include "apps/adaptive/adaptive.h"
 #include "stats/report.h"
+#include "trace/config.h"
 #include "util/cli.h"
 
 using namespace presto;
@@ -18,9 +19,11 @@ int main(int argc, char** argv) {
   params.iters = static_cast<int>(cli.get_int("iters", 30));
   const int nodes = static_cast<int>(cli.get_int("nodes", 16));
   const auto block = static_cast<std::uint32_t>(cli.get_int("block", 32));
+  const auto trace_cfg = trace::TraceConfig::from_spec(cli.get("trace", ""));
   cli.reject_unknown();
 
-  const auto machine = runtime::MachineConfig::cm5_blizzard(nodes, block);
+  auto machine = runtime::MachineConfig::cm5_blizzard(nodes, block);
+  machine.trace = trace_cfg;
   std::printf("Adaptive %zux%zu, %d iterations, %d nodes, %uB blocks\n\n",
               params.n, params.n, params.iters, nodes, block);
 

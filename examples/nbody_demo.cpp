@@ -8,6 +8,7 @@
 
 #include "apps/barnes/barnes.h"
 #include "stats/report.h"
+#include "trace/config.h"
 #include "util/cli.h"
 
 using namespace presto;
@@ -19,9 +20,11 @@ int main(int argc, char** argv) {
   params.steps = static_cast<int>(cli.get_int("steps", 3));
   const int nodes = static_cast<int>(cli.get_int("nodes", 16));
   const auto block = static_cast<std::uint32_t>(cli.get_int("block", 64));
+  const auto trace_cfg = trace::TraceConfig::from_spec(cli.get("trace", ""));
   cli.reject_unknown();
 
-  const auto machine = runtime::MachineConfig::cm5_blizzard(nodes, block);
+  auto machine = runtime::MachineConfig::cm5_blizzard(nodes, block);
+  machine.trace = trace_cfg;
   std::printf("Barnes-Hut: %zu bodies, %d steps, %d nodes, %uB blocks\n\n",
               params.bodies, params.steps, nodes, block);
 

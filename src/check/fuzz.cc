@@ -142,7 +142,7 @@ bool supports_write_update(const FuzzProgram& prog) {
 }
 
 RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
-                      const net::NetConfig& net) {
+                      const net::NetConfig& net, TraceCapture* capture) {
   using runtime::NodeCtx;
   PRESTO_CHECK(kind != runtime::ProtocolKind::kWriteUpdate ||
                    supports_write_update(prog),
@@ -153,6 +153,7 @@ RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
       runtime::MachineConfig::cm5_blizzard(prog.nodes, prog.block_size);
   m.mem.page_size = 512;  // small pages spread homes across nodes
   m.net = net;
+  m.trace.enabled = capture != nullptr;  // in-memory only
   runtime::System sys(m, kind);
   Oracle& oracle = sys.enable_oracle(FailMode::kRecord);
   // Fuzz programs are phase-synchronized (write -> publish -> barrier ->
@@ -247,6 +248,13 @@ RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
   out.exec_time = static_cast<std::uint64_t>(sys.exec_time());
   out.messages = sys.network().messages_sent();
   out.bytes = sys.network().bytes_sent();
+  if (capture != nullptr) {
+    capture->digest = sys.tracer()->digest();
+    capture->summary = sys.tracer()->summary();
+    capture->data = sys.tracer()->build(m.costs, m.net);
+    for (int n = 0; n < prog.nodes; ++n)
+      capture->counters.push_back(sys.recorder().node(n));
+  }
   return out;
 }
 

@@ -28,6 +28,8 @@
 
 #include "net/network.h"
 #include "runtime/machine.h"
+#include "stats/recorder.h"
+#include "trace/tracer.h"
 
 namespace presto::check {
 
@@ -85,10 +87,22 @@ FuzzProgram generate(std::uint64_t seed);
 // usage the protocol models).
 bool supports_write_update(const FuzzProgram& prog);
 
+// Optional per-run trace capture (tests/trace_property_test.cc reconciles
+// the tracer's independent accounting against the protocol counters over
+// the fuzz corpus). Non-null `capture` runs the program with the event
+// tracer attached, in memory.
+struct TraceCapture {
+  trace::Digest digest;
+  trace::Summary summary;
+  trace::TraceData data;  // canonical stream + cost-model meta
+  std::vector<stats::NodeCounters> counters;  // per node, for reconciliation
+};
+
 // Runs the program under one protocol/network configuration with the oracle
 // attached in record mode. Deterministic: equal inputs give equal results.
 RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
-                      const net::NetConfig& net);
+                      const net::NetConfig& net,
+                      TraceCapture* capture = nullptr);
 
 // Full differential check: all applicable protocols under the default
 // latency model, plus perturbed latency models when `latency_sweep`.

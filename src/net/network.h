@@ -67,6 +67,7 @@ class Network {
 
   void set_msg_sink(MsgSink* sink) { sink_ = sink; }
   void set_observer(Observer* o) { observer_ = o; }
+  Observer* observer() const { return observer_; }
 
   // Typed fast path: copies header+payload into the channel ring; the sink
   // receives the concatenated record at the arrival time. `wire_bytes` is

@@ -1,5 +1,6 @@
 #include "proto/protocol.h"
 
+#include "trace/hooks.h"
 #include "util/check.h"
 
 namespace presto::proto {
@@ -61,6 +62,9 @@ void Protocol::post(int src, int dst, const Msg& m, sim::Time depart) {
   c.bytes_sent += bytes;
   if (observer_ != nullptr && m.data_len != 0) [[unlikely]]
     observer_->on_data_send(src, dst, m);
+  if (trace_ != nullptr) [[unlikely]]
+    trace_->on_msg_send(src, dst, static_cast<std::uint8_t>(m.type), m.block,
+                        m.count, static_cast<std::uint32_t>(bytes), depart);
   // Header and payload are copied into the (src, dst) channel ring before
   // this returns; m.data may point straight at GlobalSpace frame bytes.
   net_.send_msg(src, dst, bytes, depart, &m, sizeof(Msg), m.data, m.data_len);
@@ -82,6 +86,16 @@ void Protocol::on_msg(int dst, const std::byte* rec, std::size_t len) {
   const sim::Time start = engine_.now() > busy ? engine_.now() : busy;
   const sim::Time done = start + costs_.handler;
   busy = done;
+  if (trace_ != nullptr) [[unlikely]] {
+    // Decode the header only when traced; the untraced arrival path never
+    // touches the record bytes.
+    Msg m;
+    std::memcpy(&m, rec, sizeof(Msg));
+    trace_->on_msg_recv(
+        dst, m.src, static_cast<std::uint8_t>(m.type), m.block,
+        static_cast<std::uint32_t>(costs_.header_bytes + m.data_len),
+        engine_.now(), start);
+  }
   if (!proc(dst).parked_in_block()) proc(dst).add_stolen(costs_.handler);
   dispatch_[static_cast<std::size_t>(dst)].push(rec, len, nullptr, 0);
   engine_.schedule_at(done, [this, dst] { dispatch_front(dst); });

@@ -32,6 +32,10 @@
 #include "sim/processor.h"
 #include "stats/recorder.h"
 
+namespace presto::trace {
+class Hooks;
+}  // namespace presto::trace
+
 namespace presto::proto {
 
 enum class MsgType : std::uint8_t {
@@ -141,6 +145,12 @@ class Protocol : public net::Network::MsgSink, public mem::FaultHandler {
   void set_coherence_observer(CoherenceObserver* o) { observer_ = o; }
   CoherenceObserver* coherence_observer() const { return observer_; }
 
+  // Attaches the event tracer (trace/tracer.h). Like the oracle, hooks are
+  // pure observation; null in untraced runs so the hot paths stay branch-
+  // predictable single null checks.
+  void set_trace_hooks(trace::Hooks* h) { trace_ = h; }
+  trace::Hooks* trace_hooks() const { return trace_; }
+
   const ProtoCosts& costs() const { return costs_; }
 
   // Host bytes held by protocol metadata (directories, schedules, reader
@@ -201,6 +211,7 @@ class Protocol : public net::Network::MsgSink, public mem::FaultHandler {
   const ProtoCosts costs_;
   std::function<void(int)> barrier_;
   CoherenceObserver* observer_ = nullptr;
+  trace::Hooks* trace_ = nullptr;
 
  private:
   void post(int src, int dst, const Msg& m, sim::Time depart);

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "check/bughook.h"
+#include "trace/hooks.h"
 #include "util/check.h"
 
 namespace presto::proto {
@@ -137,6 +138,8 @@ void StacheProtocol::on_fault(int node, mem::BlockId b, bool is_write) {
 
   auto& p = proc(node);
   const sim::Time t0 = p.now();
+  if (trace_ != nullptr) [[unlikely]]
+    trace_->on_miss_start(node, b, is_write, t0);
   p.charge(costs_.fault);  // software fault vectoring (Blizzard)
 
   Msg m;
@@ -148,6 +151,8 @@ void StacheProtocol::on_fault(int node, mem::BlockId b, bool is_write) {
   set_waiting(node, b);
   while (!access_ok(node, b, is_write)) p.block();
   clear_waiting(node);
+  if (trace_ != nullptr) [[unlikely]]
+    trace_->on_miss_end(node, b, is_write, p.now());
   c.remote_wait += p.now() - t0;
 }
 

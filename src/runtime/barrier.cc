@@ -1,5 +1,6 @@
 #include "runtime/barrier.h"
 
+#include "trace/hooks.h"
 #include "util/check.h"
 
 namespace presto::runtime {
@@ -18,6 +19,8 @@ void BarrierManager::arrive_and_wait(int node, std::size_t bytes) {
   const sim::Time arrive = p.now();
   if (arrive > max_arrive_) max_arrive_ = arrive;
   const std::uint64_t my_epoch = epoch_;
+  if (trace_ != nullptr) [[unlikely]]
+    trace_->on_barrier_arrive(node, my_epoch, arrive);
   ++arrived_;
   PRESTO_CHECK(arrived_ <= nodes_, "too many barrier arrivals");
   if (arrived_ == nodes_) {
@@ -35,6 +38,8 @@ void BarrierManager::arrive_and_wait(int node, std::size_t bytes) {
     p.block();
   }
   while (epoch_ == my_epoch) p.block();
+  if (trace_ != nullptr) [[unlikely]]
+    trace_->on_barrier_release(node, my_epoch, p.now());
   rec_.node(node).barrier_wait += p.now() - arrive;
 }
 

@@ -16,6 +16,10 @@
 #include "sim/processor.h"
 #include "stats/recorder.h"
 
+namespace presto::trace {
+class Hooks;
+}  // namespace presto::trace
+
 namespace presto::runtime {
 
 class BarrierManager {
@@ -31,6 +35,9 @@ class BarrierManager {
 
   std::uint64_t barriers_completed() const { return epoch_; }
 
+  // Event tracer (trace/tracer.h); null in untraced runs.
+  void set_trace_hooks(trace::Hooks* h) { trace_ = h; }
+
  private:
   // Generic collective: contribute, wait for the epoch to advance. `bytes`
   // models combine payload through the control network.
@@ -41,6 +48,7 @@ class BarrierManager {
   const int nodes_;
   const sim::Time latency_;
   const sim::Time per_byte_;
+  trace::Hooks* trace_ = nullptr;
 
   std::uint64_t epoch_ = 0;
   int arrived_ = 0;

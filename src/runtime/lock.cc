@@ -1,5 +1,7 @@
 #include "runtime/lock.h"
 
+#include "trace/hooks.h"
+
 namespace presto::runtime {
 
 SharedLock SharedLock::create(mem::GlobalSpace& space, int home) {
@@ -11,6 +13,10 @@ SharedLock SharedLock::create(mem::GlobalSpace& space, int home) {
 
 void SharedLock::acquire(NodeCtx& c) {
   const sim::Time t0 = c.proc().now();
+  trace::Hooks* h = c.protocol().trace_hooks();
+  const std::uint64_t lock_block = c.space().block_of(word_);
+  if (h != nullptr) [[unlikely]]
+    h->on_lock_acquire(c.id(), lock_block, t0);
   bool contended = false;
   for (;;) {
     bool got = false;
@@ -27,12 +33,16 @@ void SharedLock::acquire(NodeCtx& c) {
     c.charge(sim::microseconds(5));
     c.proc().yield();
   }
+  if (h != nullptr) [[unlikely]]
+    h->on_lock_acquired(c.id(), lock_block, c.proc().now(), contended);
   // Only contended acquisitions count as lock wait; the cost of fetching
   // the lock block itself is already accounted as remote wait.
   if (contended) c.counters().lock_wait += c.proc().now() - t0;
 }
 
 void SharedLock::release(NodeCtx& c) {
+  if (trace::Hooks* h = c.protocol().trace_hooks(); h != nullptr) [[unlikely]]
+    h->on_lock_release(c.id(), c.space().block_of(word_), c.proc().now());
   c.rmw<std::uint64_t>(word_, [](std::uint64_t& w) { w = 0; });
 }
 

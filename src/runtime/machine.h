@@ -16,6 +16,7 @@
 #include "proto/protocol.h"
 #include "sim/fiber.h"
 #include "sim/time.h"
+#include "trace/config.h"
 
 namespace presto::runtime {
 
@@ -35,6 +36,9 @@ struct MachineConfig {
   // Host-side processor implementation (fibers vs OS threads); simulated
   // results are bit-identical across backends, only host speed differs.
   sim::Backend backend = sim::default_backend();
+  // Event tracing (trace/tracer.h); disabled by default. Observation is
+  // pure, so simulated results are bit-identical with tracing on or off.
+  trace::TraceConfig trace;
 
   static MachineConfig cm5_blizzard(int nodes = 32,
                                     std::uint32_t block_size = 32) {

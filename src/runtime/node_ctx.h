@@ -18,6 +18,7 @@
 #include "runtime/machine.h"
 #include "sim/processor.h"
 #include "stats/recorder.h"
+#include "trace/hooks.h"
 #include "util/rng.h"
 
 namespace presto::runtime {
@@ -86,8 +87,17 @@ class NodeCtx {
 
   // ---- Predictive-protocol directives ---------------------------------------
 
-  void phase(int phase_id) { protocol_.phase_begin(id_, phase_id); }
-  void flush_phase(int phase_id) { protocol_.phase_flush(id_, phase_id); }
+  void phase(int phase_id) {
+    trace::Hooks* h = protocol_.trace_hooks();
+    if (h != nullptr) [[unlikely]] h->on_phase_begin(id_, phase_id, proc_.now());
+    protocol_.phase_begin(id_, phase_id);
+    if (h != nullptr) [[unlikely]] h->on_phase_ready(id_, phase_id, proc_.now());
+  }
+  void flush_phase(int phase_id) {
+    if (trace::Hooks* h = protocol_.trace_hooks(); h != nullptr) [[unlikely]]
+      h->on_phase_flush(id_, phase_id, proc_.now());
+    protocol_.phase_flush(id_, phase_id);
+  }
 
   // ---- Dynamic global allocation (homed at this node) ------------------------
 

@@ -1,7 +1,10 @@
 #include "runtime/system.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 
+#include "trace/file.h"
 #include "util/check.h"
 
 namespace presto::runtime {
@@ -46,6 +49,7 @@ System::System(const MachineConfig& cfg, ProtocolKind kind)
       engine_, rec_, cfg.nodes, cfg.barrier_latency, cfg.reduce_per_byte);
   protocol_->set_barrier([this](int node) { barrier_->barrier(node); });
   if (check::oracle_enabled_by_default()) enable_oracle(check::FailMode::kAbort);
+  if (cfg.trace.enabled) enable_trace(cfg.trace);
 }
 
 check::Oracle& System::enable_oracle(check::FailMode fail) {
@@ -54,7 +58,29 @@ check::Oracle& System::enable_oracle(check::FailMode fail) {
   space_->set_access_observer(oracle_.get());
   protocol_->set_coherence_observer(oracle_.get());
   net_->set_observer(oracle_.get());
+  // Replacing the observers displaced an attached tracer; put a fresh one
+  // back on top, forwarding to the new oracle. (Copy the config first: the
+  // reference would dangle once enable_trace replaces the tracer.)
+  if (tracer_ != nullptr) {
+    const trace::TraceConfig tcfg = tracer_->config();
+    enable_trace(tcfg);
+  }
   return *oracle_;
+}
+
+trace::Tracer& System::enable_trace(const trace::TraceConfig& tcfg) {
+  tracer_ = std::make_unique<trace::Tracer>(tcfg, *space_, &engine_);
+  // Chain to whatever observers are already installed (the oracle in Debug
+  // builds) so both see the identical call stream.
+  tracer_->chain(space_->access_observer(), protocol_->coherence_observer(),
+                 net_->observer());
+  space_->set_access_observer(tracer_.get());
+  protocol_->set_coherence_observer(tracer_.get());
+  net_->set_observer(tracer_.get());
+  protocol_->set_trace_hooks(tracer_.get());
+  barrier_->set_trace_hooks(tracer_.get());
+  engine_.set_trace_hooks(tracer_.get());
+  return *tracer_;
 }
 
 System::~System() = default;
@@ -114,6 +140,46 @@ void System::run(const std::function<void(NodeCtx&)>& body) {
         kind_ != ProtocolKind::kWriteUpdate)
       static_cast<proto::StacheProtocol*>(protocol_.get())->check_invariants();
   }
+  if (tracer_ != nullptr) {
+    tracer_->finalize(exec_time_, protocol_->name());
+    if (!tracer_->config().path.empty()) write_trace();
+  }
+}
+
+namespace {
+
+// Benches run several Systems with the same --trace flag in one process;
+// give each run after the first a ".N" suffix before the extension instead
+// of overwriting.
+std::string trace_output_path(const std::string& path) {
+  // Atomic: the experiment pool runs Systems on concurrent host threads.
+  static std::atomic<int> runs{0};
+  const int n = runs.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) return path;
+  const std::size_t dot = path.rfind('.');
+  const std::string suffix = "." + std::to_string(n);
+  if (dot == std::string::npos || dot == 0) return path + suffix;
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+}  // namespace
+
+void System::write_trace() {
+  const trace::TraceData data = tracer_->build(cfg_.costs, cfg_.net);
+  const std::string path = trace_output_path(tracer_->config().path);
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  std::string err;
+  const bool ok = json ? trace::write_perfetto(data, path, &err)
+                       : trace::write_file(data, path, &err);
+  if (!ok) {
+    std::fprintf(stderr, "presto: trace write failed: %s\n", err.c_str());
+    return;
+  }
+  std::fprintf(stderr,
+               "presto: %s trace written to %s (%zu events, %llu dropped)\n",
+               json ? "perfetto" : "binary", path.c_str(), data.events.size(),
+               static_cast<unsigned long long>(data.meta.dropped));
 }
 
 stats::Report System::report(std::string label) const {
@@ -146,6 +212,22 @@ stats::Report System::report(std::string label) const {
   r.dir_probes = rec_.sum(&stats::NodeCounters::dir_probes);
   r.sched_lookups = rec_.sum(&stats::NodeCounters::sched_lookups);
   r.host = rec_.host();
+  if (tracer_ != nullptr) {
+    const trace::Summary& s = tracer_->summary();
+    r.traced = true;
+    r.trace_events = s.events;
+    r.trace_dropped = s.dropped;
+    r.miss_cold =
+        s.miss_by_class[static_cast<std::size_t>(trace::MissClass::kCold)];
+    r.miss_invalidation = s.miss_by_class[static_cast<std::size_t>(
+        trace::MissClass::kInvalidation)];
+    r.miss_presend_waste = s.miss_by_class[static_cast<std::size_t>(
+        trace::MissClass::kPresendWaste)];
+    r.miss_latency_total = s.miss_latency_total;
+    r.presend_hits = s.presend_hits;
+    r.presend_waste = s.presend_waste;
+    r.presend_unused = s.presend_unused;
+  }
   return r;
 }
 

@@ -19,6 +19,7 @@
 #include "sim/engine.h"
 #include "stats/recorder.h"
 #include "stats/report.h"
+#include "trace/tracer.h"
 
 namespace presto::runtime {
 
@@ -52,6 +53,15 @@ class System {
   check::Oracle& enable_oracle(check::FailMode fail);
   check::Oracle* oracle() { return oracle_.get(); }
 
+  // Attaches the event tracer (trace/tracer.h). Attached automatically at
+  // construction when cfg.trace.enabled (the --trace CLI flag). The tracer
+  // chains to whatever observers are already installed (the oracle in Debug
+  // builds), so both observe the same run. At the end of run() the trace is
+  // written to cfg.trace.path: ".json" → Perfetto trace_event JSON,
+  // anything else → the binary format (trace/file.h).
+  trace::Tracer& enable_trace(const trace::TraceConfig& tcfg);
+  trace::Tracer* tracer() { return tracer_.get(); }
+
   // Runs `body` on every node to completion; callable once per System.
   void run(const std::function<void(NodeCtx&)>& body);
 
@@ -59,6 +69,8 @@ class System {
   stats::Report report(std::string label) const;
 
  private:
+  void write_trace();
+
   MachineConfig cfg_;
   ProtocolKind kind_;
   stats::Recorder rec_;
@@ -67,6 +79,7 @@ class System {
   std::unique_ptr<mem::GlobalSpace> space_;
   std::unique_ptr<proto::Protocol> protocol_;
   std::unique_ptr<check::Oracle> oracle_;
+  std::unique_ptr<trace::Tracer> tracer_;
   std::unique_ptr<BarrierManager> barrier_;
   std::vector<std::unique_ptr<NodeCtx>> ctxs_;
   sim::Time exec_time_ = 0;

@@ -30,6 +30,10 @@
 #include "sim/inline_fn.h"
 #include "sim/time.h"
 
+namespace presto::trace {
+class Hooks;
+}  // namespace presto::trace
+
 namespace presto::sim {
 
 class Processor;
@@ -98,6 +102,11 @@ class Engine {
   void set_fiber_stack_size(std::size_t bytes) { fiber_stack_size_ = bytes; }
   std::size_t fiber_stack_size() const { return fiber_stack_size_; }
 
+  // Event tracer (trace/tracer.h): processors emit block/resume events
+  // through this. Null in untraced runs; observation only.
+  void set_trace_hooks(trace::Hooks* h) { trace_hooks_ = h; }
+  trace::Hooks* trace_hooks() const { return trace_hooks_; }
+
  private:
   friend class Processor;
 
@@ -161,6 +170,7 @@ class Engine {
   std::uint64_t direct_resumes_ = 0;
   Time quantum_floor_ = 0;
   std::size_t fiber_stack_size_;
+  trace::Hooks* trace_hooks_ = nullptr;
 
   // Fiber backend: the saved context of run()'s caller while application
   // fibers drive the event loop.

@@ -1,6 +1,7 @@
 #include "sim/processor.h"
 
 #include "sim/engine.h"
+#include "trace/hooks.h"
 #include "util/check.h"
 
 namespace presto::sim {
@@ -172,17 +173,21 @@ void Processor::yield() {
 
 void Processor::block() {
   ++blocks_;
+  trace::Hooks* h = engine_.trace_hooks();
+  if (h != nullptr) [[unlikely]] h->on_ctx_block(id_, clock_);
   if (wake_pending_) {
+    // Latched wake: consume it without parking.
     wake_pending_ = false;
     if (wake_time_ > clock_) clock_ = wake_time_;
     absorb_stolen();
-    return;
+  } else {
+    blocked_ = true;
+    engine_.drive(this);
+    // Woken by wake(): the resume event carries the wake time.
+    if (resume_time_ > clock_) clock_ = resume_time_;
+    absorb_stolen();
   }
-  blocked_ = true;
-  engine_.drive(this);
-  // Woken by wake(): the resume event carries the wake time.
-  if (resume_time_ > clock_) clock_ = resume_time_;
-  absorb_stolen();
+  if (h != nullptr) [[unlikely]] h->on_ctx_resume(id_, clock_);
 }
 
 }  // namespace presto::sim

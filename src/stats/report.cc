@@ -33,6 +33,24 @@ std::string Report::table(const std::vector<Report>& rs) {
   return t.to_string();
 }
 
+std::string Report::trace_summary(const std::vector<Report>& rs) {
+  bool any = false;
+  for (const auto& r : rs) any = any || r.traced;
+  if (!any) return "";
+  util::Table t({"version", "events", "miss lat (s)", "cold", "inval",
+                 "presend-waste", "presend hits", "waste", "unused"});
+  for (const auto& r : rs) {
+    if (!r.traced) continue;
+    t.add_row({r.label, std::to_string(r.trace_events),
+               util::fmt_double(sim::to_seconds(r.miss_latency_total), 3),
+               std::to_string(r.miss_cold), std::to_string(r.miss_invalidation),
+               std::to_string(r.miss_presend_waste),
+               std::to_string(r.presend_hits), std::to_string(r.presend_waste),
+               std::to_string(r.presend_unused)});
+  }
+  return "trace attribution:\n" + t.to_string();
+}
+
 std::string Report::bars(const std::vector<Report>& rs) {
   const double base = static_cast<double>(min_exec(rs));
   std::vector<util::Bar> bars;

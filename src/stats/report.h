@@ -43,10 +43,28 @@ struct Report {
   // report. Observability only — never part of simulated results.
   HostCounters host;
 
+  // Trace-derived attribution (filled only when the run was traced;
+  // trace/tracer.h). miss_latency_total reconciles exactly with the summed
+  // remote_wait counter, and presend hits + waste + unused with
+  // presend_blocks_received.
+  bool traced = false;
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t miss_cold = 0;
+  std::uint64_t miss_invalidation = 0;
+  std::uint64_t miss_presend_waste = 0;
+  sim::Time miss_latency_total = 0;
+  std::uint64_t presend_hits = 0;
+  std::uint64_t presend_waste = 0;
+  std::uint64_t presend_unused = 0;
+
   // Formatted outputs for a set of versions of one application; times are
   // normalized to the fastest version, as in the paper's figures.
   static std::string table(const std::vector<Report>& rs);
   static std::string bars(const std::vector<Report>& rs);
+  // Trace-attribution block for the traced reports in rs (empty string if
+  // none were traced); appended after table() by the benches.
+  static std::string trace_summary(const std::vector<Report>& rs);
 };
 
 }  // namespace presto::stats

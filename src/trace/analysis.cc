@@ -1,0 +1,386 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace presto::trace {
+
+void MissCosts::add(const MissCosts& o) {
+  count += o.count;
+  total += o.total;
+  fault += o.fault;
+  transfer += o.transfer;
+  occupancy += o.occupancy;
+  queue += o.queue;
+}
+
+namespace {
+
+// Per-node replay state shared by the analysis passes.
+struct NodeState {
+  int phase = -1;       // current phase id (-1 before first directive)
+  int iter = -1;        // how many times this node has begun current phase
+  bool in_miss = false;
+  std::uint64_t miss_t0 = 0;
+  std::uint64_t miss_block = 0;
+  MissClass miss_cls = MissClass::kCold;
+  std::uint64_t miss_transfer = 0;
+  std::uint64_t miss_occupancy = 0;
+  std::uint64_t barrier_t = 0, lock_t = 0;
+  bool in_barrier = false, in_lock = false;
+};
+
+PhaseAttribution& phase_bucket(Attribution& a, int phase) {
+  const std::size_t idx = static_cast<std::size_t>(phase + 1);
+  if (a.phases.size() <= idx) a.phases.resize(idx + 1);
+  a.phases[idx].phase = phase;
+  return a.phases[idx];
+}
+
+}  // namespace
+
+Attribution attribute(const TraceData& t) {
+  Attribution a;
+  const std::uint64_t wire = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(t.meta.net_wire_latency, 0));
+  const std::uint64_t per_byte = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(t.meta.net_per_byte, 0));
+  const std::uint64_t fault_cost = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(t.meta.cost_fault, 0));
+  const std::uint64_t handler_cost = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(t.meta.cost_handler, 0));
+
+  std::vector<NodeState> ns(t.meta.nodes);
+  for (const Event& e : t.events) {
+    a.by_kind[e.kind] += 1;
+    if (e.node < 0 || static_cast<std::uint32_t>(e.node) >= t.meta.nodes)
+      continue;
+    NodeState& s = ns[static_cast<std::size_t>(e.node)];
+    switch (static_cast<EventKind>(e.kind)) {
+      case EventKind::kPhaseBegin:
+        s.phase = static_cast<int>(e.arg);
+        break;
+      case EventKind::kBarrierArrive:
+        s.in_barrier = true;
+        s.barrier_t = e.t;
+        break;
+      case EventKind::kBarrierRelease:
+        if (s.in_barrier && e.t >= s.barrier_t)
+          a.barrier_wait += e.t - s.barrier_t;
+        s.in_barrier = false;
+        break;
+      case EventKind::kLockAcquire:
+        s.in_lock = true;
+        s.lock_t = e.t;
+        break;
+      case EventKind::kLockAcquired:
+        if (s.in_lock && e.t >= s.lock_t) a.lock_wait += e.t - s.lock_t;
+        s.in_lock = false;
+        break;
+      case EventKind::kMissStart:
+        s.in_miss = true;
+        s.miss_t0 = e.t;
+        s.miss_block = e.block;
+        s.miss_cls = static_cast<MissClass>(e.aux & 0xff);
+        s.miss_transfer = 0;
+        s.miss_occupancy = 0;
+        break;
+      case EventKind::kMissEnd: {
+        if (!s.in_miss) break;
+        s.in_miss = false;
+        MissCosts m;
+        m.count = 1;
+        m.total = e.t >= s.miss_t0 ? e.t - s.miss_t0 : 0;
+        m.fault = fault_cost;
+        m.transfer = s.miss_transfer;
+        m.occupancy = s.miss_occupancy;
+        const std::uint64_t known = m.fault + m.transfer + m.occupancy;
+        m.queue = m.total > known ? m.total - known : 0;
+        // Keep the identity exact even if components overlap the window end.
+        if (known > m.total) {
+          std::uint64_t excess = known - m.total;
+          const std::uint64_t cut = std::min(excess, m.transfer);
+          m.transfer -= cut;
+          excess -= cut;
+          m.occupancy -= std::min(excess, m.occupancy);
+        }
+        a.all.add(m);
+        a.by_class[static_cast<std::size_t>(s.miss_cls)].add(m);
+        PhaseAttribution& p = phase_bucket(a, s.phase);
+        p.all.add(m);
+        p.by_class[static_cast<std::size_t>(s.miss_cls)].add(m);
+        break;
+      }
+      case EventKind::kMsgRecv:
+        // Credit this message's wire time to any node currently missing on
+        // the same block — the request landing at the home node and the data
+        // coming back are both legs of that miss's round trip.
+        for (NodeState& o : ns)
+          if (o.in_miss && o.miss_block == e.block)
+            o.miss_transfer += wire + per_byte * e.arg;
+        break;
+      case EventKind::kMsgDispatch:
+        for (NodeState& o : ns)
+          if (o.in_miss && o.miss_block == e.block)
+            o.miss_occupancy += handler_cost;
+        break;
+      case EventKind::kPresendInstall:
+        phase_bucket(a, s.phase).presend_blocks += e.arg;
+        break;
+      case EventKind::kPresendHit:
+        phase_bucket(a, s.phase).presend_hits += 1;
+        break;
+      case EventKind::kPresendWaste:
+        phase_bucket(a, s.phase).presend_waste += 1;
+        break;
+      default:
+        break;
+    }
+  }
+  return a;
+}
+
+std::vector<PhaseSchedule> phase_schedules(const TraceData& t) {
+  const std::size_t n = t.meta.nodes;
+  std::vector<PhaseSchedule> out;
+  std::vector<NodeState> ns(n);
+  // iteration counter per (node, phase id)
+  std::vector<std::vector<int>> iters(n);
+
+  auto sched_for = [&](int phase) -> PhaseSchedule& {
+    for (PhaseSchedule& s : out)
+      if (s.phase == phase) return s;
+    out.push_back(PhaseSchedule{phase, {}});
+    return out.back();
+  };
+  auto iter_for = [&](int phase, int iter) -> PhaseIteration& {
+    PhaseSchedule& s = sched_for(phase);
+    while (s.iterations.size() <= static_cast<std::size_t>(iter)) {
+      PhaseIteration it;
+      it.presend_blocks.assign(n * n, 0);
+      it.msgs.assign(n * n, 0);
+      it.bytes.assign(n * n, 0);
+      s.iterations.push_back(std::move(it));
+    }
+    return s.iterations[static_cast<std::size_t>(iter)];
+  };
+
+  for (const Event& e : t.events) {
+    if (e.node < 0 || static_cast<std::uint32_t>(e.node) >= n) continue;
+    NodeState& s = ns[static_cast<std::size_t>(e.node)];
+    switch (static_cast<EventKind>(e.kind)) {
+      case EventKind::kPhaseBegin: {
+        s.phase = static_cast<int>(e.arg);
+        auto& per = iters[static_cast<std::size_t>(e.node)];
+        if (per.size() <= static_cast<std::size_t>(s.phase))
+          per.resize(static_cast<std::size_t>(s.phase) + 1, 0);
+        s.iter = per[static_cast<std::size_t>(s.phase)]++;
+        break;
+      }
+      case EventKind::kPresendInstall: {
+        if (s.phase < 0 || e.peer < 0) break;
+        PhaseIteration& it = iter_for(s.phase, s.iter);
+        it.presend_blocks[static_cast<std::size_t>(e.peer) * n +
+                          static_cast<std::size_t>(e.node)] += e.arg;
+        it.presend_total += e.arg;
+        break;
+      }
+      case EventKind::kMsgSend: {
+        if (s.phase < 0 || e.peer < 0) break;
+        PhaseIteration& it = iter_for(s.phase, s.iter);
+        const std::size_t cell = static_cast<std::size_t>(e.node) * n +
+                                 static_cast<std::size_t>(e.peer);
+        it.msgs[cell] += 1;
+        it.bytes[cell] += e.arg;
+        it.msg_total += 1;
+        it.byte_total += e.arg;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PhaseSchedule& a, const PhaseSchedule& b) {
+              return a.phase < b.phase;
+            });
+  return out;
+}
+
+// ---- report builders --------------------------------------------------------
+
+namespace {
+
+void appendf(std::string& s, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& s, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  s += buf;
+}
+
+void append_costs_row(std::string& s, const char* label, const MissCosts& m) {
+  appendf(s,
+          "  %-16s %8" PRIu64 "  %12" PRIu64 "  %12" PRIu64 "  %12" PRIu64
+          "  %12" PRIu64 "  %12" PRIu64 "\n",
+          label, m.count, m.total, m.fault, m.transfer, m.occupancy, m.queue);
+}
+
+}  // namespace
+
+std::string summarize(const TraceData& t) {
+  std::string s;
+  appendf(s, "trace v%u  protocol=%s  nodes=%u  block=%u B  exec=%" PRId64
+             " ns\n",
+          t.meta.version, t.meta.protocol, t.meta.nodes, t.meta.block_size,
+          t.meta.exec_time);
+  appendf(s, "events: %zu recorded, %" PRIu64 " dropped\n", t.events.size(),
+          t.meta.dropped);
+
+  const Attribution a = attribute(t);
+  s += "\nevent counts by kind:\n";
+  for (std::size_t k = 0; k < kNumEventKinds; ++k)
+    if (a.by_kind[k] != 0)
+      appendf(s, "  %-16s %10" PRIu64 "\n",
+              event_kind_name(static_cast<EventKind>(k)), a.by_kind[k]);
+
+  s += "\nmiss latency attribution (ns totals):\n";
+  appendf(s, "  %-16s %8s  %12s  %12s  %12s  %12s  %12s\n", "class", "count",
+          "total", "fault", "transfer", "occupancy", "queue");
+  for (std::size_t c = 0; c < kNumMissClasses; ++c)
+    if (a.by_class[c].count != 0)
+      append_costs_row(s, miss_class_name(static_cast<MissClass>(c)),
+                       a.by_class[c]);
+  append_costs_row(s, "all", a.all);
+
+  bool any_phase = false;
+  for (const PhaseAttribution& p : a.phases)
+    if (p.all.count != 0 || p.presend_blocks != 0) any_phase = true;
+  if (any_phase) {
+    s += "\nper-phase attribution:\n";
+    for (const PhaseAttribution& p : a.phases) {
+      if (p.all.count == 0 && p.presend_blocks == 0) continue;
+      if (p.phase < 0)
+        appendf(s, " (before first phase)\n");
+      else
+        appendf(s, " phase %d:  presend %" PRIu64 " blocks, %" PRIu64
+                   " hits, %" PRIu64 " waste\n",
+                p.phase, p.presend_blocks, p.presend_hits, p.presend_waste);
+      for (std::size_t c = 0; c < kNumMissClasses; ++c)
+        if (p.by_class[c].count != 0)
+          append_costs_row(s, miss_class_name(static_cast<MissClass>(c)),
+                           p.by_class[c]);
+    }
+  }
+  if (a.barrier_wait != 0 || a.lock_wait != 0)
+    appendf(s, "\nbarrier wait: %" PRIu64 " ns   lock wait: %" PRIu64 " ns\n",
+            a.barrier_wait, a.lock_wait);
+  return s;
+}
+
+std::string phases_report(const TraceData& t) {
+  std::string s;
+  const std::size_t n = t.meta.nodes;
+  const std::vector<PhaseSchedule> scheds = phase_schedules(t);
+  if (scheds.empty()) return "no phase activity in trace\n";
+  for (const PhaseSchedule& ps : scheds) {
+    appendf(s, "phase %d: %zu iterations\n", ps.phase, ps.iterations.size());
+    const PhaseIteration* prev = nullptr;
+    for (std::size_t i = 0; i < ps.iterations.size(); ++i) {
+      const PhaseIteration& it = ps.iterations[i];
+      appendf(s, " iter %zu: presend %" PRIu64 " blocks, %" PRIu64
+                 " msgs, %" PRIu64 " bytes",
+              i, it.presend_total, it.msg_total, it.byte_total);
+      if (prev != nullptr) {
+        // Schedule incrementality (§3.3): how many matrix cells changed
+        // since the previous iteration of this phase.
+        std::size_t changed = 0;
+        for (std::size_t c = 0; c < n * n; ++c)
+          if (it.presend_blocks[c] != prev->presend_blocks[c]) ++changed;
+        appendf(s, "  (schedule delta: %zu/%zu cells)", changed, n * n);
+      }
+      s += "\n";
+      if (it.presend_total != 0) {
+        appendf(s, "   presend blocks (row=src, col=dst):\n");
+        for (std::size_t r = 0; r < n; ++r) {
+          appendf(s, "    n%-2zu", r);
+          for (std::size_t c = 0; c < n; ++c)
+            appendf(s, " %6" PRIu64, it.presend_blocks[r * n + c]);
+          s += "\n";
+        }
+      }
+      prev = &it;
+    }
+  }
+  return s;
+}
+
+std::string diff(const TraceData& a, const TraceData& b) {
+  std::string s;
+  bool same = true;
+  if (std::string(a.meta.protocol) != b.meta.protocol) {
+    appendf(s, "protocol: %s vs %s\n", a.meta.protocol, b.meta.protocol);
+    same = false;
+  }
+  if (a.meta.nodes != b.meta.nodes) {
+    appendf(s, "nodes: %u vs %u\n", a.meta.nodes, b.meta.nodes);
+    same = false;
+  }
+  if (a.meta.block_size != b.meta.block_size) {
+    appendf(s, "block size: %u vs %u\n", a.meta.block_size,
+            b.meta.block_size);
+    same = false;
+  }
+  if (a.meta.exec_time != b.meta.exec_time) {
+    appendf(s, "exec time: %" PRId64 " vs %" PRId64 " ns (%+.2f%%)\n",
+            a.meta.exec_time, b.meta.exec_time,
+            a.meta.exec_time != 0
+                ? 100.0 *
+                      (static_cast<double>(b.meta.exec_time) -
+                       static_cast<double>(a.meta.exec_time)) /
+                      static_cast<double>(a.meta.exec_time)
+                : 0.0);
+    same = false;
+  }
+  const Attribution aa = attribute(a);
+  const Attribution ab = attribute(b);
+  for (std::size_t k = 0; k < kNumEventKinds; ++k)
+    if (aa.by_kind[k] != ab.by_kind[k]) {
+      appendf(s, "%-16s %10" PRIu64 " vs %10" PRIu64 "\n",
+              event_kind_name(static_cast<EventKind>(k)), aa.by_kind[k],
+              ab.by_kind[k]);
+      same = false;
+    }
+  if (aa.all.total != ab.all.total || aa.all.count != ab.all.count) {
+    appendf(s, "miss latency: %" PRIu64 " ns over %" PRIu64
+               " vs %" PRIu64 " ns over %" PRIu64 "\n",
+            aa.all.total, aa.all.count, ab.all.total, ab.all.count);
+    same = false;
+  }
+  if (same && a.events.size() == b.events.size()) {
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+      const Event &x = a.events[i], &y = b.events[i];
+      if (x.t != y.t || x.block != y.block || x.kind != y.kind ||
+          x.node != y.node || x.peer != y.peer || x.arg != y.arg ||
+          x.aux != y.aux) {
+        appendf(s, "first divergence at event %zu (seq %u vs %u): "
+                   "%s@n%d t=%" PRIu64 " vs %s@n%d t=%" PRIu64 "\n",
+                i, x.seq, y.seq,
+                event_kind_name(static_cast<EventKind>(x.kind)), x.node, x.t,
+                event_kind_name(static_cast<EventKind>(y.kind)), y.node, y.t);
+        same = false;
+        break;
+      }
+    }
+  }
+  if (same) s = "traces are equivalent\n";
+  return s;
+}
+
+}  // namespace presto::trace

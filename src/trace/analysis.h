@@ -1,0 +1,90 @@
+// Reader-side analysis passes over a parsed trace (trace/file.h).
+//
+// Latency attribution decomposes every remote-miss window into the cost-model
+// components the simulator charged inside it:
+//
+//   fault      — the local access-fault cost (meta.cost_fault), paid once;
+//   transfer   — wire time (wire_latency + per_byte × bytes) of the messages
+//                for the missed block that arrived inside the window (the
+//                request reaching the home node and the data coming back);
+//   occupancy  — protocol-handler occupancy (meta.cost_handler per dispatch
+//                of the missed block inside the window);
+//   queue      — the residual: time the miss spent waiting behind other
+//                handlers and in flow-control, total − the three above.
+//
+// fault + transfer + occupancy + queue == the miss's measured latency by
+// construction, so per-phase / per-class sums reconcile exactly with the
+// protocol's remote_wait counter (tests/trace_property_test.cc).
+//
+// Phase-schedule introspection reconstructs, per phase × iteration, the
+// realized communication schedule: the node×node matrix of presend-delivered
+// blocks and of all protocol traffic. Consecutive iterations of an adaptive
+// phase show §3.3's schedule incrementality directly — the matrix deltas are
+// the schedule updates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/file.h"
+
+namespace presto::trace {
+
+struct MissCosts {
+  std::uint64_t count = 0;
+  std::uint64_t total = 0;      // Σ miss windows, simulated ns
+  std::uint64_t fault = 0;
+  std::uint64_t transfer = 0;
+  std::uint64_t occupancy = 0;
+  std::uint64_t queue = 0;
+
+  void add(const MissCosts& o);
+};
+
+struct PhaseAttribution {
+  int phase = -1;  // -1 = before any phase directive
+  MissCosts all;
+  std::array<MissCosts, kNumMissClasses> by_class{};
+  std::uint64_t presend_blocks = 0;  // presend-installed while in this phase
+  std::uint64_t presend_hits = 0;
+  std::uint64_t presend_waste = 0;
+};
+
+struct Attribution {
+  MissCosts all;
+  std::array<MissCosts, kNumMissClasses> by_class{};
+  std::vector<PhaseAttribution> phases;  // indexed phase + 1
+  std::array<std::uint64_t, kNumEventKinds> by_kind{};
+  std::uint64_t barrier_wait = 0;  // Σ arrive→release, all nodes
+  std::uint64_t lock_wait = 0;     // Σ acquire→acquired, all nodes
+};
+
+Attribution attribute(const TraceData& t);
+
+// One iteration of one phase: who presend-shipped how many blocks to whom,
+// and the total protocol traffic, attributed by the acting node's current
+// (phase, iteration) at event time. Matrices are nodes×nodes, row = src.
+struct PhaseIteration {
+  std::vector<std::uint64_t> presend_blocks;  // [src*nodes + dst]
+  std::vector<std::uint64_t> msgs;
+  std::vector<std::uint64_t> bytes;
+  std::uint64_t presend_total = 0;
+  std::uint64_t msg_total = 0;
+  std::uint64_t byte_total = 0;
+};
+
+struct PhaseSchedule {
+  int phase = 0;
+  std::vector<PhaseIteration> iterations;
+};
+
+std::vector<PhaseSchedule> phase_schedules(const TraceData& t);
+
+// Human-readable reports for the presto_trace tool.
+std::string summarize(const TraceData& t);
+std::string phases_report(const TraceData& t);
+std::string diff(const TraceData& a, const TraceData& b);
+
+}  // namespace presto::trace

@@ -1,0 +1,57 @@
+#include "trace/config.h"
+
+#include "util/check.h"
+
+namespace presto::trace {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case kCatPhase: return "phase";
+    case kCatBarrier: return "barrier";
+    case kCatLock: return "lock";
+    case kCatMiss: return "miss";
+    case kCatMsg: return "msg";
+    case kCatData: return "data";
+    case kCatSim: return "sim";
+    case kCatAll: return "all";
+  }
+  return "?";
+}
+
+std::uint32_t category_from_name(const std::string& name) {
+  if (name == "phase") return kCatPhase;
+  if (name == "barrier") return kCatBarrier;
+  if (name == "lock") return kCatLock;
+  if (name == "miss") return kCatMiss;
+  if (name == "msg") return kCatMsg;
+  if (name == "data") return kCatData;
+  if (name == "sim") return kCatSim;
+  if (name == "all") return kCatAll;
+  return 0;
+}
+
+TraceConfig TraceConfig::from_spec(const std::string& spec) {
+  TraceConfig cfg;
+  if (spec.empty()) return cfg;
+  cfg.enabled = true;
+  const std::size_t colon = spec.find(':');
+  cfg.path = spec.substr(0, colon);
+  if (colon == std::string::npos) return cfg;
+  cfg.categories = 0;
+  std::size_t pos = colon + 1;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string name = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::uint32_t bit = category_from_name(name);
+    PRESTO_CHECK(bit != 0, "--trace: unknown category '"
+                               << name
+                               << "' (phase,barrier,lock,miss,msg,data,sim)");
+    cfg.categories |= bit;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return cfg;
+}
+
+}  // namespace presto::trace

@@ -1,0 +1,66 @@
+#include "trace/event.h"
+
+namespace presto::trace {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kPhaseBegin: return "PhaseBegin";
+    case EventKind::kPhaseReady: return "PhaseReady";
+    case EventKind::kPhaseFlush: return "PhaseFlush";
+    case EventKind::kBarrierArrive: return "BarrierArrive";
+    case EventKind::kBarrierRelease: return "BarrierRelease";
+    case EventKind::kLockAcquire: return "LockAcquire";
+    case EventKind::kLockAcquired: return "LockAcquired";
+    case EventKind::kLockRelease: return "LockRelease";
+    case EventKind::kMissStart: return "MissStart";
+    case EventKind::kMissEnd: return "MissEnd";
+    case EventKind::kMsgSend: return "MsgSend";
+    case EventKind::kMsgRecv: return "MsgRecv";
+    case EventKind::kMsgDispatch: return "MsgDispatch";
+    case EventKind::kInstall: return "Install";
+    case EventKind::kPresendInstall: return "PresendInstall";
+    case EventKind::kPresendHit: return "PresendHit";
+    case EventKind::kPresendWaste: return "PresendWaste";
+    case EventKind::kCtxBlock: return "CtxBlock";
+    case EventKind::kCtxResume: return "CtxResume";
+    case EventKind::kKindCount: break;
+  }
+  return "?";
+}
+
+Category event_kind_category(EventKind k) {
+  switch (k) {
+    case EventKind::kPhaseBegin:
+    case EventKind::kPhaseReady:
+    case EventKind::kPhaseFlush: return kCatPhase;
+    case EventKind::kBarrierArrive:
+    case EventKind::kBarrierRelease: return kCatBarrier;
+    case EventKind::kLockAcquire:
+    case EventKind::kLockAcquired:
+    case EventKind::kLockRelease: return kCatLock;
+    case EventKind::kMissStart:
+    case EventKind::kMissEnd: return kCatMiss;
+    case EventKind::kMsgSend:
+    case EventKind::kMsgRecv:
+    case EventKind::kMsgDispatch: return kCatMsg;
+    case EventKind::kInstall:
+    case EventKind::kPresendInstall:
+    case EventKind::kPresendHit:
+    case EventKind::kPresendWaste: return kCatData;
+    case EventKind::kCtxBlock:
+    case EventKind::kCtxResume: return kCatSim;
+    case EventKind::kKindCount: break;
+  }
+  return kCatSim;
+}
+
+const char* miss_class_name(MissClass c) {
+  switch (c) {
+    case MissClass::kCold: return "cold";
+    case MissClass::kInvalidation: return "invalidation";
+    case MissClass::kPresendWaste: return "presend-waste";
+  }
+  return "?";
+}
+
+}  // namespace presto::trace

@@ -1,0 +1,73 @@
+// presto_trace — offline analysis of presto binary traces.
+//
+//   presto_trace summarize FILE            event counts + latency attribution
+//   presto_trace phases FILE               per-phase schedules + traffic
+//   presto_trace diff FILE_A FILE_B        compare two traces
+//   presto_trace export-perfetto FILE OUT  Chrome/Perfetto trace_event JSON
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "trace/analysis.h"
+#include "trace/file.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: presto_trace <command> ...\n"
+               "  summarize FILE            event counts + latency attribution\n"
+               "  phases FILE               per-phase schedules + traffic matrices\n"
+               "  diff FILE_A FILE_B        compare two traces\n"
+               "  export-perfetto FILE OUT  write Perfetto JSON (ui.perfetto.dev)\n");
+  return 2;
+}
+
+bool load(const char* path, presto::trace::TraceData* out) {
+  std::string err;
+  if (!presto::trace::read_file(path, out, &err)) {
+    std::fprintf(stderr, "presto_trace: %s: %s\n", path, err.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  presto::trace::TraceData t;
+  if (cmd == "summarize") {
+    if (argc != 3) return usage();
+    if (!load(argv[2], &t)) return 1;
+    std::fputs(presto::trace::summarize(t).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "phases") {
+    if (argc != 3) return usage();
+    if (!load(argv[2], &t)) return 1;
+    std::fputs(presto::trace::phases_report(t).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "diff") {
+    if (argc != 4) return usage();
+    presto::trace::TraceData b;
+    if (!load(argv[2], &t) || !load(argv[3], &b)) return 1;
+    const std::string d = presto::trace::diff(t, b);
+    std::fputs(d.c_str(), stdout);
+    return d == "traces are equivalent\n" ? 0 : 1;
+  }
+  if (cmd == "export-perfetto") {
+    if (argc != 4) return usage();
+    if (!load(argv[2], &t)) return 1;
+    std::string err;
+    if (!presto::trace::write_perfetto(t, argv[3], &err)) {
+      std::fprintf(stderr, "presto_trace: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu events)\n", argv[3], t.events.size());
+    return 0;
+  }
+  return usage();
+}

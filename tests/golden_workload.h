@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "runtime/system.h"
+#include "trace/tracer.h"
 
 namespace presto::testutil {
 
@@ -23,6 +24,11 @@ struct WorkloadResult {
   std::uint64_t events = 0;
   sim::Time exec = 0;
   std::uint64_t mem_hash = 0;  // FNV-1a over every node's view + tags
+  // Filled only when the run was traced (the golden-trace tier).
+  bool traced = false;
+  trace::Digest trace_digest;
+  trace::Summary trace_summary;
+  trace::TraceData trace_data;  // canonical stream + meta
 };
 
 inline std::uint64_t fnv1a(std::uint64_t h, const void* p, std::size_t n) {
@@ -39,11 +45,16 @@ inline WorkloadResult run_micro_workload(runtime::ProtocolKind kind,
                                          int nodes = 4, int rounds = 6,
                                          sim::Backend backend =
                                              sim::default_backend(),
-                                         std::uint32_t block_size = 32) {
+                                         std::uint32_t block_size = 32,
+                                         bool traced = false,
+                                         std::uint32_t trace_categories =
+                                             trace::kCatAll) {
   runtime::MachineConfig cfg =
       runtime::MachineConfig::cm5_blizzard(nodes, block_size);
   cfg.quantum_floor = quantum_floor;
   cfg.backend = backend;
+  cfg.trace.enabled = traced;  // in-memory: tests read the stream directly
+  cfg.trace.categories = trace_categories;
   runtime::System sys(cfg, kind);
   auto& space = sys.space();
 
@@ -111,6 +122,12 @@ inline WorkloadResult run_micro_workload(runtime::ProtocolKind kind,
     }
   }
   res.mem_hash = h;
+  if (sys.tracer() != nullptr) {
+    res.traced = true;
+    res.trace_digest = sys.tracer()->digest();
+    res.trace_summary = sys.tracer()->summary();
+    res.trace_data = sys.tracer()->build(cfg.costs, cfg.net);
+  }
   return res;
 }
 
