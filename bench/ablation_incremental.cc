@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
 
   auto machine = runtime::MachineConfig::cm5_blizzard(scale.nodes, 32);
   machine.trace = trace_cfg;
+  scale.apply(machine);
 
   std::vector<stats::Report> reports;
   std::vector<apps::AppResult> results;

@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
       m.costs.handler = mul(m.costs.handler);
     }
     m.trace = trace_cfg;
+    scale.apply(m);
     return m;
   };
 

@@ -8,17 +8,24 @@
 #include <vector>
 
 #include "apps/common/versions.h"
+#include "runtime/machine.h"
 #include "stats/report.h"
 #include "trace/config.h"
+#include "util/check.h"
 #include "util/cli.h"
 
 namespace presto::bench {
 
 // --quick shrinks every workload for smoke runs (used by ctest); --scale=N
-// divides the paper's problem sizes by N.
+// divides the paper's problem sizes by N. --backend=fiber|thread|parallel
+// and --workers=N pick the engine driving the simulation (equivalent to
+// PRESTO_BACKEND/PRESTO_WORKERS; simulated results are bit-identical across
+// backends — docs/performance.md §9 — only host speed differs).
 struct Scale {
   std::int64_t divide = 1;
   int nodes = 32;
+  sim::Backend backend = sim::default_backend();
+  int workers = 0;
 
   static Scale from_cli(const util::Cli& cli) {
     Scale s;
@@ -26,7 +33,26 @@ struct Scale {
     s.divide = cli.get_int("scale", s.divide);
     if (s.divide < 1) s.divide = 1;
     s.nodes = static_cast<int>(cli.get_int("nodes", 32));
+    const std::string b = cli.get("backend", "");
+    if (b == "fiber") {
+      s.backend = sim::Backend::kFiber;
+    } else if (b == "thread") {
+      s.backend = sim::Backend::kThread;
+    } else if (b == "parallel") {
+      s.backend = sim::Backend::kParallel;
+    } else {
+      PRESTO_CHECK(b.empty(),
+                   "--backend: expected fiber, thread or parallel, got '"
+                       << b << "'");
+    }
+    s.workers = static_cast<int>(cli.get_int("workers", 0));
     return s;
+  }
+
+  // Applies the engine selection to a machine config built by the bench.
+  void apply(runtime::MachineConfig& m) const {
+    m.backend = backend;
+    if (workers > 0) m.workers = workers;
   }
 };
 

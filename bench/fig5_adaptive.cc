@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
     auto machine =
         runtime::MachineConfig::cm5_blizzard(scale.nodes, v.block);
     machine.trace = trace_cfg;
+    scale.apply(machine);
     auto r = apps::run_adaptive(params, machine,
                                 v.optimized
                                     ? runtime::ProtocolKind::kPredictive

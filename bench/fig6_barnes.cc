@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
     auto machine =
         runtime::MachineConfig::cm5_blizzard(scale.nodes, v.block);
     machine.trace = trace_cfg;
+    scale.apply(machine);
     auto r = apps::run_barnes(params, machine, v.kind, v.directives);
     r.report.label = apps::version_label(v.label, v.block);
     std::printf("%-20s checksum=%.9f\n", r.report.label.c_str(), r.checksum);

@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
       auto machine =
           runtime::MachineConfig::cm5_blizzard(scale.nodes, block);
       machine.trace = trace_cfg;
+      scale.apply(machine);
       auto r = v.splash ? apps::run_water_splash(params, machine)
                         : apps::run_water(params, machine, v.kind,
                                           v.directives);

@@ -24,6 +24,8 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "apps/barnes/barnes.h"
 #include "apps/water/water.h"
@@ -65,10 +67,18 @@ void print_host(const stats::HostCounters& h) {
 // Producer/consumer over `blocks` blocks for `rounds` rounds; coalescing is
 // disabled so the event count scales with blocks, not runs. With `traced`
 // the full event tracer records in memory (no file write), measuring the
-// tracer-enabled overhead against the untraced run.
-MicroResult run_micro(int nodes, int blocks, int rounds, bool traced = false) {
+// tracer-enabled overhead against the untraced run. `backend`/`window`/
+// `workers` select the engine (kParallel implies windowed; see
+// runtime/machine.h) — the simulated results are identical either way, only
+// host speed differs.
+MicroResult run_micro(int nodes, int blocks, int rounds, bool traced = false,
+                      sim::Backend backend = sim::default_backend(),
+                      sim::Time window = 0, int workers = 0) {
   auto cfg = runtime::MachineConfig::cm5_blizzard(nodes, 32);
   cfg.trace.enabled = traced;
+  cfg.backend = backend;
+  cfg.window = window;
+  cfg.workers = workers;
   runtime::System sys(cfg, runtime::ProtocolKind::kPredictive);
   sys.predictive()->set_coalescing(false);
   const mem::Addr a = sys.space().alloc_on_node(
@@ -183,6 +193,16 @@ int main(int argc, char** argv) {
   const int water_steps = static_cast<int>(cli.get_int("water-steps", 2));
   const double min_micro_eps =
       static_cast<double>(cli.get_int("min-micro-eps", 0));
+  const std::string backend_s = cli.get("backend", "");
+  PRESTO_CHECK(backend_s.empty() || backend_s == "parallel",
+               "--backend: expected 'parallel', got '" << backend_s << "'");
+  const int req_workers = static_cast<int>(cli.get_int("workers", 4));
+  PRESTO_CHECK(req_workers >= 1, "--workers must be >= 1");
+  // Off by default: a single-core host serializes the worker pool, so a
+  // speedup floor only means something on a machine with real cores. CI legs
+  // that want to gate scaling pass e.g. --min-parallel-speedup=3.0.
+  const double min_parallel_speedup =
+      cli.get_double("min-parallel-speedup", 0.0);
   const std::string json_path =
       cli.get("json", quick ? "" : "results/BENCH_host.json");
   cli.reject_unknown();
@@ -209,6 +229,66 @@ int main(int argc, char** argv) {
               "%llu trace events)\n",
               traced.events_per_sec, trace_overhead_pct,
               (unsigned long long)traced.trace_events);
+
+  // ---- Parallel worker-pool engine vs the serial windowed canon ----------
+  // Runs when requested (--backend=parallel, the CI smoke leg) or whenever
+  // the JSON trajectory is written. The two engines produce bit-identical
+  // simulations (tests/parallel_equivalence_test.cc proves it event-by-event;
+  // the cheap invariants are re-checked here), so the only question is host
+  // speed: events/sec per worker count against the serial windowed run.
+  struct ParallelPoint {
+    int workers = 0;
+    MicroResult r;
+  };
+  std::vector<ParallelPoint> ppoints;
+  MicroResult serial_windowed;
+  const int hw_cpus =
+      std::max(1u, std::thread::hardware_concurrency());
+  const bool bench_parallel = backend_s == "parallel" || !json_path.empty();
+  const int pnodes = backend_s == "parallel" ? micro_nodes : 32;
+  // Window = the cm5 wire latency, the widest conservative window the
+  // network's lookahead admits.
+  const sim::Time pwindow = sim::microseconds(30);
+  if (bench_parallel) {
+    const int prounds = quick ? rounds : std::max(4, rounds / 4);
+    serial_windowed = run_micro(pnodes, blocks, prounds, /*traced=*/false,
+                                sim::Backend::kFiber, pwindow);
+    std::printf("micro/windowed: nodes=%d blocks=%d rounds=%d -> %.0f "
+                "events/sec (serial fiber, window=30us)\n",
+                pnodes, blocks, prounds, serial_windowed.events_per_sec);
+    const std::vector<int> wlist = backend_s == "parallel"
+                                       ? std::vector<int>{req_workers}
+                                       : std::vector<int>{1, 2, 4, 8};
+    for (const int w : wlist) {
+      ParallelPoint p;
+      p.workers = w;
+      p.r = run_micro(pnodes, blocks, prounds, /*traced=*/false,
+                      sim::Backend::kParallel, pwindow, w);
+      PRESTO_CHECK(p.r.events == serial_windowed.events &&
+                       p.r.msgs == serial_windowed.msgs,
+                   "parallel backend diverged from the serial windowed canon "
+                   "(events " << p.r.events << " vs "
+                              << serial_windowed.events << ")");
+      const double speedup = serial_windowed.wall_s > 0
+                                 ? serial_windowed.wall_s / p.r.wall_s
+                                 : 0.0;
+      std::printf("micro/parallel: workers=%d -> %.0f events/sec "
+                  "(%.2fx vs serial windowed; host has %d cpu(s))\n",
+                  w, p.r.events_per_sec, speedup, hw_cpus);
+      ppoints.push_back(std::move(p));
+    }
+    if (min_parallel_speedup > 0) {
+      const double best =
+          serial_windowed.wall_s / ppoints.back().r.wall_s;
+      if (best < min_parallel_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: parallel speedup %.2fx below floor %.2fx at "
+                     "workers=%d\n",
+                     best, min_parallel_speedup, ppoints.back().workers);
+        return 1;
+      }
+    }
+  }
 
   std::printf("barnes: nodes=%d bodies=%zu steps=%d ...\n", barnes_nodes,
               bodies, steps);
@@ -277,7 +357,59 @@ int main(int argc, char** argv) {
                  "    \"dir_probes\": %llu,\n"
                  "    \"sched_lookups\": %llu,\n"
                  "    \"metadata_bytes\": %llu\n"
-                 "  },\n"
+                 "  },\n",
+                 micro_nodes, blocks, rounds,
+                 (unsigned long long)micro.events, micro.wall_s,
+                 micro.events_per_sec, (unsigned long long)micro.msgs,
+                 (unsigned long long)micro.dir_probes,
+                 (unsigned long long)micro.sched_lookups,
+                 (unsigned long long)micro.host.metadata_bytes,
+                 traced.events_per_sec, traced.wall_s, trace_overhead_pct,
+                 (unsigned long long)traced.trace_events,
+                 barnes_nodes, bodies, steps, barnes.wall_s, barnes.checksum,
+                 (unsigned long long)barnes.msgs,
+                 (unsigned long long)barnes.dir_probes,
+                 (unsigned long long)barnes.sched_lookups,
+                 (unsigned long long)barnes.host.metadata_bytes,
+                 water_nodes, molecules, water_steps, water.wall_s,
+                 water.checksum, (unsigned long long)water.msgs,
+                 (unsigned long long)water.dir_probes,
+                 (unsigned long long)water.sched_lookups,
+                 (unsigned long long)water.host.metadata_bytes);
+    if (!ppoints.empty()) {
+      // Worker-pool trajectory. Honest numbers from THIS host — on a
+      // single-core machine the pool serializes and workers > 1 only add
+      // coordination cost; the analytic scaling model and reference
+      // multi-core expectations live in docs/performance.md §9.
+      std::fprintf(f,
+                   "  \"parallel\": {\n"
+                   "    \"nodes\": %d, \"window_ns\": %llu, "
+                   "\"host_cpus\": %d,\n"
+                   "    \"serial_windowed_events_per_sec\": %.0f,\n"
+                   "    \"serial_windowed_wall_s\": %.4f,\n"
+                   "    \"workers\": [\n",
+                   pnodes, (unsigned long long)pwindow, hw_cpus,
+                   serial_windowed.events_per_sec, serial_windowed.wall_s);
+      for (std::size_t i = 0; i < ppoints.size(); ++i) {
+        const ParallelPoint& p = ppoints[i];
+        const double speedup = serial_windowed.wall_s > 0
+                                   ? serial_windowed.wall_s / p.r.wall_s
+                                   : 0.0;
+        std::fprintf(f,
+                     "      {\"workers\": %d, \"events_per_sec\": %.0f, "
+                     "\"wall_s\": %.4f, \"speedup_vs_serial\": %.2f}%s\n",
+                     p.workers, p.r.events_per_sec, p.r.wall_s, speedup,
+                     i + 1 < ppoints.size() ? "," : "");
+      }
+      std::fprintf(f,
+                   "    ],\n"
+                   "    \"note\": \"bit-identical to the serial windowed "
+                   "canon at every worker count (parallel-equivalence "
+                   "tier); measured on a %d-cpu host\"\n"
+                   "  },\n",
+                   hw_cpus);
+    }
+    std::fprintf(f,
                  "  \"host\": {\n"
                  "    \"backend\": \"%s\",\n"
                  "    \"micro_handoffs\": %llu,\n"
@@ -313,24 +445,6 @@ int main(int argc, char** argv) {
                  "    \"barnes_speedup_vs_pr3\": %.2f\n"
                  "  }\n"
                  "}\n",
-                 micro_nodes, blocks, rounds,
-                 (unsigned long long)micro.events, micro.wall_s,
-                 micro.events_per_sec, (unsigned long long)micro.msgs,
-                 (unsigned long long)micro.dir_probes,
-                 (unsigned long long)micro.sched_lookups,
-                 (unsigned long long)micro.host.metadata_bytes,
-                 traced.events_per_sec, traced.wall_s, trace_overhead_pct,
-                 (unsigned long long)traced.trace_events,
-                 barnes_nodes, bodies, steps, barnes.wall_s, barnes.checksum,
-                 (unsigned long long)barnes.msgs,
-                 (unsigned long long)barnes.dir_probes,
-                 (unsigned long long)barnes.sched_lookups,
-                 (unsigned long long)barnes.host.metadata_bytes,
-                 water_nodes, molecules, water_steps, water.wall_s,
-                 water.checksum, (unsigned long long)water.msgs,
-                 (unsigned long long)water.dir_probes,
-                 (unsigned long long)water.sched_lookups,
-                 (unsigned long long)water.host.metadata_bytes,
                  micro.host.backend,
                  (unsigned long long)micro.host.handoffs,
                  (unsigned long long)micro.host.direct_resumes,

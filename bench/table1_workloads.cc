@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   // Measured workload characteristics (optimized versions, scaled sizes).
   auto machine = runtime::MachineConfig::cm5_blizzard(scale.nodes, 32);
   machine.trace = trace_cfg;
+  scale.apply(machine);
 
   apps::AdaptiveParams ap;
   ap.iters = static_cast<int>(100 / scale.divide);

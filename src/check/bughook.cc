@@ -19,6 +19,8 @@ void set_bug_hook(const char* name, bool on) {
     h.skip_invalidate = on;
   } else if (std::strcmp(name, "drop-presend-data") == 0) {
     h.drop_presend_data = on;
+  } else if (std::strcmp(name, "delay-window-flush") == 0) {
+    h.delay_window_flush = on;
   } else {
     PRESTO_FAIL("unknown bug hook '" << name << "'");
   }

@@ -22,10 +22,20 @@ struct BugHooks {
   // updating the bytes at the target (install tag only) — pre-sent data
   // diverges from the home's committed bytes.
   bool drop_presend_data = false;
+
+  // Windowed engines with a worker pool only (workers > 1): the network
+  // holds one source's staged mailbox back a full window before flushing it
+  // (once per run) — the classic conservative-PDES bug of a flush missing
+  // its window boundary. Deliveries slip a window, so the parallel run
+  // diverges from the serial windowed canon and the parallel-vs-serial
+  // differential must catch it. Serial (workers <= 1) runs are unaffected,
+  // which is what lets the same process hold a clean reference.
+  bool delay_window_flush = false;
 };
 
 // Mutable process-wide hooks; initialized once from PRESTO_TEST_BUG
-// ("skip-invalidate" or "drop-presend-data", comma-separable).
+// ("skip-invalidate", "drop-presend-data" or "delay-window-flush",
+// comma-separable).
 BugHooks& bug_hooks();
 
 // Maps a bug name to the corresponding flag; aborts on unknown names.

@@ -142,7 +142,8 @@ bool supports_write_update(const FuzzProgram& prog) {
 }
 
 RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
-                      const net::NetConfig& net, TraceCapture* capture) {
+                      const net::NetConfig& net, TraceCapture* capture,
+                      sim::Backend backend, sim::Time window, int workers) {
   using runtime::NodeCtx;
   PRESTO_CHECK(kind != runtime::ProtocolKind::kWriteUpdate ||
                    supports_write_update(prog),
@@ -153,6 +154,9 @@ RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
       runtime::MachineConfig::cm5_blizzard(prog.nodes, prog.block_size);
   m.mem.page_size = 512;  // small pages spread homes across nodes
   m.net = net;
+  m.backend = backend;
+  m.window = window;
+  m.workers = workers;
   m.trace.enabled = capture != nullptr;  // in-memory only
   runtime::System sys(m, kind);
   Oracle& oracle = sys.enable_oracle(FailMode::kRecord);
@@ -258,7 +262,8 @@ RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
   return out;
 }
 
-FuzzVerdict check_program(const FuzzProgram& prog, bool latency_sweep) {
+FuzzVerdict check_program(const FuzzProgram& prog, bool latency_sweep,
+                          int parallel_workers) {
   using runtime::ProtocolKind;
   std::vector<std::pair<std::string, ProtocolKind>> kinds = {
       {"stache", ProtocolKind::kStache},
@@ -357,18 +362,78 @@ FuzzVerdict check_program(const FuzzProgram& prog, bool latency_sweep) {
       }
     }
   }
+
+  // ---- Backend differential: parallel vs serial windowed --------------------
+  // The windowed canon is one deterministic result per (program, machine,
+  // window); the worker pool must reproduce it bit-identically — not just
+  // program-visible values but exec time, message counts and bytes. Any
+  // inequality here is an engine/network-staging bug, not a protocol bug.
+  if (parallel_workers > 0) {
+    const net::NetConfig& netcfg = nets.front().second;
+    for (const auto& [klabel, kind] : kinds) {
+      const std::string label = klabel + "@parallel";
+      const RunResult serial =
+          run_program(prog, kind, netcfg, nullptr, sim::Backend::kFiber,
+                      netcfg.wire_latency);
+      const RunResult par =
+          run_program(prog, kind, netcfg, nullptr, sim::Backend::kParallel,
+                      netcfg.wire_latency, parallel_workers);
+
+      digest = fnv1a(digest, label.data(), label.size());
+      digest = fnv1a(digest, &par.exec_time, sizeof par.exec_time);
+      digest = fnv1a(digest, &par.messages, sizeof par.messages);
+      digest = fnv1a(digest, &par.bytes, sizeof par.bytes);
+      digest = fnv1a(digest, par.memory.data(),
+                     par.memory.size() * sizeof(std::uint32_t));
+
+      if (par.oracle_violations != 0 || serial.oracle_violations != 0) {
+        fail("violation[" + label + "]",
+             std::to_string(par.oracle_violations + serial.oracle_violations) +
+                 " oracle violation(s); first: " +
+                 (par.oracle_violations != 0 ? par.first_violation
+                                             : serial.first_violation));
+        return verdict;
+      }
+      if (par.read_mismatches != 0 || serial.read_mismatches != 0) {
+        fail("mismatch[" + label + "]",
+             std::to_string(par.read_mismatches + serial.read_mismatches) +
+                 " read(s) differed from the host reference");
+        return verdict;
+      }
+      if (par.memory != serial.memory || par.lock_total != serial.lock_total ||
+          std::memcmp(&par.reduce_digest, &serial.reduce_digest,
+                      sizeof par.reduce_digest) != 0) {
+        fail("pardiff[" + label + "]",
+             "parallel backend changed program-visible values");
+        return verdict;
+      }
+      if (par.exec_time != serial.exec_time ||
+          par.messages != serial.messages || par.bytes != serial.bytes) {
+        fail("pardiff[" + label + "]",
+             "parallel backend diverged from the serial windowed canon "
+             "(exec " +
+                 std::to_string(par.exec_time) + " vs " +
+                 std::to_string(serial.exec_time) + ", msgs " +
+                 std::to_string(par.messages) + " vs " +
+                 std::to_string(serial.messages) + ")");
+        return verdict;
+      }
+    }
+  }
+
   verdict.report = "ok\ndigest " + hex64(digest);
   return verdict;
 }
 
 FuzzProgram shrink(const FuzzProgram& prog, const std::string& signature,
-                   bool latency_sweep, int max_attempts) {
+                   bool latency_sweep, int max_attempts,
+                   int parallel_workers) {
   FuzzProgram best = prog;
   int attempts = 0;
   auto still_fails = [&](const FuzzProgram& cand) {
     if (attempts >= max_attempts) return false;
     ++attempts;
-    const FuzzVerdict v = check_program(cand, latency_sweep);
+    const FuzzVerdict v = check_program(cand, latency_sweep, parallel_workers);
     return !v.ok && v.signature == signature;
   };
 

@@ -100,18 +100,28 @@ struct TraceCapture {
 
 // Runs the program under one protocol/network configuration with the oracle
 // attached in record mode. Deterministic: equal inputs give equal results.
+// `backend`/`window`/`workers` map onto MachineConfig (window > 0 or
+// Backend::kParallel selects the windowed engine; see runtime/machine.h).
 RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
                       const net::NetConfig& net,
-                      TraceCapture* capture = nullptr);
+                      TraceCapture* capture = nullptr,
+                      sim::Backend backend = sim::default_backend(),
+                      sim::Time window = 0, int workers = 0);
 
 // Full differential check: all applicable protocols under the default
-// latency model, plus perturbed latency models when `latency_sweep`.
-FuzzVerdict check_program(const FuzzProgram& prog, bool latency_sweep = true);
+// latency model, plus perturbed latency models when `latency_sweep`. With
+// `parallel_workers` > 0 every protocol additionally runs serial
+// fiber-windowed vs Backend::kParallel at that worker count, and the two
+// must agree BIT-IDENTICALLY — program-visible values AND exec time,
+// message counts and bytes (the windowed canon is backend-invariant).
+FuzzVerdict check_program(const FuzzProgram& prog, bool latency_sweep = true,
+                          int parallel_workers = 0);
 
 // Greedy shrink: returns the smallest found program whose check_program
 // signature matches the original failure. `max_attempts` bounds re-runs.
 FuzzProgram shrink(const FuzzProgram& prog, const std::string& signature,
-                   bool latency_sweep, int max_attempts = 200);
+                   bool latency_sweep, int max_attempts = 200,
+                   int parallel_workers = 0);
 
 // Self-contained text trace (spec + seed + injected bug).
 std::string serialize_trace(const FuzzProgram& prog);

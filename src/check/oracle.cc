@@ -1,5 +1,6 @@
 #include "check/oracle.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,9 +12,26 @@ namespace presto::check {
 
 Oracle::Oracle(mem::GlobalSpace& space, const sim::Engine* engine, Mode mode,
                FailMode fail)
-    : space_(space), engine_(engine), mode_(mode), fail_(fail) {
+    : space_(space),
+      engine_(engine),
+      mode_(mode),
+      fail_(fail),
+      deferred_(engine != nullptr && engine->windowed()) {
   ring_.resize(kRingSize);
+  if (deferred_) lanes_.resize(static_cast<std::size_t>(engine->num_lanes()));
   ensure_block(space_.num_blocks() == 0 ? 0 : space_.num_blocks() - 1);
+}
+
+Oracle::LaneBuf* Oracle::defer_target() {
+  if (!deferred_ || !engine_->in_lane_context()) return nullptr;
+  return &lanes_[static_cast<std::size_t>(engine_->current_lane())];
+}
+
+std::size_t Oracle::stash(LaneBuf& lb, const void* data, std::size_t n) {
+  const std::size_t off = lb.bytes.size();
+  const auto* p = static_cast<const std::byte*>(data);
+  lb.bytes.insert(lb.bytes.end(), p, p + n);
+  return off;
 }
 
 void Oracle::ensure_block(mem::BlockId b) {
@@ -62,6 +80,24 @@ void Oracle::violation(int node, mem::BlockId b, std::string what) {
 
 void Oracle::on_app_write(int node, mem::BlockId b, std::size_t off,
                           const void* data, std::size_t n) {
+  if (LaneBuf* lb = defer_target()) {
+    DefRec r;
+    r.kind = Ev::kWrite;
+    r.t = engine_->now();
+    r.a = static_cast<std::int16_t>(node);
+    r.block = b;
+    r.off = static_cast<std::uint32_t>(off);
+    r.n = static_cast<std::uint32_t>(n);
+    r.data_off = stash(*lb, data, n);
+    r.has_data = true;
+    lb->recs.push_back(r);
+    return;
+  }
+  check_write(node, b, off, data, n);
+}
+
+void Oracle::check_write(int node, mem::BlockId b, std::size_t off,
+                         const void* data, std::size_t n) {
   ensure_block(b);
   if (mode_ == Mode::kSC) {
     // Single-writer: while this node writes, no other node may hold a valid
@@ -89,6 +125,24 @@ void Oracle::on_app_write(int node, mem::BlockId b, std::size_t off,
 
 void Oracle::on_app_read(int node, mem::BlockId b, std::size_t off,
                          const void* seen, std::size_t n) {
+  if (LaneBuf* lb = defer_target()) {
+    DefRec r;
+    r.kind = Ev::kRead;
+    r.t = engine_->now();
+    r.a = static_cast<std::int16_t>(node);
+    r.block = b;
+    r.off = static_cast<std::uint32_t>(off);
+    r.n = static_cast<std::uint32_t>(n);
+    r.data_off = stash(*lb, seen, n);  // value observed, frozen at read time
+    r.has_data = true;
+    lb->recs.push_back(r);
+    return;
+  }
+  check_read(node, b, off, seen, n);
+}
+
+void Oracle::check_read(int node, mem::BlockId b, std::size_t off,
+                        const void* seen, std::size_t n) {
   ensure_block(b);
   if (mode_ == Mode::kSC || strict_reads_) {
     // Data-value: the bytes this read observed must equal the committed
@@ -118,6 +172,25 @@ void Oracle::on_app_read(int node, mem::BlockId b, std::size_t off,
 }
 
 void Oracle::on_data_send(int src, int dst, const proto::Msg& m) {
+  if (LaneBuf* lb = defer_target()) {
+    DefRec r;
+    r.kind = Ev::kSend;
+    r.t = engine_->now();
+    r.a = static_cast<std::int16_t>(src);
+    r.b = static_cast<std::int16_t>(dst);
+    r.block = m.block;
+    r.msg = m;  // trivially copyable; data pointer re-targeted at replay
+    if (m.data != nullptr) {
+      r.data_off = stash(*lb, m.data, m.data_len);
+      r.has_data = true;
+    }
+    lb->recs.push_back(r);
+    return;
+  }
+  check_send(src, dst, m);
+}
+
+void Oracle::check_send(int src, int dst, const proto::Msg& m) {
   const std::size_t bsz = space_.block_size();
   push_ring(Ev::kSend, src, dst, static_cast<std::uint8_t>(m.type), m.block);
   if (m.data == nullptr) return;  // fault-injected drop; installs will catch
@@ -162,6 +235,25 @@ void Oracle::on_data_send(int src, int dst, const proto::Msg& m) {
 
 void Oracle::on_install(int node, mem::BlockId b, const std::byte* data,
                         mem::Tag tag) {
+  if (LaneBuf* lb = defer_target()) {
+    DefRec r;
+    r.kind = Ev::kInstall;
+    r.t = engine_->now();
+    r.a = static_cast<std::int16_t>(node);
+    r.b = static_cast<std::int16_t>(tag);
+    r.block = b;
+    if (data != nullptr) {
+      r.data_off = stash(*lb, data, space_.block_size());
+      r.has_data = true;
+    }
+    lb->recs.push_back(r);
+    return;
+  }
+  check_install(node, b, data, tag);
+}
+
+void Oracle::check_install(int node, mem::BlockId b, const std::byte* data,
+                           mem::Tag tag) {
   ensure_block(b);
   push_ring(Ev::kInstall, node, static_cast<int>(tag), 0, b);
   // Install coherence: bytes landing at a node must still equal the
@@ -183,10 +275,76 @@ void Oracle::on_message(int src, int dst, std::size_t bytes, sim::Time depart,
                         sim::Time arrival) {
   (void)depart;
   (void)arrival;
+  if (LaneBuf* lb = defer_target()) {
+    // Scalars only; replay pushes the ring entry so triage dumps stay in
+    // canonical order alongside the replayed checks.
+    DefRec r;
+    r.kind = Ev::kNet;
+    r.t = engine_->now();
+    r.a = static_cast<std::int16_t>(src);
+    r.b = static_cast<std::int16_t>(dst);
+    r.block = static_cast<mem::BlockId>(bytes);
+    lb->recs.push_back(r);
+    return;
+  }
   push_ring(Ev::kNet, src, dst, 0, static_cast<mem::BlockId>(bytes));
 }
 
+void Oracle::replay_window() {
+  if (!deferred_) return;
+  struct Key {
+    sim::Time t;
+    std::uint32_t lane;
+    std::uint32_t idx;
+  };
+  std::vector<Key> order;
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane)
+    for (std::size_t i = 0; i < lanes_[lane].recs.size(); ++i)
+      order.push_back(Key{lanes_[lane].recs[i].t,
+                          static_cast<std::uint32_t>(lane),
+                          static_cast<std::uint32_t>(i)});
+  if (order.empty()) return;
+  std::sort(order.begin(), order.end(), [](const Key& x, const Key& y) {
+    if (x.t != y.t) return x.t < y.t;
+    if (x.lane != y.lane) return x.lane < y.lane;
+    return x.idx < y.idx;
+  });
+  replaying_ = true;
+  for (const Key& k : order) {
+    const LaneBuf& lb = lanes_[k.lane];
+    const DefRec& r = lb.recs[k.idx];
+    replay_t_ = r.t;
+    const std::byte* d = r.has_data ? lb.bytes.data() + r.data_off : nullptr;
+    switch (r.kind) {
+      case Ev::kRead:
+        check_read(r.a, r.block, r.off, d, r.n);
+        break;
+      case Ev::kWrite:
+        check_write(r.a, r.block, r.off, d, r.n);
+        break;
+      case Ev::kSend: {
+        proto::Msg m = r.msg;
+        m.data = d;
+        check_send(r.a, r.b, m);
+        break;
+      }
+      case Ev::kInstall:
+        check_install(r.a, r.block, d, static_cast<mem::Tag>(r.b));
+        break;
+      case Ev::kNet:
+        push_ring(Ev::kNet, r.a, r.b, 0, r.block);
+        break;
+    }
+  }
+  replaying_ = false;
+  for (LaneBuf& lb : lanes_) {
+    lb.recs.clear();
+    lb.bytes.clear();
+  }
+}
+
 std::size_t Oracle::final_sweep() {
+  replay_window();  // drain anything buffered since the last boundary
   if (mode_ != Mode::kSC) return 0;
   std::size_t compared = 0;
   const std::size_t bsz = space_.block_size();

@@ -34,6 +34,18 @@
 // sanitizer CI). Detached, the hot paths pay one null-pointer test
 // (mem/global_space.h read()/write(), proto/protocol.cc post()).
 //
+// Under a windowed engine (sim/engine.h) hooks fire on concurrently
+// draining lanes, so they cannot touch the shared shadow directly. Each
+// hook instead records its arguments (payload bytes copied into a per-lane
+// arena) and replay_window() — registered as BoundaryOp::kOracle — applies
+// the window's records against the shadow in merged (time, lane, record)
+// order on the coordinating thread. Tag-state checks then see boundary-time
+// tags rather than event-time tags; that is sound at window granularity:
+// the window never exceeds the network's minimum latency, so any copy a
+// peer gained since the event was recorded stems from a grant chain that
+// began in an earlier window — if it conflicts with the recorded access,
+// the protocol really did let a conflicting copy and an access coexist.
+//
 // A 256-event ring of recent accesses/messages is kept for failure triage;
 // the fuzzer embeds its tail in dumped trace files (docs/testing.md).
 #pragma once
@@ -103,6 +115,11 @@ class Oracle final : public mem::AccessObserver,
   // flight (end of run). Returns the number of copies compared.
   std::size_t final_sweep();
 
+  // Windowed mode (BoundaryOp::kOracle): applies every record buffered this
+  // window against the shadow, in (time, lane, record) order. Idempotent on
+  // an empty window; called once more by final_sweep() as a drain.
+  void replay_window();
+
   // ---- Results ----------------------------------------------------------------
   std::uint64_t violation_count() const { return violation_count_; }
   const std::vector<Violation>& violations() const { return violations_; }
@@ -131,16 +148,58 @@ class Oracle final : public mem::AccessObserver,
   static constexpr std::size_t kRingSize = 256;
   static constexpr std::size_t kMaxStoredViolations = 32;
 
+  // One deferred hook invocation (windowed mode). Payload bytes live in the
+  // owning lane's arena at data_off; msg is meaningful for kSend only (its
+  // data pointer is re-targeted to the arena copy at replay).
+  struct DefRec {
+    Ev kind = Ev::kRead;
+    sim::Time t = 0;
+    std::int16_t a = -1;  // node / src
+    std::int16_t b = -1;  // dst (sends) or tag (installs)
+    mem::BlockId block = 0;
+    std::uint32_t off = 0;
+    std::uint32_t n = 0;
+    std::size_t data_off = 0;
+    bool has_data = false;
+    proto::Msg msg{};
+  };
+  struct LaneBuf {
+    std::vector<DefRec> recs;
+    std::vector<std::byte> bytes;
+  };
+
   void ensure_block(mem::BlockId b);
-  sim::Time now() const { return engine_ != nullptr ? engine_->now() : 0; }
+  sim::Time now() const {
+    if (replaying_) return replay_t_;
+    return engine_ != nullptr ? engine_->now() : 0;
+  }
+  // True when the calling hook must buffer instead of checking (windowed
+  // engine, inside a lane drain). Returns the lane's buffer.
+  LaneBuf* defer_target();
+  std::size_t stash(LaneBuf& lb, const void* data, std::size_t n);
   void push_ring(Ev kind, int a, int b, std::uint8_t info, mem::BlockId blk);
   void violation(int node, mem::BlockId b, std::string what);
+
+  // Immediate check bodies; hooks call these directly in legacy mode and
+  // replay_window() calls them with replay_t_ overriding now().
+  void check_read(int node, mem::BlockId b, std::size_t off, const void* seen,
+                  std::size_t n);
+  void check_write(int node, mem::BlockId b, std::size_t off, const void* data,
+                   std::size_t n);
+  void check_send(int src, int dst, const proto::Msg& m);
+  void check_install(int node, mem::BlockId b, const std::byte* data,
+                     mem::Tag tag);
 
   mem::GlobalSpace& space_;
   const sim::Engine* engine_;
   const Mode mode_;
   const FailMode fail_;
+  const bool deferred_;
   bool strict_reads_ = false;
+
+  std::vector<LaneBuf> lanes_;  // [lane]; deferred mode only
+  bool replaying_ = false;
+  sim::Time replay_t_ = 0;
 
   // Flat shadow of the whole space (grown on demand, zero-filled to match
   // zero-initialized frames) + last writer per block (-1 = never written).

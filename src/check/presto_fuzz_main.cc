@@ -6,6 +6,11 @@
 //   presto_fuzz --inject-bug=skip-invalidate     plant a protocol bug; the
 //                                                oracle must catch it
 //   presto_fuzz --selfcheck                      determinism self-test
+//   presto_fuzz --backend=parallel --workers=4   add the backend differential:
+//                                                every program also runs
+//                                                serial-windowed vs the
+//                                                parallel worker pool, which
+//                                                must agree bit-identically
 //
 // Exit status: 0 = all programs clean (or replay reproduced "ok"), 1 = a
 // failure was found (trace dumped to --dump-dir) or a replay still fails.
@@ -28,25 +33,26 @@ using presto::check::check_program;
 using presto::check::FuzzProgram;
 using presto::check::FuzzVerdict;
 
-int replay(const std::string& path, bool latency_sweep) {
+int replay(const std::string& path, bool latency_sweep,
+           int parallel_workers) {
   std::ifstream in(path);
   PRESTO_CHECK(in.good(), "cannot open trace file '" << path << "'");
   std::ostringstream buf;
   buf << in.rdbuf();
   const FuzzProgram prog = presto::check::parse_trace(buf.str());
-  const FuzzVerdict v = check_program(prog, latency_sweep);
+  const FuzzVerdict v = check_program(prog, latency_sweep, parallel_workers);
   // The simulation is deterministic: two replays of the same trace print
   // byte-identical reports (tests diff them).
   std::printf("%s\n", v.report.c_str());
   return v.ok ? 0 : 1;
 }
 
-int selfcheck(bool latency_sweep) {
+int selfcheck(bool latency_sweep, int parallel_workers) {
   // Determinism: the same program checked twice must produce byte-identical
   // reports (digest covers every run's observable outputs).
   const FuzzProgram prog = presto::check::generate(7);
-  const FuzzVerdict a = check_program(prog, latency_sweep);
-  const FuzzVerdict b = check_program(prog, latency_sweep);
+  const FuzzVerdict a = check_program(prog, latency_sweep, parallel_workers);
+  const FuzzVerdict b = check_program(prog, latency_sweep, parallel_workers);
   if (!a.ok || a.report != b.report) {
     std::printf("selfcheck FAILED\nfirst:  %s\nsecond: %s\n",
                 a.report.c_str(), b.report.c_str());
@@ -55,7 +61,7 @@ int selfcheck(bool latency_sweep) {
   // Trace round-trip: serialize -> parse -> identical report.
   const FuzzProgram round =
       presto::check::parse_trace(presto::check::serialize_trace(prog));
-  const FuzzVerdict c = check_program(round, latency_sweep);
+  const FuzzVerdict c = check_program(round, latency_sweep, parallel_workers);
   if (c.report != a.report) {
     std::printf("selfcheck FAILED: trace round-trip changed the program\n");
     return 1;
@@ -81,11 +87,22 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.get_int("shrink-attempts", 200));
   int jobs = static_cast<int>(
       cli.get_int("jobs", presto::util::default_pool_jobs()));
+  const std::string backend = cli.get("backend", "");
+  int parallel_workers = 0;
+  if (backend == "parallel") {
+    parallel_workers = static_cast<int>(cli.get_int("workers", 4));
+    PRESTO_CHECK(parallel_workers >= 1, "--workers must be >= 1");
+  } else {
+    PRESTO_CHECK(backend.empty(),
+                 "--backend: expected 'parallel', got '" << backend << "'");
+    (void)cli.get_int("workers", 0);  // accepted, meaningful with --backend
+  }
   cli.reject_unknown();
   PRESTO_CHECK(jobs >= 1, "--jobs must be >= 1");
 
-  if (do_selfcheck) return selfcheck(latency_sweep);
-  if (!replay_path.empty()) return replay(replay_path, latency_sweep);
+  if (do_selfcheck) return selfcheck(latency_sweep, parallel_workers);
+  if (!replay_path.empty())
+    return replay(replay_path, latency_sweep, parallel_workers);
 
   if (!inject.empty() && jobs > 1) {
     // Bug injection goes through the process-wide check::bug_hooks() table;
@@ -129,7 +146,7 @@ int main(int argc, char** argv) {
           FuzzProgram prog = presto::check::generate(
               seed + static_cast<std::uint64_t>(base + i));
           prog.injected_bug = inject;
-          return check_program(prog, latency_sweep);
+          return check_program(prog, latency_sweep, parallel_workers);
         });
     checked += n;
     const auto bad = std::find_if(verdicts.begin(), verdicts.end(),
@@ -145,8 +162,9 @@ int main(int argc, char** argv) {
                 bad->report.c_str());
     const FuzzProgram shrunk =
         presto::check::shrink(prog, bad->signature, latency_sweep,
-                              shrink_attempts);
-    const FuzzVerdict sv = check_program(shrunk, latency_sweep);
+                              shrink_attempts, parallel_workers);
+    const FuzzVerdict sv = check_program(shrunk, latency_sweep,
+                                         parallel_workers);
     std::filesystem::create_directories(dump_dir);
     const std::string path =
         dump_dir + "/fail-" + std::to_string(prog.seed) + ".trace";

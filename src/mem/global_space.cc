@@ -38,6 +38,16 @@ void GlobalSpace::grow_to(std::size_t new_size) {
 
 Addr GlobalSpace::alloc(std::size_t bytes,
                         const std::function<int(PageId)>& home) {
+  if (grow_gate_) {
+    Addr base = 0;
+    grow_gate_([&] { base = alloc_now(bytes, home); });
+    return base;
+  }
+  return alloc_now(bytes, home);
+}
+
+Addr GlobalSpace::alloc_now(std::size_t bytes,
+                            const std::function<int(PageId)>& home) {
   PRESTO_CHECK(bytes > 0, "zero-byte allocation");
   const std::size_t pages =
       (bytes + cfg_.page_size - 1) / cfg_.page_size;

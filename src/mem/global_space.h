@@ -93,6 +93,14 @@ class GlobalSpace {
   // node of the i-th page of the allocation. Returns the base address.
   Addr alloc(std::size_t bytes, const std::function<int(PageId)>& home);
 
+  // Serializer for structural growth: alloc resizes every node's tag and
+  // frame tables, which no concurrently-draining lane may observe. A
+  // windowed engine installs its window-boundary gate here
+  // (sim::Engine::boundary_gate); unset (the default), growth runs inline.
+  void set_grow_gate(std::function<void(std::function<void()>)> gate) {
+    grow_gate_ = std::move(gate);
+  }
+
   // Allocates all pages on one node.
   Addr alloc_on_node(int node, std::size_t bytes);
 
@@ -196,6 +204,7 @@ class GlobalSpace {
   }
 
  private:
+  Addr alloc_now(std::size_t bytes, const std::function<int(PageId)>& home);
   void grow_to(std::size_t new_size);
   std::byte* materialize_frame(int node, PageId p);
   void read_slow(int node, Addr a, void* out, std::size_t n);
@@ -223,6 +232,7 @@ class GlobalSpace {
 
   FaultHandler* fault_ = nullptr;
   AccessObserver* observer_ = nullptr;
+  std::function<void(std::function<void()>)> grow_gate_;
 };
 
 }  // namespace presto::mem

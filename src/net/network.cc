@@ -1,5 +1,8 @@
 #include "net/network.h"
 
+#include <cstring>
+
+#include "check/bughook.h"
 #include "util/check.h"
 
 namespace presto::net {
@@ -11,7 +14,28 @@ Network::Network(sim::Engine& engine, int nodes, const NetConfig& cfg)
       channels_(static_cast<std::size_t>(nodes) *
                 static_cast<std::size_t>(nodes)),
       per_node_msgs_(static_cast<std::size_t>(nodes), 0),
-      per_node_bytes_(static_cast<std::size_t>(nodes), 0) {}
+      per_node_bytes_(static_cast<std::size_t>(nodes), 0) {
+  if (engine_.windowed()) {
+    PRESTO_CHECK(engine_.window() <= min_latency(),
+                 "window width " << engine_.window()
+                                 << " exceeds the network's minimum latency "
+                                 << min_latency());
+    outboxes_.resize(static_cast<std::size_t>(nodes));
+    engine_.set_boundary_op(sim::BoundaryOp::kNet, [this] { flush_staged(); });
+  }
+}
+
+std::uint64_t Network::messages_sent() const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t m : per_node_msgs_) n += m;
+  return n;
+}
+
+std::uint64_t Network::bytes_sent() const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t b : per_node_bytes_) n += b;
+  return n;
+}
 
 std::size_t Network::channels_used() const {
   std::size_t n = 0;
@@ -23,6 +47,8 @@ std::size_t Network::channels_used() const {
 std::size_t Network::metadata_bytes() const {
   std::size_t n = channels_.capacity() * sizeof(Channel);
   for (const auto& ch : channels_) n += ch.ring.capacity_bytes();
+  for (const auto& ob : outboxes_)
+    n += ob.entries.capacity() * sizeof(Staged) + ob.bytes.capacity();
   return n;
 }
 
@@ -41,13 +67,24 @@ sim::Time Network::route(int src, int dst, std::size_t bytes,
   if (arrival <= ch.last_arrival) arrival = ch.last_arrival + 1;
   ch.last_arrival = arrival;
 
-  ++messages_;
-  bytes_ += bytes;
   ++per_node_msgs_[static_cast<std::size_t>(src)];
   per_node_bytes_[static_cast<std::size_t>(src)] += bytes;
   if (observer_ != nullptr) [[unlikely]]
     observer_->on_message(src, dst, bytes, depart, arrival);
   return arrival;
+}
+
+void Network::schedule_record_delivery(Channel& ch, int dst,
+                                       sim::Time arrival) {
+  // The channel is FIFO (arrival times are clamped monotone), so the event
+  // pops the front record — a 16-byte capture, no per-message allocation.
+  engine_.schedule_on(engine_.windowed() ? dst : 0, arrival,
+                      [this, ch = &ch, dst] {
+                        std::size_t len;
+                        const std::byte* rec = ch->ring.front(&len);
+                        ch->ring.pop();  // never moves bytes; rec stays valid
+                        sink_->on_msg(dst, rec, len);
+                      });
 }
 
 sim::Time Network::send_msg(int src, int dst, std::size_t wire_bytes,
@@ -57,16 +94,69 @@ sim::Time Network::send_msg(int src, int dst, std::size_t wire_bytes,
   PRESTO_CHECK(sink_ != nullptr, "send_msg with no MsgSink registered");
   const sim::Time arrival = route(src, dst, wire_bytes, depart);
   Channel& ch = channel(src, dst);
+  if (src != dst && engine_.in_lane_context()) {
+    PRESTO_CHECK(engine_.current_lane() == src,
+                 "lane " << engine_.current_lane() << " sending as " << src);
+    Outbox& ob = outboxes_[static_cast<std::size_t>(src)];
+    const std::size_t off = ob.bytes.size();
+    ob.bytes.resize(off + header_len + payload_len);
+    std::memcpy(ob.bytes.data() + off, header, header_len);
+    if (payload_len > 0)
+      std::memcpy(ob.bytes.data() + off + header_len, payload, payload_len);
+    ob.entries.push_back(Staged{&ch, dst, arrival, /*is_record=*/true,
+                                static_cast<std::uint32_t>(header_len),
+                                static_cast<std::uint32_t>(payload_len), off,
+                                sim::InlineFn()});
+    return arrival;
+  }
   ch.ring.push(header, header_len, payload, payload_len);
-  // The channel is FIFO (arrival times are clamped monotone), so the event
-  // pops the front record — an 16-byte capture, no per-message allocation.
-  engine_.schedule_at(arrival, [this, ch = &ch, dst] {
-    std::size_t len;
-    const std::byte* rec = ch->ring.front(&len);
-    ch->ring.pop();  // pop() never moves bytes; rec stays valid in on_msg
-    sink_->on_msg(dst, rec, len);
-  });
+  schedule_record_delivery(ch, dst, arrival);
   return arrival;
+}
+
+void Network::stage_fn(int src, int dst, sim::Time arrival, sim::InlineFn fn) {
+  PRESTO_CHECK(engine_.current_lane() == src,
+               "lane " << engine_.current_lane() << " sending as " << src);
+  outboxes_[static_cast<std::size_t>(src)].entries.push_back(
+      Staged{nullptr, dst, arrival, /*is_record=*/false, 0, 0, 0,
+             std::move(fn)});
+}
+
+void Network::flush_staged() {
+  // A mailbox held back by the planted delay bug is recovered first, so the
+  // fault stays a one-window reordering rather than a lost message.
+  if (!holdover_.entries.empty()) flush_outbox(holdover_);
+  // The planted bug fires only under a pooled drain (workers > 1): it models
+  // a worker-pool flush-coordination mistake, and gating it this way keeps a
+  // serial windowed run in the same process (the differential's reference)
+  // clean while the parallel run under test diverges.
+  if (check::bug_hooks().delay_window_flush && !flush_delayed_ && nodes_ > 1 &&
+      engine_.workers() > 1 && !outboxes_[1].entries.empty()) [[unlikely]] {
+    // Planted bug (one-shot): hold source 1's mailbox for a full window. The
+    // messages physically sit in the mailbox, so their wire departure — and
+    // therefore arrival — slips by the window width (merely re-inserting the
+    // events late would be invisible: delivery times are absolute stamps).
+    flush_delayed_ = true;
+    std::swap(holdover_.entries, outboxes_[1].entries);
+    std::swap(holdover_.bytes, outboxes_[1].bytes);
+    for (Staged& s : holdover_.entries) s.arrival += engine_.window();
+  }
+  for (Outbox& ob : outboxes_) flush_outbox(ob);
+}
+
+void Network::flush_outbox(Outbox& ob) {
+  for (Staged& s : ob.entries) {
+    if (s.is_record) {
+      s.ch->ring.push(ob.bytes.data() + s.byte_off, s.header_len,
+                      ob.bytes.data() + s.byte_off + s.header_len,
+                      s.payload_len);
+      schedule_record_delivery(*s.ch, s.dst, s.arrival);
+    } else {
+      engine_.schedule_on(s.dst, s.arrival, std::move(s.fn));
+    }
+  }
+  ob.entries.clear();
+  ob.bytes.clear();
 }
 
 }  // namespace presto::net

@@ -21,8 +21,20 @@
 // front — Channel pointers captured by in-flight delivery events stay stable
 // because the vector never grows. Rings start empty, so an idle channel
 // costs sizeof(Channel), not a ring arena.
+//
+// Windowed engines (sim/engine.h): a cross-node send issued inside a lane
+// drain may not touch the destination lane's event queue, so it is *staged*
+// in the source node's outbox — routing (the FIFO clamp, traffic counters,
+// the observer call) still happens at send time, on state the source lane
+// owns — and the boundary flush (BoundaryOp::kNet) walks sources 0..N-1 in
+// send order, pushing each record into its channel ring and scheduling the
+// delivery on the destination lane. The flush order is fixed, so message
+// sequence numbers — and therefore every simulated result — are independent
+// of how lanes were partitioned over workers. Self-sends and sends from
+// outside any lane (setup, boundary context) deliver directly, as before.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -86,12 +98,23 @@ class Network {
   sim::Time send(int src, int dst, std::size_t bytes, sim::Time depart,
                  F&& deliver) {
     const sim::Time arrival = route(src, dst, bytes, depart);
-    engine_.schedule_at(arrival, std::forward<F>(deliver));
+    if (src != dst && engine_.in_lane_context()) {
+      stage_fn(src, dst, arrival, sim::InlineFn(std::forward<F>(deliver)));
+    } else {
+      engine_.schedule_on(engine_.windowed() ? dst : 0, arrival,
+                          std::forward<F>(deliver));
+    }
     return arrival;
   }
 
-  std::uint64_t messages_sent() const { return messages_; }
-  std::uint64_t bytes_sent() const { return bytes_; }
+  // Lower bound on cross-node delivery latency. A windowed engine's window
+  // width must not exceed this: a message departing at t < cap then arrives
+  // at t + min_latency() >= cap, so boundary flushes never land in a
+  // destination lane's past.
+  sim::Time min_latency() const { return cfg_.wire_latency; }
+
+  std::uint64_t messages_sent() const;
+  std::uint64_t bytes_sent() const;
   std::uint64_t messages_from(int src) const {
     return per_node_msgs_[static_cast<std::size_t>(src)];
   }
@@ -113,6 +136,26 @@ class Network {
     RecordRing ring;
   };
 
+  // One staged cross-node delivery (windowed mode). Record deliveries keep
+  // their header+payload bytes in the owning outbox's arena; closure
+  // deliveries carry the callable itself.
+  struct Staged {
+    Channel* ch;
+    int dst;
+    sim::Time arrival;
+    bool is_record;
+    std::uint32_t header_len;
+    std::uint32_t payload_len;
+    std::size_t byte_off;  // into the outbox byte arena (records only)
+    sim::InlineFn fn;      // closure delivery when !is_record
+  };
+  // Per-source mailbox; entries are flushed in send order, arenas keep their
+  // capacity across windows so steady-state staging allocates nothing.
+  struct Outbox {
+    std::vector<Staged> entries;
+    std::vector<std::byte> bytes;
+  };
+
   // Computes the FIFO-clamped arrival time and records traffic stats.
   sim::Time route(int src, int dst, std::size_t bytes, sim::Time depart);
   Channel& channel(int src, int dst) {
@@ -120,6 +163,14 @@ class Network {
                          static_cast<std::size_t>(nodes_) +
                      static_cast<std::size_t>(dst)];
   }
+
+  // Pops the front record of ch and hands it to the sink at `arrival`, on
+  // the destination's lane (lane 0 when windows are off — the legacy path).
+  void schedule_record_delivery(Channel& ch, int dst, sim::Time arrival);
+  void stage_fn(int src, int dst, sim::Time arrival, sim::InlineFn fn);
+  // Boundary flush (BoundaryOp::kNet): sources 0..N-1 in send order.
+  void flush_staged();
+  void flush_outbox(Outbox& ob);
 
   sim::Engine& engine_;
   const int nodes_;
@@ -129,10 +180,16 @@ class Network {
   // Dense nodes² table, [src*nodes + dst]; sized once in the constructor and
   // never resized (delivery events hold Channel pointers).
   std::vector<Channel> channels_;
-  std::uint64_t messages_ = 0;
-  std::uint64_t bytes_ = 0;
+  // Traffic counters are per-source (the source lane owns its own slots, so
+  // concurrent lane drains never share a counter); totals are summed on read.
   std::vector<std::uint64_t> per_node_msgs_;
   std::vector<std::uint64_t> per_node_bytes_;
+  // Windowed mode only (empty otherwise).
+  std::vector<Outbox> outboxes_;
+  // Planted-bug state (check/bughook.h delay_window_flush): a one-shot hold
+  // of one source's mailbox for a full window, recovered at the next flush.
+  Outbox holdover_;
+  bool flush_delayed_ = false;
 };
 
 }  // namespace presto::net

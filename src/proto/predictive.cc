@@ -24,7 +24,8 @@ PredictiveProtocol::PredictiveProtocol(sim::Engine& engine, net::Network& net,
                  std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>>(
                      static_cast<std::size_t>(space.nodes()))),
       blocks_per_page_(space.page_size() / space.block_size()),
-      conflict_policy_(conflicts) {}
+      conflict_policy_(conflicts),
+      stats_(static_cast<std::size_t>(space.nodes())) {}
 
 void PredictiveProtocol::PhaseSched::ensure_sorted() {
   if (sorted) return;
@@ -83,7 +84,7 @@ void PredictiveProtocol::record_request(int home, mem::BlockId b,
     ps.recs.push_back(PhaseSched::Rec{b, Entry{}});
     slot = static_cast<std::uint32_t>(ps.recs.size());
     ++ps.gen;
-    ++stats_.entries_recorded;
+    ++stats_[static_cast<std::size_t>(home)].entries_recorded;
     ++rec_.node(home).schedule_entries;
   }
   Entry& e = ps.recs[slot - 1].e;
@@ -172,7 +173,7 @@ void PredictiveProtocol::do_presend(int node, int phase) {
     ++idx;
     const auto [kind, writer] = resolve(e);
     if (kind == Kind::kConflict) {
-      ++stats_.conflict_entries;
+      ++stats_[static_cast<std::size_t>(node)].conflict_entries;
       continue;
     }
     auto& d = dir(node, b);
@@ -187,7 +188,7 @@ void PredictiveProtocol::do_presend(int node, int phase) {
     m.src = node;
     m.block = b;
     ++out;
-    ++stats_.presend_recalls;
+    ++stats_[static_cast<std::size_t>(node)].presend_recalls;
     send_from_app(node, d.owner, std::move(m));
   }
   while (out > 0) p.block();
@@ -294,12 +295,12 @@ void PredictiveProtocol::send_bulk_runs(
                     space_.block_data(node, blocks[i].first + k), bsz);
       m.data = buf;
       m.data_len = count * static_cast<std::uint32_t>(bsz);
-      stats_.presend_push_blocks += count;
+      stats_[static_cast<std::size_t>(node)].presend_push_blocks += count;
       rec_.node(node).presend_blocks_sent += count;
     } else {
-      stats_.presend_inv_blocks += count;
+      stats_[static_cast<std::size_t>(node)].presend_inv_blocks += count;
     }
-    ++stats_.presend_msgs;
+    ++stats_[static_cast<std::size_t>(node)].presend_msgs;
     ++rec_.node(node).presend_msgs;
     ++out;
     p.charge(costs_.handler);  // software send cost for the bulk message

@@ -53,7 +53,8 @@ class PredictiveProtocol : public StacheProtocol {
   // Discards this home's schedule for `phase` (schedule rebuild, §3.3).
   void phase_flush(int node, int phase) override;
 
-  // Aggregate protocol statistics (summed over nodes).
+  // Aggregate protocol statistics (summed over the per-node shards; the
+  // shards keep handler paths lane-local under the windowed engine).
   struct Stats {
     std::uint64_t entries_recorded = 0;
     std::uint64_t conflict_entries = 0;   // entries skipped as conflicts
@@ -62,7 +63,18 @@ class PredictiveProtocol : public StacheProtocol {
     std::uint64_t presend_inv_blocks = 0;
     std::uint64_t presend_msgs = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s;
+    for (const Stats& t : stats_) {
+      s.entries_recorded += t.entries_recorded;
+      s.conflict_entries += t.conflict_entries;
+      s.presend_recalls += t.presend_recalls;
+      s.presend_push_blocks += t.presend_push_blocks;
+      s.presend_inv_blocks += t.presend_inv_blocks;
+      s.presend_msgs += t.presend_msgs;
+    }
+    return s;
+  }
 
   // Number of live schedule entries for (home, phase) — test/bench hook.
   std::size_t schedule_size(int home, int phase) const;
@@ -137,7 +149,7 @@ class PredictiveProtocol : public StacheProtocol {
   std::uint32_t blocks_per_page_ = 1;
   ConflictPolicy conflict_policy_;
   bool coalescing_ = true;
-  Stats stats_;
+  std::vector<Stats> stats_;  // [node]
 };
 
 }  // namespace presto::proto

@@ -13,7 +13,9 @@ WriteUpdateProtocol::WriteUpdateProtocol(sim::Engine& engine,
     : Protocol(engine, net, space, rec, costs),
       readers_(static_cast<std::size_t>(space.nodes())),
       dirty_(static_cast<std::size_t>(space.nodes())),
-      outstanding_(static_cast<std::size_t>(space.nodes()), 0) {
+      outstanding_(static_cast<std::size_t>(space.nodes()), 0),
+      fwd_(static_cast<std::size_t>(space.nodes())),
+      stats_(static_cast<std::size_t>(space.nodes())) {
   PRESTO_CHECK(space.nodes() <= util::NodeSet::kMaxNodes,
                "reader sets hold " << util::NodeSet::kMaxNodes << " nodes; "
                                    << space.nodes()
@@ -23,41 +25,44 @@ WriteUpdateProtocol::WriteUpdateProtocol(sim::Engine& engine,
   for (auto& t : dirty_) t.configure(bpp);
 }
 
-std::uint64_t WriteUpdateProtocol::alloc_token(ForwardState init) {
+std::uint64_t WriteUpdateProtocol::alloc_token(int home, ForwardState init) {
+  TokenPool& tp = fwd_[static_cast<std::size_t>(home)];
   std::uint32_t slot;
-  if (fwd_free_ != kNoSlot) {
-    slot = fwd_free_;
-    fwd_free_ = fwd_pool_[slot].next_free;
+  if (tp.free_head != kNoSlot) {
+    slot = tp.free_head;
+    tp.free_head = tp.pool[slot].next_free;
   } else {
-    slot = static_cast<std::uint32_t>(fwd_pool_.size());
-    fwd_pool_.emplace_back();
+    slot = static_cast<std::uint32_t>(tp.pool.size());
+    tp.pool.emplace_back();
   }
   init.live = true;
   init.next_free = kNoSlot;
-  fwd_pool_[slot] = init;
+  tp.pool[slot] = init;
   return static_cast<std::uint64_t>(slot) + 1;
 }
 
 WriteUpdateProtocol::ForwardState& WriteUpdateProtocol::forward_state(
-    std::uint64_t token) {
-  PRESTO_CHECK(token != 0 && token <= fwd_pool_.size() &&
-                   fwd_pool_[static_cast<std::size_t>(token - 1)].live,
+    int home, std::uint64_t token) {
+  TokenPool& tp = fwd_[static_cast<std::size_t>(home)];
+  PRESTO_CHECK(token != 0 && token <= tp.pool.size() &&
+                   tp.pool[static_cast<std::size_t>(token - 1)].live,
                "stray forward token " << token);
-  return fwd_pool_[static_cast<std::size_t>(token - 1)];
+  return tp.pool[static_cast<std::size_t>(token - 1)];
 }
 
-void WriteUpdateProtocol::release_token(std::uint64_t token) {
-  auto& fs = forward_state(token);
+void WriteUpdateProtocol::release_token(int home, std::uint64_t token) {
+  auto& fs = forward_state(home, token);
   fs.live = false;
-  fs.next_free = fwd_free_;
-  fwd_free_ = static_cast<std::uint32_t>(token - 1);
+  TokenPool& tp = fwd_[static_cast<std::size_t>(home)];
+  fs.next_free = tp.free_head;
+  tp.free_head = static_cast<std::uint32_t>(token - 1);
 }
 
 std::size_t WriteUpdateProtocol::metadata_bytes() const {
   std::size_t n = Protocol::metadata_bytes();
   for (const auto& t : readers_) n += t.bytes_resident();
   for (const auto& t : dirty_) n += t.bytes_resident();
-  n += fwd_pool_.capacity() * sizeof(ForwardState);
+  for (const auto& tp : fwd_) n += tp.pool.capacity() * sizeof(ForwardState);
   return n;
 }
 
@@ -121,8 +126,8 @@ void WriteUpdateProtocol::send_update_run(int src, int dst, mem::BlockId b0,
     std::memcpy(buf + k * bsz, space_.block_data(src, b0 + k), bsz);
   m.data = buf;
   m.data_len = count * static_cast<std::uint32_t>(bsz);
-  ++stats_.update_msgs;
-  stats_.update_blocks += count;
+  ++stats_[static_cast<std::size_t>(src)].update_msgs;
+  stats_[static_cast<std::size_t>(src)].update_blocks += count;
   if (from_app)
     send_from_app(src, dst, std::move(m));
   else
@@ -157,7 +162,7 @@ void WriteUpdateProtocol::wu_publish(int node, mem::Addr base,
   auto& p = proc(node);
   auto& out = outstanding_[static_cast<std::size_t>(node)];
   PRESTO_CHECK(out == 0, "nested publish on node " << node);
-  ++stats_.publishes;
+  ++stats_[static_cast<std::size_t>(node)].publishes;
 
   const mem::BlockId first = space_.block_of(base);
   const mem::BlockId last = space_.block_of(base + len - 1);
@@ -203,11 +208,11 @@ void WriteUpdateProtocol::wu_publish(int node, mem::Addr base,
     mem::BlockId e = b + 1;
     while (e <= last && space_.home_of_block(e) == home && is_dirty(e)) ++e;
     p.charge(costs_.presend_per_block);
-    const std::uint64_t token = alloc_token(
-        ForwardState{node, /*acks_left=*/-1,
-                     static_cast<std::uint32_t>(e - b), false, kNoSlot});
-    send_update_run(node, home, b, static_cast<std::uint32_t>(e - b), token,
-                    /*from_app=*/true);
+    // Forward-tracking state is allocated by the home when the run arrives
+    // (the token is home-lane-local); a writer->home run always travels
+    // with token 0.
+    send_update_run(node, home, b, static_cast<std::uint32_t>(e - b),
+                    /*token=*/0, /*from_app=*/true);
     ++out;
     b = e;
   }
@@ -261,13 +266,15 @@ void WriteUpdateProtocol::handle(int self, const Msg& m) {
         r.token = m.token;
         send_from_handler(self, m.src, std::move(r));
       } else {
-        // Writer->home run: forward to readers, then acknowledge.
-        auto& fs = forward_state(m.token);
-        fs.writer = m.src;
-        fs.count = m.count;
-        const int sent = forward_run(self, m.block, m.count, m.token, m.src);
+        // Writer->home run: forward to readers, then acknowledge. The
+        // forward state is allocated here, at the home, so every touch of
+        // the token pool happens on the home's lane.
+        const std::uint64_t token = alloc_token(
+            self, ForwardState{m.src, /*acks_left=*/-1, m.count, false,
+                               kNoSlot});
+        const int sent = forward_run(self, m.block, m.count, token, m.src);
         if (sent == 0) {
-          release_token(m.token);
+          release_token(self, token);
           Msg r;
           r.type = MsgType::UpdateAck;
           r.src = self;
@@ -276,7 +283,7 @@ void WriteUpdateProtocol::handle(int self, const Msg& m) {
           r.token = 0;
           send_from_handler(self, m.src, std::move(r));
         } else {
-          fs.acks_left = sent;
+          forward_state(self, token).acks_left = sent;
         }
       }
       break;
@@ -289,7 +296,7 @@ void WriteUpdateProtocol::handle(int self, const Msg& m) {
           proc(self).wake(engine_.now());
       } else {
         // Reader ack for a forwarded run; self is the home.
-        auto& fs = forward_state(m.token);
+        auto& fs = forward_state(self, m.token);
         if (--fs.acks_left == 0) {
           Msg r;
           r.type = MsgType::UpdateAck;
@@ -298,7 +305,7 @@ void WriteUpdateProtocol::handle(int self, const Msg& m) {
           r.count = fs.count;
           r.token = 0;
           send_from_handler(self, fs.writer, std::move(r));
-          release_token(m.token);
+          release_token(self, m.token);
         }
       }
       break;

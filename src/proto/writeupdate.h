@@ -43,12 +43,21 @@ class WriteUpdateProtocol : public Protocol {
   // consume the values.
   void wu_publish(int node, mem::Addr base, std::size_t len);
 
+  // Summed over the per-node shards (lane-local under the windowed engine).
   struct Stats {
     std::uint64_t publishes = 0;
     std::uint64_t update_blocks = 0;
     std::uint64_t update_msgs = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s;
+    for (const Stats& t : stats_) {
+      s.publishes += t.publishes;
+      s.update_blocks += t.update_blocks;
+      s.update_msgs += t.update_msgs;
+    }
+    return s;
+  }
 
   std::size_t metadata_bytes() const override;
 
@@ -74,12 +83,16 @@ class WriteUpdateProtocol : public Protocol {
     return s == nullptr ? util::NodeSet{} : *s;
   }
 
-  // Token slot pool: wire token = slot + 1 (0 means "final ack, no forward
-  // state"). Slots recycle LIFO; the pool only grows to the peak number of
-  // concurrently in-flight forwarded runs.
-  std::uint64_t alloc_token(ForwardState init);
-  ForwardState& forward_state(std::uint64_t token);
-  void release_token(std::uint64_t token);
+  // Token slot pool, sharded per home: wire token = slot + 1 (0 means
+  // "final ack, no forward state"). Forward state lives at the run's home
+  // and is allocated, read and released only from the home's handlers — its
+  // lane — so concurrently-draining lanes never share a pool (the windowed
+  // engine's workers would race on a global freelist). Slots recycle LIFO;
+  // each pool only grows to the peak number of concurrently in-flight
+  // forwarded runs homed there.
+  std::uint64_t alloc_token(int home, ForwardState init);
+  ForwardState& forward_state(int home, std::uint64_t token);
+  void release_token(int home, std::uint64_t token);
 
   // Forwards a run of blocks installed at the home to all readers; returns
   // the number of reader messages sent (0 if no readers).
@@ -93,9 +106,12 @@ class WriteUpdateProtocol : public Protocol {
   // dirty_[node].at(block) — non-home blocks written locally since startup.
   std::vector<util::BlockTable<std::uint8_t>> dirty_;
   std::vector<int> outstanding_;  // publish acks awaited per node
-  std::vector<ForwardState> fwd_pool_;
-  std::uint32_t fwd_free_ = kNoSlot;
-  Stats stats_;
+  struct TokenPool {
+    std::vector<ForwardState> pool;
+    std::uint32_t free_head = kNoSlot;
+  };
+  std::vector<TokenPool> fwd_;  // [home]
+  std::vector<Stats> stats_;  // [node]
 };
 
 }  // namespace presto::proto

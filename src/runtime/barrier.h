@@ -6,6 +6,15 @@
 // (+ payload combine cost for reductions), which naturally exposes load
 // imbalance as synchronization time (the effect the paper highlights for
 // Adaptive in §5.1).
+//
+// Windowed engines (sim/engine.h): arrivals from concurrently-draining lanes
+// may not fold into shared accumulators, so each node records its arrival
+// time and reduction contribution in a private per-node slot and parks; the
+// window-boundary scan (BoundaryOp::kBarrier) detects a complete epoch,
+// folds the contributions in node order — a fixed floating-point combine
+// order, independent of arrival order and of how lanes were partitioned over
+// workers — publishes the result, advances the epoch and wakes every node at
+// the release time.
 #pragma once
 
 #include <cstdint>
@@ -39,9 +48,24 @@ class BarrierManager {
   void set_trace_hooks(trace::Hooks* h) { trace_ = h; }
 
  private:
+  // Deferred arrival of one node (windowed mode): written only by the
+  // owning node's lane during a window, read and reset only by the boundary
+  // scan — the pool's window barrier orders the two.
+  struct Slot {
+    enum class Op : std::uint8_t { kNone, kSum, kMax, kVec };
+    bool arrived = false;
+    Op op = Op::kNone;
+    sim::Time arrive = 0;
+    std::size_t bytes = 0;
+    double scalar = 0.0;
+    std::vector<double> vec;
+  };
+
   // Generic collective: contribute, wait for the epoch to advance. `bytes`
   // models combine payload through the control network.
   void arrive_and_wait(int node, std::size_t bytes);
+  // Window-boundary scan: completes the epoch once every slot has arrived.
+  void boundary_scan();
 
   sim::Engine& engine_;
   stats::Recorder& rec_;
@@ -49,6 +73,9 @@ class BarrierManager {
   const sim::Time latency_;
   const sim::Time per_byte_;
   trace::Hooks* trace_ = nullptr;
+
+  const bool deferred_;       // windowed engine: per-slot arrivals
+  std::vector<Slot> slots_;   // [node]; deferred mode only
 
   std::uint64_t epoch_ = 0;
   int arrived_ = 0;

@@ -36,6 +36,18 @@ struct MachineConfig {
   // Host-side processor implementation (fibers vs OS threads); simulated
   // results are bit-identical across backends, only host speed differs.
   sim::Backend backend = sim::default_backend();
+  // Conservative-window engine (sim/engine.h): 0 keeps the classic
+  // single-lane engine (every legacy golden number unchanged). Any positive
+  // width — clamped to the network's minimum latency — switches to the
+  // windowed canon, whose results are bit-identical across backends and
+  // worker counts but deliberately distinct from the legacy canon (node-order
+  // reductions, window-granular interleaving). Backend kParallel implies
+  // windowed and derives the width from the network when this is 0.
+  sim::Time window = 0;
+  // Worker threads draining lanes under backend kParallel. 0 = the
+  // PRESTO_WORKERS environment variable, falling back to
+  // min(nodes, hardware_concurrency); ignored by other backends.
+  int workers = 0;
   // Event tracing (trace/tracer.h); disabled by default. Observation is
   // pure, so simulated results are bit-identical with tracing on or off.
   trace::TraceConfig trace;

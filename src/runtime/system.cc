@@ -3,6 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "trace/file.h"
 #include "util/check.h"
@@ -19,11 +21,49 @@ const char* protocol_kind_name(ProtocolKind k) {
   return "?";
 }
 
+namespace {
+
+// Worker count for Backend::kParallel when the config leaves it at 0:
+// PRESTO_WORKERS, else min(nodes, hardware_concurrency).
+int default_workers(int nodes) {
+  if (const char* env = std::getenv("PRESTO_WORKERS")) {
+    char* end = nullptr;
+    const long w = std::strtol(env, &end, 10);
+    PRESTO_CHECK(env[0] != '\0' && end != nullptr && *end == '\0' && w >= 1,
+                 "PRESTO_WORKERS: expected a positive integer, got '" << env
+                                                                     << "'");
+    return static_cast<int>(w);
+  }
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) hw = 1;
+  return hw < nodes ? hw : nodes;
+}
+
+}  // namespace
+
 System::System(const MachineConfig& cfg, ProtocolKind kind)
     : cfg_(cfg), kind_(kind), rec_(cfg.nodes), engine_(cfg.backend) {
   engine_.set_quantum_floor(cfg.quantum_floor);
+  if (cfg.backend == sim::Backend::kParallel || cfg.window > 0) {
+    // Windowed (conservative-lookahead) execution. The width may not exceed
+    // the network's minimum cross-node latency, or staged boundary flushes
+    // could land in a destination lane's past.
+    sim::Time w = cfg.window > 0 ? cfg.window : cfg.net.wire_latency;
+    if (w > cfg.net.wire_latency) w = cfg.net.wire_latency;
+    if (w < 1) w = 1;
+    cfg_.window = w;
+    cfg_.workers = cfg.backend == sim::Backend::kParallel
+                       ? (cfg.workers > 0 ? cfg.workers
+                                          : default_workers(cfg.nodes))
+                       : 1;
+    engine_.enable_windows(w, cfg.nodes, cfg_.workers);
+  }
   net_ = std::make_unique<net::Network>(engine_, cfg.nodes, cfg.net);
   space_ = std::make_unique<mem::GlobalSpace>(cfg.nodes, cfg.mem);
+  if (engine_.windowed())
+    space_->set_grow_gate([this](std::function<void()> fn) {
+      engine_.boundary_gate(std::move(fn));
+    });
   switch (kind) {
     case ProtocolKind::kStache:
       protocol_ = std::make_unique<proto::StacheProtocol>(
@@ -58,6 +98,12 @@ check::Oracle& System::enable_oracle(check::FailMode fail) {
   space_->set_access_observer(oracle_.get());
   protocol_->set_coherence_observer(oracle_.get());
   net_->set_observer(oracle_.get());
+  // Windowed engine: replay the oracle's per-lane buffers at every window
+  // boundary. Captures the System (not the oracle) so a replacement oracle
+  // inherits the slot without re-registration.
+  if (engine_.windowed())
+    engine_.set_boundary_op(sim::BoundaryOp::kOracle,
+                            [this] { oracle_->replay_window(); });
   // Replacing the observers displaced an attached tracer; put a fresh one
   // back on top, forwarding to the new oracle. (Copy the config first: the
   // reference would dangle once enable_trace replaces the tracer.)
@@ -123,6 +169,8 @@ void System::run(const std::function<void(NodeCtx&)>& body) {
   host.handoffs = engine_.handoffs();
   host.direct_resumes = engine_.direct_resumes();
   host.backend = sim::backend_name(engine_.backend());
+  host.windows = engine_.windows_run();
+  host.workers = engine_.windowed() ? engine_.workers() : 1;
   for (int n = 0; n < cfg_.nodes; ++n) {
     host.yields += engine_.processor(n).yield_count();
     host.blocks += engine_.processor(n).block_count();

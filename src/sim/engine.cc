@@ -1,51 +1,100 @@
 #include "sim/engine.h"
 
+#include "sim/parallel.h"
 #include "sim/processor.h"
 #include "util/check.h"
 
 namespace presto::sim {
 
-Engine::Engine(Backend backend)
-    : backend_(backend), fiber_stack_size_(Fiber::default_stack_size()) {}
+thread_local int Engine::tls_lane_ = 0;
+thread_local const Engine* Engine::tls_engine_ = nullptr;
 
-Engine::~Engine() = default;
+Engine::Engine(Backend backend)
+    : backend_(backend), fiber_stack_size_(Fiber::default_stack_size()) {
+  lanes_.push_back(std::make_unique<Lane>());
+  lane0_ = lanes_.front().get();
+}
+
+Engine::~Engine() {
+  // Join every processor thread before destroying any processor or engine
+  // sync member. A finishing thread-backend processor may still be inside
+  // the notify of grant_control() (another processor's condvar) or
+  // lane_sched_signal()/signal_done() (this engine's condvars) after the
+  // woken side has already moved on, so the condvars must outlive all
+  // threads, not just their own processor's.
+  for (auto& p : processors_) p->teardown();
+  processors_.clear();
+}
+
+void Engine::enable_windows(Time window, int lanes, int workers) {
+  PRESTO_CHECK(!windowed_, "enable_windows called twice");
+  PRESTO_CHECK(window >= 1, "window width must be positive, got " << window);
+  PRESTO_CHECK(lanes >= 1, "need at least one lane, got " << lanes);
+  PRESTO_CHECK(processors_.empty() && lane0_->heap.empty() && lane0_->seq == 0,
+               "enable_windows must be called before processors and events");
+  windowed_ = true;
+  window_ = window;
+  lanes_.reserve(static_cast<std::size_t>(lanes));
+  for (int i = 1; i < lanes; ++i) lanes_.push_back(std::make_unique<Lane>());
+  workers_ = 1;
+  if (backend_ == Backend::kParallel) {
+    workers_ = workers < 1 ? 1 : (workers > lanes ? lanes : workers);
+    if (workers_ > 1) pool_ = std::make_unique<WindowPool>(*this, workers_);
+  }
+}
+
+void Engine::set_boundary_op(BoundaryOp slot, std::function<void()> fn) {
+  boundary_ops_[static_cast<int>(slot)] = std::move(fn);
+}
 
 void Engine::check_delay(Time delay) const {
   PRESTO_CHECK(delay >= 0, "negative delay " << delay);
 }
 
-void Engine::push_event(Time t, InlineFn fn) {
+void Engine::push_into(Lane& l, Time t, InlineFn fn) {
   std::uint32_t s;
-  if (!free_.empty()) {
-    s = free_.back();
-    free_.pop_back();
+  if (!l.free.empty()) {
+    s = l.free.back();
+    l.free.pop_back();
   } else {
-    s = static_cast<std::uint32_t>(slabs_.size()) << kSlabShift;
-    slabs_.push_back(std::make_unique<InlineFn[]>(kSlabSize));
-    for (std::uint32_t i = kSlabSize; i > 1; --i) free_.push_back(s + i - 1);
+    s = static_cast<std::uint32_t>(l.slabs.size()) << kSlabShift;
+    l.slabs.push_back(std::make_unique<InlineFn[]>(kSlabSize));
+    for (std::uint32_t i = kSlabSize; i > 1; --i) l.free.push_back(s + i - 1);
   }
-  slot(s) = std::move(fn);
+  slot(l, s) = std::move(fn);
 
   // 4-ary sift-up keyed on (t, seq).
-  HeapEntry e{t, seq_++, s};
-  std::size_t i = heap_.size();
-  heap_.push_back(e);
+  HeapEntry e{t, l.seq++, s};
+  std::size_t i = l.heap.size();
+  l.heap.push_back(e);
   while (i > 0) {
     const std::size_t parent = (i - 1) >> 2;
-    if (!before(e, heap_[parent])) break;
-    heap_[i] = heap_[parent];
+    if (!before(e, l.heap[parent])) break;
+    l.heap[i] = l.heap[parent];
     i = parent;
   }
-  heap_[i] = e;
+  l.heap[i] = e;
 }
 
-std::uint32_t Engine::pop_min() {
-  const std::uint32_t s = heap_[0].slot;
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) {
+void Engine::push_event(Time t, InlineFn fn) {
+  Lane& l = lane(current_lane());
+  if (t < l.now) t = l.now;
+  push_into(l, t, std::move(fn));
+}
+
+void Engine::push_event_on(int lane_id, Time t, InlineFn fn) {
+  Lane& l = lane(lane_id);
+  if (t < l.now) t = l.now;
+  push_into(l, t, std::move(fn));
+}
+
+std::uint32_t Engine::pop_min(Lane& l) {
+  const std::uint32_t s = l.heap[0].slot;
+  const HeapEntry last = l.heap.back();
+  l.heap.pop_back();
+  if (!l.heap.empty()) {
     // 4-ary sift-down of the former last element from the root.
-    const std::size_t n = heap_.size();
+    const std::size_t n = l.heap.size();
     std::size_t i = 0;
     for (;;) {
       const std::size_t first_child = (i << 2) + 1;
@@ -54,41 +103,45 @@ std::uint32_t Engine::pop_min() {
       const std::size_t end =
           first_child + 4 < n ? first_child + 4 : n;
       for (std::size_t c = first_child + 1; c < end; ++c)
-        if (before(heap_[c], heap_[best])) best = c;
-      if (!before(heap_[best], last)) break;
-      heap_[i] = heap_[best];
+        if (before(l.heap[c], l.heap[best])) best = c;
+      if (!before(l.heap[best], last)) break;
+      l.heap[i] = l.heap[best];
       i = best;
     }
-    heap_[i] = last;
+    l.heap[i] = last;
   }
   return s;
 }
 
 Processor& Engine::add_processor() {
   const int id = static_cast<int>(processors_.size());
+  PRESTO_CHECK(!windowed_ || id < num_lanes(),
+               "windowed engine sized for " << num_lanes()
+                                            << " lanes cannot hold processor "
+                                            << id);
   processors_.push_back(std::make_unique<Processor>(*this, id));
   return *processors_.back();
 }
 
-Processor* Engine::step_one() {
-  const Time t = heap_[0].t;
-  const std::uint32_t s = pop_min();
-  PRESTO_CHECK(t >= now_, "event time went backwards");
-  now_ = t;
-  ++events_executed_;
+Processor* Engine::step_one(Lane& l) {
+  const Time t = l.heap[0].t;
+  const std::uint32_t s = pop_min(l);
+  PRESTO_CHECK(t >= l.now, "event time went backwards");
+  l.now = t;
+  ++l.events;
   // Move the closure out and recycle the slot before invoking: the event
   // body may schedule new events (and reuse this very slot).
-  InlineFn fn = std::move(slot(s));
-  free_.push_back(s);
+  InlineFn fn = std::move(slot(l, s));
+  l.free.push_back(s);
   fn();
-  Processor* to = transfer_to_;
-  transfer_to_ = nullptr;
+  Processor* to = l.transfer_to;
+  l.transfer_to = nullptr;
   return to;
 }
 
 void Engine::transfer(Processor* self, Processor* to) {
-  ++handoffs_;
-  if (backend_ == Backend::kFiber) {
+  ++lane0_->handoffs;
+  if (backend_ != Backend::kThread) {
     FiberContext& from = self != nullptr ? self->fiber_->context() : main_ctx_;
     fiber_switch(from, to->fiber_->context());
     // Control came back: either our own resume event popped in some other
@@ -101,8 +154,9 @@ void Engine::transfer(Processor* self, Processor* to) {
 }
 
 bool Engine::drive(Processor* self) {
+  Lane& l = *lane0_;
   for (;;) {
-    if (heap_.empty()) {
+    if (l.heap.empty()) {
       if (self == nullptr) return true;
       // An application context drained the queue while parked in block():
       // either another processor still runs app code elsewhere (it will
@@ -112,10 +166,10 @@ bool Engine::drive(Processor* self) {
       self->park_forever();
       continue;
     }
-    Processor* to = step_one();
+    Processor* to = step_one(l);
     if (to == nullptr) continue;
     if (to == self) {
-      ++direct_resumes_;
+      ++l.direct_resumes;
       return false;  // own resume: continue app code in place
     }
     transfer(self, to);
@@ -124,34 +178,36 @@ bool Engine::drive(Processor* self) {
 }
 
 void Engine::drive_exit() {
+  Lane& l = *lane0_;
   for (;;) {
-    if (heap_.empty()) {
+    if (l.heap.empty()) {
       signal_done();
       return;
     }
-    Processor* to = step_one();
+    Processor* to = step_one(l);
     if (to == nullptr) continue;
-    ++handoffs_;
+    ++l.handoffs;
     to->grant_control();
     return;
   }
 }
 
 FiberContext* Engine::drive_exit_target() {
+  Lane& l = *lane0_;
   for (;;) {
-    if (heap_.empty()) {
+    if (l.heap.empty()) {
       signal_done();
       return &main_ctx_;
     }
-    Processor* to = step_one();
+    Processor* to = step_one(l);
     if (to == nullptr) continue;
-    ++handoffs_;
+    ++l.handoffs;
     return &to->fiber_->context();
   }
 }
 
 void Engine::signal_done() {
-  if (backend_ == Backend::kFiber) {
+  if (backend_ != Backend::kThread) {
     // Single OS thread: run()'s caller observes the flag as soon as control
     // switches back to it; no synchronization needed.
     done_ = true;
@@ -164,16 +220,129 @@ void Engine::signal_done() {
   done_cv_.notify_all();
 }
 
-void Engine::run() {
-  done_ = false;  // no application context is running between runs
-  if (!drive(nullptr)) {
-    if (backend_ == Backend::kFiber) {
-      // The handoff in drive() only returns once a fiber signalled the
-      // drain and switched back to this context.
-      PRESTO_CHECK(done_, "fiber engine resumed run() before drain");
+void Engine::lane_sched_wait() {
+  std::unique_lock<std::mutex> lock(sched_mutex_);
+  sched_cv_.wait(lock, [&] { return sched_token_; });
+  sched_token_ = false;
+}
+
+void Engine::lane_sched_signal() {
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    sched_token_ = true;
+  }
+  sched_cv_.notify_one();
+}
+
+void Engine::drain_lane(int lane_id) {
+  Lane& l = lane(lane_id);
+  const int prev_lane = tls_lane_;
+  const Engine* prev_engine = tls_engine_;
+  tls_lane_ = lane_id;
+  tls_engine_ = this;
+  while (!l.heap.empty() && l.heap[0].t < l.cap) {
+    Processor* to = step_one(l);
+    if (to == nullptr) continue;
+    // Hand control to the resumed processor's context; it runs app code on
+    // this worker until it parks back into the lane's drain loop.
+    ++l.handoffs;
+    if (backend_ == Backend::kThread) {
+      to->grant_control();
+      lane_sched_wait();
     } else {
-      std::unique_lock<std::mutex> lock(done_mutex_);
-      done_cv_.wait(lock, [&] { return done_; });
+      fiber_switch(l.sched_ctx, to->fiber_->context());
+    }
+  }
+  tls_lane_ = prev_lane;
+  tls_engine_ = prev_engine;
+}
+
+void Engine::boundary_gate(std::function<void()> fn) {
+  if (!in_lane_context()) {
+    fn();
+    return;
+  }
+  // A windowed lane may not touch cross-lane state mid-drain: queue the
+  // operation for the next boundary and block the requesting processor (lane
+  // == node id in windowed mode) until it has run. The wake carries the
+  // lane's current time, so the wait costs no simulated time beyond the
+  // window granularity already inherent to the gate.
+  Lane& l = lane(tls_lane_);
+  PRESTO_CHECK(!l.gate_pending,
+               "nested boundary gates on lane " << tls_lane_);
+  l.gate = std::move(fn);
+  l.gate_pending = true;
+  Processor& p = processor(tls_lane_);
+  while (l.gate_pending) p.block();
+}
+
+void Engine::run_boundary() {
+  for (int i = 0; i < kNumBoundaryOps; ++i) {
+    if (i == static_cast<int>(BoundaryOp::kSpace)) {
+      // Service deferred gates in lane order before the registered op.
+      for (int li = 0; li < num_lanes(); ++li) {
+        Lane& l = lane(li);
+        if (!l.gate_pending) continue;
+        l.gate();
+        l.gate = nullptr;
+        l.gate_pending = false;
+        if (li < num_processors()) processor(li).wake(l.now);
+      }
+    }
+    if (boundary_ops_[i]) boundary_ops_[i]();
+  }
+}
+
+void Engine::run_windowed() {
+  bool final_boundary = false;
+  for (;;) {
+    Time watermark = kTimeNever;
+    for (const auto& lp : lanes_)
+      if (!lp->heap.empty() && lp->heap[0].t < watermark)
+        watermark = lp->heap[0].t;
+    if (watermark == kTimeNever) {
+      // Every heap is empty, but staged cross-lane work (a held-back
+      // mailbox, an unserviced gate) may still exist outside the queues. One
+      // extra boundary pass either schedules it — and the loop continues —
+      // or proves quiescence.
+      if (final_boundary) break;
+      run_boundary();
+      final_boundary = true;
+      continue;
+    }
+    final_boundary = false;
+    global_now_ = watermark;
+    // Events strictly below the cap execute this window. Staged cross-lane
+    // deliveries depart at t < cap and arrive at t + latency >= cap (the
+    // window never exceeds the minimum latency), so a flush can never land
+    // in a lane's past.
+    const Time cap = watermark <= kTimeNever - window_ ? watermark + window_
+                                                       : kTimeNever;
+    for (const auto& lp : lanes_) lp->cap = cap;
+    ++windows_run_;
+    if (pool_ != nullptr) {
+      pool_->run_window();
+    } else {
+      for (int li = 0; li < num_lanes(); ++li) drain_lane(li);
+    }
+    run_boundary();
+  }
+}
+
+void Engine::run() {
+  if (windowed_) {
+    run_windowed();
+  } else {
+    done_ = false;  // no application context is running between runs
+    if (!drive(nullptr)) {
+      if (backend_ != Backend::kThread) {
+        // The handoff in drive() only returns once a fiber signalled the
+        // drain and switched back to this context.
+        PRESTO_CHECK(done_, "fiber engine resumed run() before drain");
+      } else {
+        std::unique_lock<std::mutex> lock(done_mutex_);
+        done_cv_.wait(lock, [&] { return done_; });
+      }
     }
   }
   for (const auto& p : processors_) {
@@ -184,6 +353,24 @@ void Engine::run() {
                  "processor " << p->id()
                               << " neither finished nor blocked after drain");
   }
+}
+
+std::uint64_t Engine::events_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& lp : lanes_) n += lp->events;
+  return n;
+}
+
+std::uint64_t Engine::handoffs() const {
+  std::uint64_t n = 0;
+  for (const auto& lp : lanes_) n += lp->handoffs;
+  return n;
+}
+
+std::uint64_t Engine::direct_resumes() const {
+  std::uint64_t n = 0;
+  for (const auto& lp : lanes_) n += lp->direct_resumes;
+  return n;
 }
 
 }  // namespace presto::sim

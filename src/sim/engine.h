@@ -18,10 +18,30 @@
 // allocation; see sim/inline_fn.h), and ordering is a 4-ary implicit heap
 // whose entries carry the (time, seq) key inline so sift operations never
 // dereference the slab.
+//
+// ---- Windowed (lane) mode -------------------------------------------------
+//
+// enable_windows() switches the engine to a conservative-window organization:
+// every simulated node owns a private event *lane* (its own heap, slab,
+// sequence counter and clock), and run() proceeds in global windows. Each
+// window computes the low watermark (the minimum pending event time across
+// lanes), sets every lane's cap to watermark + W where W is the window width
+// (at most the network's minimum cross-node latency, see
+// net::Network::min_latency), drains every lane independently up to its cap,
+// and then runs the registered *boundary operations* in a fixed slot order —
+// network mailbox flush, space growth gates, barrier scan, oracle replay,
+// trace sequence stamping. Because lanes share no mutable state during a
+// drain (all cross-node effects are staged and applied at the boundary), the
+// lanes may be drained in any order — or concurrently by a worker pool
+// (Backend::kParallel, sim/parallel.h) — and the result is bit-identical to
+// draining them serially in lane order. Windowed mode is opt-in: with
+// window 0 (the default) the engine is a single lane and behaves exactly as
+// before, preserving every legacy golden number.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -37,6 +57,20 @@ class Hooks;
 namespace presto::sim {
 
 class Processor;
+class WindowPool;
+
+// Fixed boundary-operation slots, run in enum order at every window
+// boundary (serial, on run()'s caller). Re-registering a slot overwrites it,
+// so a subsystem replaced mid-setup (e.g. a tracer re-attached by
+// enable_oracle) simply installs its new callback over the old one.
+enum class BoundaryOp {
+  kNet = 0,   // flush staged cross-node messages, in source order
+  kSpace,     // service deferred allocation/growth gates, in lane order
+  kBarrier,   // scan deferred barrier arrivals, fold reductions, release
+  kOracle,    // replay buffered shadow-image checks in canonical order
+  kTrace,     // assign trace sequence numbers to this window's events
+};
+inline constexpr int kNumBoundaryOps = 5;
 
 class Engine {
  public:
@@ -49,25 +83,103 @@ class Engine {
   Backend backend() const { return backend_; }
 
   // Schedules fn to run in engine context at absolute time t (clamped to the
-  // current time if in the past). Events at equal times run in schedule order.
+  // current time if in the past). Events at equal times run in schedule
+  // order. In windowed mode the event lands on the calling context's lane.
   template <typename F>
   void schedule_at(Time t, F&& fn) {
-    if (t < now_) t = now_;
     push_event(t, InlineFn(std::forward<F>(fn)));
   }
   template <typename F>
   void schedule_in(Time delay, F&& fn) {
     check_delay(delay);
-    push_event(now_ + delay, InlineFn(std::forward<F>(fn)));
+    push_event(now() + delay, InlineFn(std::forward<F>(fn)));
+  }
+  // Windowed mode: schedules onto an explicit lane (cross-lane effects at a
+  // window boundary, processor wakes). Equivalent to schedule_at on lane 0
+  // when windows are off.
+  template <typename F>
+  void schedule_on(int lane, Time t, F&& fn) {
+    push_event_on(lane, t, InlineFn(std::forward<F>(fn)));
   }
 
-  // Time of the event currently executing (or the last one executed).
-  Time now() const { return now_; }
+  // Time of the event currently executing (or the last one executed) on the
+  // calling context's lane. Outside any lane in windowed mode this is the
+  // current window's watermark.
+  Time now() const {
+    if (!windowed_) return lane0_->now;
+    return tls_engine_ == this ? lanes_[static_cast<std::size_t>(tls_lane_)]->now
+                               : global_now_;
+  }
 
   // Earliest pending event time, or kTimeNever when the queue is empty.
   // Running processors yield when their local clock passes this horizon so
-  // that cross-processor effects interleave at event granularity.
-  Time horizon() const { return heap_.empty() ? kTimeNever : heap_[0].t; }
+  // that cross-processor effects interleave at event granularity. Windowed
+  // mode: the calling lane's head (lane-local by construction).
+  Time horizon() const {
+    const Lane& l =
+        windowed_ && tls_engine_ == this
+            ? *lanes_[static_cast<std::size_t>(tls_lane_)]
+            : *lane0_;
+    return l.heap.empty() ? kTimeNever : l.heap[0].t;
+  }
+
+  // Horizon variant for processor yields: the lane head only if it will
+  // still execute in the current window. An event beyond the cap cannot run
+  // until the next window, so a computing processor need not yield for it.
+  Time yield_horizon() const {
+    const Lane& l =
+        windowed_ && tls_engine_ == this
+            ? *lanes_[static_cast<std::size_t>(tls_lane_)]
+            : *lane0_;
+    if (l.heap.empty()) return kTimeNever;
+    const Time h = l.heap[0].t;
+    return h < l.cap ? h : kTimeNever;
+  }
+
+  // ---- Windowed mode --------------------------------------------------------
+
+  // Switches to windowed (lane-per-node) execution: `lanes` event lanes,
+  // window width `window` (>= 1; must not exceed the network's minimum
+  // cross-node latency or staged deliveries could land in a lane's past).
+  // With backend kParallel, `workers` persistent worker threads drain the
+  // lanes concurrently (clamped to [1, lanes]); other backends drain
+  // serially and ignore `workers`. Must be called before any processor or
+  // event exists.
+  void enable_windows(Time window, int lanes, int workers);
+  bool windowed() const { return windowed_; }
+  Time window() const { return window_; }
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  int workers() const { return workers_; }
+
+  // Registers (or overwrites) a boundary operation; null clears the slot.
+  void set_boundary_op(BoundaryOp slot, std::function<void()> fn);
+
+  // Runs fn with exclusive access to cross-lane state: immediately when
+  // windows are off or the caller is not inside a lane drain; otherwise the
+  // calling processor blocks and fn runs at the next window boundary (slot
+  // kSpace, lane order), after which the processor is woken at its lane's
+  // current time. fn must not touch lane-private state of other lanes.
+  void boundary_gate(std::function<void()> fn);
+
+  // True when the calling context is executing inside one of this engine's
+  // lane drains (windowed mode only).
+  bool in_lane_context() const { return windowed_ && tls_engine_ == this; }
+
+  // Lane the calling context is draining (0 when not in a lane).
+  int current_lane() const { return in_lane_context() ? tls_lane_ : 0; }
+
+  // Per-lane clock: time of the last event executed on that lane.
+  Time lane_now(int lane) const {
+    return lanes_[static_cast<std::size_t>(lane)]->now;
+  }
+
+  // Drains one lane up to its cap, running resumed processors to their next
+  // park. Called serially by run() or concurrently by a WindowPool; lanes
+  // share no mutable state during a drain, so either produces the identical
+  // result.
+  void drain_lane(int lane);
+
+  // ---------------------------------------------------------------------------
 
   // Creates a processor; valid until the engine is destroyed.
   Processor& add_processor();
@@ -79,14 +191,17 @@ class Engine {
   void run();
 
   // Statistics (host-side observability; never part of simulated results).
-  std::uint64_t events_executed() const { return events_executed_; }
+  std::uint64_t events_executed() const;
   // Cross-context control transfers: run token handed to a different
   // processor (a stack switch on the fiber backend, a futex wake + park on
   // the thread backend).
-  std::uint64_t handoffs() const { return handoffs_; }
+  std::uint64_t handoffs() const;
   // Resume events that popped while their own processor was driving — the
-  // fast path costing zero context switches on either backend.
-  std::uint64_t direct_resumes() const { return direct_resumes_; }
+  // fast path costing zero context switches on either backend. Always zero
+  // in windowed mode (the drain loop is the only driver).
+  std::uint64_t direct_resumes() const;
+  // Windows executed (windowed mode only).
+  std::uint64_t windows_run() const { return windows_run_; }
 
   // Minimum compute time a processor may accumulate before yielding at the
   // horizon; 0 means exact event-granularity interleaving. Larger quanta
@@ -109,9 +224,10 @@ class Engine {
 
  private:
   friend class Processor;
+  friend class WindowPool;
 
   // Heap entries carry the ordering key so sifts are slab-free; the closure
-  // itself sits in a slab slot recycled through free_.
+  // itself sits in a slab slot recycled through the lane's freelist.
   struct HeapEntry {
     Time t;
     std::uint64_t seq;
@@ -124,22 +240,50 @@ class Engine {
   static constexpr std::uint32_t kSlabShift = 8;  // 256 slots per slab chunk
   static constexpr std::uint32_t kSlabSize = 1u << kSlabShift;
 
-  InlineFn& slot(std::uint32_t i) {
-    return slabs_[i >> kSlabShift][i & (kSlabSize - 1)];
+  // One event lane: a private queue + clock. Legacy mode is exactly one
+  // lane; windowed mode has one per simulated node. Heap-allocated (vector
+  // of unique_ptr) so lane addresses are stable and lanes drained by
+  // different workers do not share cache lines.
+  struct Lane {
+    std::vector<HeapEntry> heap;
+    std::vector<std::unique_ptr<InlineFn[]>> slabs;
+    std::vector<std::uint32_t> free;
+    Processor* transfer_to = nullptr;  // set by a resume event mid-drain
+    Time now = 0;
+    Time cap = kTimeNever;  // exclusive drain horizon for the current window
+    std::uint64_t seq = 0;
+    std::uint64_t events = 0;
+    std::uint64_t handoffs = 0;
+    std::uint64_t direct_resumes = 0;
+    // Windowed: the drain loop's saved context while a fiber runs app code.
+    FiberContext sched_ctx;
+    // Windowed: a deferred cross-lane operation (boundary_gate).
+    std::function<void()> gate;
+    bool gate_pending = false;
+  };
+
+  InlineFn& slot(Lane& l, std::uint32_t i) {
+    return l.slabs[i >> kSlabShift][i & (kSlabSize - 1)];
   }
 
-  void check_delay(Time delay) const;
-  void push_event(Time t, InlineFn fn);
-  std::uint32_t pop_min();  // removes the root, returns its slot index
+  Lane& lane(int i) { return *lanes_[static_cast<std::size_t>(i)]; }
 
-  // Executes the next event; returns the processor it resumed, or nullptr.
-  Processor* step_one();
-  // Event loop, called by the context holding the run token. With self set
-  // (an application context that yielded or blocked), returns once control
-  // is back with self's app code — either its own resume event popped, or
-  // the token went to another context and came back. With self null (run()'s
-  // caller), returns after draining the queue or handing the token to an
-  // application context; returns true iff this call drained the queue.
+  void check_delay(Time delay) const;
+  void push_event(Time t, InlineFn fn);             // calling context's lane
+  void push_event_on(int lane, Time t, InlineFn fn);
+  void push_into(Lane& l, Time t, InlineFn fn);
+  std::uint32_t pop_min(Lane& l);  // removes the root, returns its slot index
+
+  // Executes the lane's next event; returns the processor it resumed, or
+  // nullptr.
+  Processor* step_one(Lane& l);
+  // Legacy event loop, called by the context holding the run token. With
+  // self set (an application context that yielded or blocked), returns once
+  // control is back with self's app code — either its own resume event
+  // popped, or the token went to another context and came back. With self
+  // null (run()'s caller), returns after draining the queue or handing the
+  // token to an application context; returns true iff this call drained the
+  // queue.
   bool drive(Processor* self);
   // Hands the run token from `self` (null = run()'s caller) to `to`. Fiber
   // backend: a direct stack switch that returns when control comes back.
@@ -156,30 +300,52 @@ class Engine {
   FiberContext* drive_exit_target();
   void signal_done();
 
+  // Windowed run loop: watermark, caps, drain (serial or pooled), boundary.
+  void run_windowed();
+  void run_boundary();
+  // Windowed, thread backend: the drain loop parks here while a processor
+  // thread runs app code; the processor hands control back via
+  // lane_sched_signal.
+  void lane_sched_wait();
+  void lane_sched_signal();
+
   const Backend backend_;
-  std::vector<HeapEntry> heap_;
-  std::vector<std::unique_ptr<InlineFn[]>> slabs_;
-  std::vector<std::uint32_t> free_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  Lane* lane0_;  // lanes_[0], cached for the legacy hot path
+
+  bool windowed_ = false;
+  Time window_ = 0;
+  int workers_ = 1;
+  Time global_now_ = 0;  // watermark of the current window
+  std::uint64_t windows_run_ = 0;
+  std::function<void()> boundary_ops_[kNumBoundaryOps];
+  std::unique_ptr<WindowPool> pool_;
+
+  // Calling context's lane, valid while tls_engine_ == the engine draining
+  // on this thread. Lane drains never nest across engines on one thread.
+  static thread_local int tls_lane_;
+  static thread_local const Engine* tls_engine_;
 
   std::vector<std::unique_ptr<Processor>> processors_;
-  Processor* transfer_to_ = nullptr;  // set by a resume event mid-drive
-  Time now_ = 0;
-  std::uint64_t seq_ = 0;
-  std::uint64_t events_executed_ = 0;
-  std::uint64_t handoffs_ = 0;
-  std::uint64_t direct_resumes_ = 0;
   Time quantum_floor_ = 0;
   std::size_t fiber_stack_size_;
   trace::Hooks* trace_hooks_ = nullptr;
 
   // Fiber backend: the saved context of run()'s caller while application
-  // fibers drive the event loop.
+  // fibers drive the event loop (legacy mode only).
   FiberContext main_ctx_;
 
-  // Thread backend: run() parks here while application threads drive.
+  // Thread backend: run() parks here while application threads drive
+  // (legacy), and the windowed drain loop parks here while a processor
+  // thread runs app code.
   std::mutex done_mutex_;
   std::condition_variable done_cv_;
   bool done_ = false;
+  std::mutex sched_mutex_;
+  std::condition_variable sched_cv_;
+  bool sched_token_ = false;
+
+  friend class EngineTestPeer;
 };
 
 }  // namespace presto::sim

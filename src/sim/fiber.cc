@@ -24,6 +24,21 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+#if defined(__SANITIZE_THREAD__)
+#define PRESTO_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PRESTO_TSAN 1
+#endif
+#endif
+#ifndef PRESTO_TSAN
+#define PRESTO_TSAN 0
+#endif
+
+#if PRESTO_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
 #if PRESTO_FIBER_ASM
 extern "C" {
 // sim/fiber_swap.S
@@ -94,8 +109,10 @@ Backend default_backend() {
     if (v != nullptr && v[0] != '\0') {
       if (std::strcmp(v, "fiber") == 0) return Backend::kFiber;
       if (std::strcmp(v, "thread") == 0) return Backend::kThread;
-      PRESTO_FAIL("PRESTO_BACKEND must be 'fiber' or 'thread', got '" << v
-                                                                      << "'");
+      if (std::strcmp(v, "parallel") == 0) return Backend::kParallel;
+      PRESTO_FAIL("PRESTO_BACKEND must be 'fiber', 'thread' or 'parallel', "
+                  "got '"
+                  << v << "'");
     }
 #if defined(PRESTO_FIBERS_DEFAULT_THREAD)
     return Backend::kThread;
@@ -107,7 +124,12 @@ Backend default_backend() {
 }
 
 const char* backend_name(Backend b) {
-  return b == Backend::kFiber ? "fiber" : "thread";
+  switch (b) {
+    case Backend::kFiber: return "fiber";
+    case Backend::kThread: return "thread";
+    case Backend::kParallel: return "parallel";
+  }
+  return "unknown";
 }
 
 std::size_t Fiber::default_stack_size() {
@@ -140,8 +162,20 @@ std::size_t Fiber::default_stack_size() {
   return size;
 }
 
+Fiber::~Fiber() {
+#if PRESTO_TSAN
+  // Never the running fiber here: a live fiber is killed (and terminally
+  // switched out of) before its Fiber is destroyed.
+  if (ctx_.tsan != nullptr) __tsan_destroy_fiber(ctx_.tsan);
+#endif
+  if (map_ != nullptr) munmap(map_, map_size_);
+}
+
 Fiber::Fiber(Entry entry, void* arg, std::size_t stack_size)
     : entry_(entry), arg_(arg) {
+#if PRESTO_TSAN
+  ctx_.tsan = __tsan_create_fiber(0);
+#endif
   usable_size_ = round_up_pages(stack_size);
   map_size_ = usable_size_ + page_size();  // + low guard page
   map_ = mmap(nullptr, map_size_, PROT_READ | PROT_WRITE,
@@ -155,10 +189,6 @@ Fiber::Fiber(Entry entry, void* arg, std::size_t stack_size)
   ctx_.stack_bottom = stack_lo_;
   ctx_.stack_size = usable_size_;
   seed_context();
-}
-
-Fiber::~Fiber() {
-  if (map_ != nullptr) munmap(map_, map_size_);
 }
 
 bool Fiber::canary_intact() const {
@@ -226,6 +256,12 @@ void fiber_switch(FiberContext& from, FiberContext& to) {
   __sanitizer_start_switch_fiber(&from.asan_fake_stack, to.stack_bottom,
                                  to.stack_size);
 #endif
+#if PRESTO_TSAN
+  // Host-thread contexts (engine driver, lane drain loops, teardown killers)
+  // get their TSan fiber handle the first time they switch away.
+  if (from.tsan == nullptr) from.tsan = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(to.tsan, 0);
+#endif
   tls_incoming = &from;
   raw_swap(from, to);
   finish_incoming_switch(from);
@@ -236,6 +272,10 @@ void fiber_exit_to(FiberContext& dying, FiberContext& to) {
   // Null fake-stack handle: the outgoing stack is gone for good; ASan frees
   // its bookkeeping instead of expecting a later return.
   __sanitizer_start_switch_fiber(nullptr, to.stack_bottom, to.stack_size);
+#endif
+#if PRESTO_TSAN
+  if (dying.tsan == nullptr) dying.tsan = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(to.tsan, 0);
 #endif
   tls_incoming = &dying;
   raw_swap(dying, to);

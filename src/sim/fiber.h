@@ -38,18 +38,23 @@
 
 namespace presto::sim {
 
-// Which processor implementation an Engine uses. Both produce bit-identical
-// simulated results (tests/backend_equivalence_test.cc); fibers are the
-// default because handoffs are ~two orders of magnitude cheaper.
+// Which processor implementation an Engine uses. All produce bit-identical
+// simulated results for a given engine mode (tests/backend_equivalence_test.cc,
+// tests/parallel_equivalence_test.cc); fibers are the default because
+// handoffs are ~two orders of magnitude cheaper than thread wakes.
 enum class Backend {
-  kFiber,   // user-level stack switches, one OS thread per Engine
-  kThread,  // one OS thread per processor, mutex/condvar run token
+  kFiber,     // user-level stack switches, one OS thread per Engine
+  kThread,    // one OS thread per processor, mutex/condvar run token
+  kParallel,  // fibers sharded over a worker pool, windowed engine required
 };
 
 // Build-default backend (PRESTO_FIBERS CMake option), overridable at runtime
-// with PRESTO_BACKEND=fiber|thread.
+// with PRESTO_BACKEND=fiber|thread|parallel.
 Backend default_backend();
 const char* backend_name(Backend b);
+
+// Backends whose processors run on user-level fiber stacks.
+inline bool is_fiber_backend(Backend b) { return b != Backend::kThread; }
 
 // A suspendable execution context: the saved stack pointer of a fiber or of
 // a regular OS-thread stack (the engine driver, or a destructor performing a
@@ -67,6 +72,10 @@ struct FiberContext {
   void* asan_fake_stack = nullptr;
   const void* stack_bottom = nullptr;
   std::size_t stack_size = 0;
+  // TSan fiber handle: created with the Fiber for fiber stacks, captured
+  // lazily (__tsan_get_current_fiber) the first time a host-thread context
+  // switches away. Unused outside TSan builds.
+  void* tsan = nullptr;
 };
 
 class Fiber {

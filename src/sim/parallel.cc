@@ -1,0 +1,55 @@
+#include "sim/parallel.h"
+
+#include "sim/engine.h"
+#include "util/check.h"
+
+namespace presto::sim {
+
+WindowPool::WindowPool(Engine& engine, int workers)
+    : engine_(engine), workers_(workers) {
+  PRESTO_CHECK(workers_ >= 2, "WindowPool needs >= 2 workers, got " << workers_);
+  threads_.reserve(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w)
+    threads_.emplace_back(&WindowPool::worker_main, this, w);
+}
+
+WindowPool::~WindowPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WindowPool::run_window() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    arrived_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return arrived_ == workers_; });
+}
+
+void WindowPool::worker_main(int w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return generation_ != seen; });
+      seen = generation_;
+      if (stop_) return;
+    }
+    for (int lane = w; lane < engine_.num_lanes(); lane += workers_)
+      engine_.drain_lane(lane);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++arrived_ == workers_) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace presto::sim

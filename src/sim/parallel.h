@@ -1,0 +1,66 @@
+// Persistent worker pool driving a windowed Engine's lane drains in
+// parallel (Backend::kParallel).
+//
+// Each window, run_window() releases every worker once; worker w drains the
+// lanes congruent to w modulo the worker count, in increasing lane order,
+// and the call returns when all workers have arrived at the low-watermark
+// barrier. Lane ownership is static for the whole run — a simulated node's
+// fiber always executes on the same OS thread — which keeps sanitizer fiber
+// bookkeeping simple and avoids migrating warm stacks between cores. Static
+// interleaved pinning (rather than work stealing) is the right shape here:
+// lanes are near-uniform in cost for SPMD workloads, and a stolen lane would
+// move its fiber set to a different thread mid-run for little gain.
+//
+// Determinism: lanes share no mutable state during a drain (every cross-lane
+// effect is staged and applied at the window boundary, on the caller of
+// run_window()), so the partitioning of lanes over workers — and the worker
+// count itself — cannot influence any simulated result. The pool's
+// generation/arrival barrier uses a mutex + condvars, giving the
+// happens-before edges that make the handoff of lane state between the main
+// thread (cap assignment, boundary flushes) and the workers (drains) sound
+// under ThreadSanitizer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace presto::sim {
+
+class Engine;
+
+class WindowPool {
+ public:
+  // Spawns `workers` (>= 2) persistent threads; they idle until run_window.
+  WindowPool(Engine& engine, int workers);
+  ~WindowPool();
+
+  WindowPool(const WindowPool&) = delete;
+  WindowPool& operator=(const WindowPool&) = delete;
+
+  // Drains every lane of the engine up to its cap, using all workers.
+  // Called once per window from the engine's run loop; returns after the
+  // last worker arrives.
+  void run_window();
+
+  int workers() const { return workers_; }
+
+ private:
+  void worker_main(int w);
+
+  Engine& engine_;
+  const int workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  // bumped once per window (and at stop)
+  int arrived_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace presto::sim

@@ -6,7 +6,8 @@
 
 namespace presto::sim {
 
-Processor::Processor(Engine& engine, int id) : engine_(engine), id_(id) {}
+Processor::Processor(Engine& engine, int id)
+    : engine_(engine), id_(id), lane_(engine.windowed() ? id : 0) {}
 
 Processor::~Processor() { teardown(); }
 
@@ -42,13 +43,13 @@ void Processor::start(std::function<void()> body, Time start_time) {
   started_ = true;
   clock_ = start_time;
   body_ = std::move(body);
-  if (engine_.backend() == Backend::kFiber) {
+  if (is_fiber_backend(engine_.backend())) {
     fiber_ = std::make_unique<Fiber>(&Processor::fiber_entry, this,
                                      engine_.fiber_stack_size());
   } else {
     thread_ = std::thread(&Processor::thread_main, this);
   }
-  engine_.schedule_at(start_time, [this] { mark_resume(); });
+  engine_.schedule_on(lane_, start_time, [this] { mark_resume(); });
 }
 
 bool Processor::run_body() {
@@ -68,6 +69,18 @@ bool Processor::run_body() {
 }
 
 void Processor::thread_main() {
+  if (engine_.windowed()) {
+    // App code on this thread must resolve engine calls (now, horizon,
+    // schedule_at) against its own lane.
+    Engine::tls_lane_ = lane_;
+    Engine::tls_engine_ = &engine_;
+    const bool killed = run_body();
+    // The drain loop granted us the token; hand it back so it can keep
+    // draining (unless we are being torn down, in which case it is not
+    // waiting).
+    if (!killed) engine_.lane_sched_signal();
+    return;
+  }
   // The body ran to completion while this thread held the run token: keep
   // driving the event loop until control passes elsewhere, then exit.
   if (!run_body()) engine_.drive_exit();
@@ -76,6 +89,12 @@ void Processor::thread_main() {
 FiberContext* Processor::fiber_entry(void* self_void) {
   auto* self = static_cast<Processor*>(self_void);
   if (self->run_body()) return self->kill_exit_;
+  if (self->engine_.windowed()) {
+    // Return control to the lane's drain loop; remaining lane events run on
+    // its stack. A stale resume for this processor is a no-op (mark_resume
+    // checks finished_).
+    return &self->engine_.lane(self->lane_).sched_ctx;
+  }
   // Keep driving the event loop on this (now dead-to-the-simulation) stack
   // until control must pass elsewhere; that handoff is the fiber's last act.
   return self->engine_.drive_exit_target();
@@ -83,8 +102,8 @@ FiberContext* Processor::fiber_entry(void* self_void) {
 
 void Processor::mark_resume() {
   if (finished_) return;
-  resume_time_ = engine_.now();
-  engine_.transfer_to_ = this;
+  resume_time_ = engine_.lane_now(lane_);
+  engine_.lane(lane_).transfer_to = this;
 }
 
 void Processor::grant_control() {
@@ -96,7 +115,7 @@ void Processor::grant_control() {
 }
 
 void Processor::park() {
-  if (engine_.backend() == Backend::kFiber) {
+  if (is_fiber_backend(engine_.backend())) {
     // A fiber only executes after control was switched to it, so the grant
     // already happened; only a teardown kill needs handling.
     if (kill_) throw Killed{};
@@ -116,8 +135,18 @@ void Processor::fiber_resumed() {
   if (kill_) throw Killed{};
 }
 
+void Processor::park_to_scheduler() {
+  if (engine_.backend() == Backend::kThread) {
+    engine_.lane_sched_signal();
+    park();  // until the drain loop delivers our resume (throws on kill)
+    return;
+  }
+  fiber_switch(fiber_->context(), engine_.lane(lane_).sched_ctx);
+  fiber_resumed();  // throws Killed on teardown
+}
+
 void Processor::park_forever() {
-  if (engine_.backend() == Backend::kFiber) {
+  if (is_fiber_backend(engine_.backend())) {
     fiber_switch(fiber_->context(), engine_.main_ctx_);
     fiber_resumed();  // teardown kill: throws
     PRESTO_FAIL("processor " << id_ << " resumed after queue drain");
@@ -126,10 +155,11 @@ void Processor::park_forever() {
 }
 
 void Processor::wake(Time t) {
-  if (t < engine_.now()) t = engine_.now();
+  const Time lane_now = engine_.lane_now(lane_);
+  if (t < lane_now) t = lane_now;
   if (blocked_) {
     blocked_ = false;
-    engine_.schedule_at(t, [this] { mark_resume(); });
+    engine_.schedule_on(lane_, t, [this] { mark_resume(); });
   } else {
     // Not parked yet (running or in a horizon yield): latch for the next
     // block() call so the wake cannot be lost.
@@ -154,20 +184,28 @@ void Processor::charge(Time d) {
 }
 
 void Processor::maybe_yield_at_horizon() {
-  const Time h = engine_.horizon();
+  const Time h = engine_.yield_horizon();
   if (h == kTimeNever || clock_ < h) return;
   if (clock_ < last_yield_clock_ + engine_.quantum_floor()) return;
   last_yield_clock_ = clock_;
   ++yields_;
   engine_.schedule_at(clock_, [this] { mark_resume(); });
-  engine_.drive(this);
+  if (engine_.windowed()) {
+    park_to_scheduler();
+  } else {
+    engine_.drive(this);
+  }
 }
 
 void Processor::yield() {
   ++yields_;
   last_yield_clock_ = clock_;
   engine_.schedule_at(clock_, [this] { mark_resume(); });
-  engine_.drive(this);
+  if (engine_.windowed()) {
+    park_to_scheduler();
+  } else {
+    engine_.drive(this);
+  }
   if (resume_time_ > clock_) clock_ = resume_time_;
 }
 
@@ -182,7 +220,11 @@ void Processor::block() {
     absorb_stolen();
   } else {
     blocked_ = true;
-    engine_.drive(this);
+    if (engine_.windowed()) {
+      park_to_scheduler();
+    } else {
+      engine_.drive(this);
+    }
     // Woken by wake(): the resume event carries the wake time.
     if (resume_time_ > clock_) clock_ = resume_time_;
     absorb_stolen();

@@ -46,6 +46,9 @@ class Processor {
   Processor& operator=(const Processor&) = delete;
 
   int id() const { return id_; }
+  // Event lane this processor schedules on and parks against: its own node
+  // lane in windowed mode, lane 0 (the only lane) otherwise.
+  int lane() const { return lane_; }
 
   // ---- Engine-context interface -------------------------------------------
 
@@ -111,6 +114,11 @@ class Processor {
   // Called after a fiber switch lands back in this processor: validates the
   // stack canary and unwinds via Killed if the engine is being torn down.
   void fiber_resumed();
+  // Windowed mode: parks by returning control to the lane's drain loop
+  // (stack switch on fiber-backed processors, sched handshake on the thread
+  // backend). The drain loop switches back in only to deliver this
+  // processor's own resume event.
+  void park_to_scheduler();
   // Queue drained while this context still holds live frames (deadlock or
   // teardown): signal run()'s caller and park until killed.
   void park_forever();
@@ -123,6 +131,7 @@ class Processor {
 
   Engine& engine_;
   const int id_;
+  const int lane_;
 
   // Thread backend.
   std::thread thread_;

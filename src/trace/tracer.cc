@@ -14,6 +14,7 @@ Tracer::Tracer(const TraceConfig& cfg, mem::GlobalSpace& space,
     : cfg_(cfg),
       space_(space),
       engine_(engine),
+      deferred_(engine != nullptr && engine->windowed()),
       bufs_(static_cast<std::size_t>(space.nodes())),
       state_(static_cast<std::size_t>(space.nodes())),
       cur_phase_(static_cast<std::size_t>(space.nodes()), -1),
@@ -21,36 +22,46 @@ Tracer::Tracer(const TraceConfig& cfg, mem::GlobalSpace& space,
       miss_(static_cast<std::size_t>(space.nodes())) {
   const std::uint32_t bpp = space.page_size() / space.block_size();
   for (auto& t : state_) t.configure(bpp);
+  if (deferred_) {
+    shards_.resize(static_cast<std::size_t>(space.nodes()));
+    // Overwrites any previous tracer's slot (enable_oracle re-attaches).
+    engine_->set_boundary_op(sim::BoundaryOp::kTrace,
+                             [this] { stamp_window(); });
+  }
 }
 
 Tracer::~Tracer() = default;
 
 Summary::PhaseTotals& Tracer::phase_totals(int node) {
+  auto& phases = sum(node).phases;
   const std::size_t idx =
       static_cast<std::size_t>(cur_phase_[static_cast<std::size_t>(node)] + 1);
-  if (idx >= summary_.phases.size()) summary_.phases.resize(idx + 1);
-  return summary_.phases[idx];
+  if (idx >= phases.size()) phases.resize(idx + 1);
+  return phases[idx];
 }
 
 void Tracer::emit(EventKind k, int node, sim::Time t, std::uint64_t block,
                   std::uint32_t arg, std::int16_t peer, std::uint16_t aux) {
   if ((cfg_.categories & event_kind_category(k)) == 0) return;
   auto& buf = bufs_[static_cast<std::size_t>(node)];
+  Summary& sm = sum(node);
   if (buf.events >= cfg_.max_events_per_node || seq_exhausted_) {
     ++buf.dropped;
-    ++summary_.dropped;
+    ++sm.dropped;
     return;
   }
-  if (seq_ == 0xffffffffu) {  // u32 seq is the canonical order; never wrap
+  if (!deferred_ && seq_ == 0xffffffffu) {
+    // u32 seq is the canonical order; never wrap. (Deferred mode checks at
+    // stamp time instead — seq_ is only touched at window boundaries there.)
     seq_exhausted_ = true;
     ++buf.dropped;
-    ++summary_.dropped;
+    ++sm.dropped;
     return;
   }
   if (buf.chunks.empty() || buf.chunks.back()->n == kChunkEvents) {
-    if (!free_chunks_.empty()) {
-      buf.chunks.push_back(std::move(free_chunks_.back()));
-      free_chunks_.pop_back();
+    if (!buf.free_chunks.empty()) {
+      buf.chunks.push_back(std::move(buf.free_chunks.back()));
+      buf.free_chunks.pop_back();
       buf.chunks.back()->n = 0;
     } else {
       buf.chunks.push_back(std::make_unique<Chunk>());
@@ -60,14 +71,35 @@ void Tracer::emit(EventKind k, int node, sim::Time t, std::uint64_t block,
   Event& e = c.ev[c.n++];
   e.t = static_cast<std::uint64_t>(t);
   e.block = block;
-  e.seq = seq_++;
+  // Deferred mode buffers unstamped; stamp_window() assigns the canonical
+  // sequence at the next window boundary, in node order then append order.
+  e.seq = deferred_ ? 0u : seq_++;
   e.arg = arg;
   e.kind = static_cast<std::uint16_t>(k);
   e.node = static_cast<std::int16_t>(node);
   e.peer = peer;
   e.aux = aux;
   ++buf.events;
-  ++summary_.events;
+  ++sm.events;
+}
+
+void Tracer::stamp_window() {
+  for (auto& buf : bufs_) {
+    std::size_t ci = buf.stamp_chunk;
+    std::size_t pos = buf.stamp_pos;
+    while (ci < buf.chunks.size()) {
+      Chunk& c = *buf.chunks[ci];
+      for (; pos < c.n; ++pos) {
+        PRESTO_CHECK(seq_ != 0xffffffffu, "trace sequence space exhausted");
+        c.ev[pos].seq = seq_++;
+      }
+      if (c.n < kChunkEvents) break;  // still-filling tail chunk
+      ++ci;
+      pos = 0;
+    }
+    buf.stamp_chunk = ci;
+    buf.stamp_pos = pos;
+  }
 }
 
 // ---- Presend accounting -----------------------------------------------------
@@ -76,13 +108,14 @@ void Tracer::resolve_pending(int node, mem::BlockId b, bool hit, sim::Time t) {
   // Caller has already tested the pending bit; clear it and classify.
   state(node, b) &= static_cast<std::uint8_t>(~kPending);
   --pending_count_[static_cast<std::size_t>(node)];
+  Summary& sm = sum(node);
   auto& ph = phase_totals(node);
   if (hit) {
-    ++summary_.presend_hits;
+    ++sm.presend_hits;
     ++ph.presend_hits;
     emit(EventKind::kPresendHit, node, t, b, 0, -1, 0);
   } else {
-    ++summary_.presend_waste;
+    ++sm.presend_waste;
     ++ph.presend_waste;
     emit(EventKind::kPresendWaste, node, t, b, 0, -1, 0);
   }
@@ -154,9 +187,10 @@ void Tracer::on_miss_end(int node, std::uint64_t block, bool is_write,
                          sim::Time t1) {
   const auto& m = miss_[static_cast<std::size_t>(node)];
   const sim::Time total = t1 - m.t0;
-  ++summary_.misses;
-  ++summary_.miss_by_class[static_cast<std::size_t>(m.cls)];
-  summary_.miss_latency_total += total;
+  Summary& sm = sum(node);
+  ++sm.misses;
+  ++sm.miss_by_class[static_cast<std::size_t>(m.cls)];
+  sm.miss_latency_total += total;
   auto& ph = phase_totals(node);
   ++ph.misses;
   ++ph.miss_by_class[static_cast<std::size_t>(m.cls)];
@@ -199,7 +233,7 @@ void Tracer::on_presend_install(int node, int src, std::uint64_t block0,
     st |= kEverValid | kPending;
     ++pending_count_[static_cast<std::size_t>(node)];
   }
-  summary_.presend_installs += count;
+  sum(node).presend_installs += count;
   emit(EventKind::kPresendInstall, node, t, block0, count,
        static_cast<std::int16_t>(src), 0);
 }
@@ -269,6 +303,34 @@ void Tracer::finalize(sim::Time exec_time, const char* protocol_name) {
   finalized_ = true;
   exec_time_ = exec_time;
   protocol_name_ = protocol_name;
+  if (deferred_) {
+    // Stamp anything recorded since the last window boundary, then fold the
+    // per-node shards into the shared summary (node order, like stamping).
+    stamp_window();
+    for (const Summary& s : shards_) {
+      summary_.events += s.events;
+      summary_.dropped += s.dropped;
+      summary_.misses += s.misses;
+      for (std::size_t i = 0; i < kNumMissClasses; ++i)
+        summary_.miss_by_class[i] += s.miss_by_class[i];
+      summary_.miss_latency_total += s.miss_latency_total;
+      summary_.presend_installs += s.presend_installs;
+      summary_.presend_hits += s.presend_hits;
+      summary_.presend_waste += s.presend_waste;
+      if (s.phases.size() > summary_.phases.size())
+        summary_.phases.resize(s.phases.size());
+      for (std::size_t i = 0; i < s.phases.size(); ++i) {
+        auto& dst = summary_.phases[i];
+        const auto& src = s.phases[i];
+        dst.misses += src.misses;
+        for (std::size_t k = 0; k < kNumMissClasses; ++k)
+          dst.miss_by_class[k] += src.miss_by_class[k];
+        dst.miss_latency += src.miss_latency;
+        dst.presend_hits += src.presend_hits;
+        dst.presend_waste += src.presend_waste;
+      }
+    }
+  }
   // Presends never consumed: attribute them to the phase each target node
   // ended in. hits + waste + unused == presend_blocks_received.
   for (int n = 0; n < space_.nodes(); ++n)

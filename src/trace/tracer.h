@@ -162,8 +162,15 @@ class Tracer final : public Hooks,
   };
   struct NodeBuf {
     std::vector<std::unique_ptr<Chunk>> chunks;
+    // Chunk freelist is per node: under a windowed engine every node's lane
+    // may append concurrently, so recycling must never cross nodes.
+    std::vector<std::unique_ptr<Chunk>> free_chunks;
     std::uint64_t events = 0;
     std::uint64_t dropped = 0;
+    // First event not yet given a canonical sequence number (windowed mode;
+    // see stamp_window).
+    std::size_t stamp_chunk = 0;
+    std::size_t stamp_pos = 0;
   };
 
   // Per-(node, block) presend/validity state bits.
@@ -175,7 +182,17 @@ class Tracer final : public Hooks,
   std::uint8_t& state(int node, mem::BlockId b) {
     return state_[static_cast<std::size_t>(node)].at(b);
   }
+  // Summary the node's hooks accumulate into: the shared summary_ normally;
+  // a per-node shard under a windowed engine (hooks fire on concurrently
+  // draining lanes), merged into summary_ by finalize().
+  Summary& sum(int node) {
+    return deferred_ ? shards_[static_cast<std::size_t>(node)] : summary_;
+  }
   Summary::PhaseTotals& phase_totals(int node);
+  // Windowed mode (BoundaryOp::kTrace): assigns canonical sequence numbers
+  // to every event recorded this window, in node order then append order —
+  // a total order independent of how lanes were partitioned over workers.
+  void stamp_window();
   // Resolves a pending presend on access (hit) or fault/overwrite (waste).
   void resolve_pending(int node, mem::BlockId b, bool hit, sim::Time t);
 
@@ -187,8 +204,11 @@ class Tracer final : public Hooks,
   proto::CoherenceObserver* next_coherence_ = nullptr;
   net::Network::Observer* next_net_ = nullptr;
 
+  // Windowed engine attached: events buffer unstamped and per-node state
+  // shards, with stamping/merging at window boundaries / finalize.
+  const bool deferred_;
   std::vector<NodeBuf> bufs_;
-  std::vector<std::unique_ptr<Chunk>> free_chunks_;
+  std::vector<Summary> shards_;  // [node]; deferred mode only
   std::uint32_t seq_ = 0;
   bool seq_exhausted_ = false;
 

@@ -24,9 +24,11 @@
 #include <cstdlib>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -68,6 +70,12 @@ auto parallel_map(int n, int jobs, Fn&& fn)
     return out;
   }
 
+  // Workers land results in a plain array, not the output vector:
+  // std::vector<bool> packs elements into shared bytes, so concurrent
+  // out[i] stores from different threads would be a data race (TSan flags
+  // it). An array of R always gives every index its own object; it is moved
+  // into the vector after the join.
+  std::unique_ptr<R[]> slots(new R[static_cast<std::size_t>(n)]());
   std::atomic<int> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
@@ -77,7 +85,7 @@ auto parallel_map(int n, int jobs, Fn&& fn)
       const int i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n || failed.load(std::memory_order_relaxed)) return;
       try {
-        out[static_cast<std::size_t>(i)] = fn(i);
+        slots[static_cast<std::size_t>(i)] = fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (first_error == nullptr) first_error = std::current_exception();
@@ -91,6 +99,8 @@ auto parallel_map(int n, int jobs, Fn&& fn)
   for (int t = 0; t < jobs; ++t) threads.emplace_back(worker);
   for (auto& t : threads) t.join();
   if (first_error != nullptr) std::rethrow_exception(first_error);
+  for (int i = 0; i < n; ++i)
+    out[static_cast<std::size_t>(i)] = std::move(slots[static_cast<std::size_t>(i)]);
   return out;
 }
 

@@ -48,13 +48,17 @@ inline WorkloadResult run_micro_workload(runtime::ProtocolKind kind,
                                          std::uint32_t block_size = 32,
                                          bool traced = false,
                                          std::uint32_t trace_categories =
-                                             trace::kCatAll) {
+                                             trace::kCatAll,
+                                         sim::Time window = 0,
+                                         int workers = 0) {
   runtime::MachineConfig cfg =
       runtime::MachineConfig::cm5_blizzard(nodes, block_size);
   cfg.quantum_floor = quantum_floor;
   cfg.backend = backend;
   cfg.trace.enabled = traced;  // in-memory: tests read the stream directly
   cfg.trace.categories = trace_categories;
+  cfg.window = window;    // 0 = legacy single-lane engine
+  cfg.workers = workers;  // kParallel only
   runtime::System sys(cfg, kind);
   auto& space = sys.space();
 
