@@ -31,6 +31,15 @@ struct BugHooks {
   // differential must catch it. Serial (workers <= 1) runs are unaffected,
   // which is what lets the same process hold a clean reference.
   bool delay_window_flush = false;
+
+  // Hybrid NodeSet only (machines > 64 nodes): when clearing the last
+  // spill-array member shrinks a sharer set back to its inline
+  // representation, the shrink also drops the highest surviving inline
+  // member — a lost sharer, so a later invalidation round skips that node
+  // and leaves a stale ReadOnly copy the oracle's data-value/single-writer
+  // invariants must flag. Machines of <= 64 nodes never spill and are
+  // unaffected.
+  bool drop_spill_sharer = false;
 };
 
 // Mutable process-wide hooks; initialized once from PRESTO_TEST_BUG

@@ -61,12 +61,34 @@ class BugScope {
 
 }  // namespace
 
+int participant_count(const FuzzProgram& prog) {
+  return prog.participants == 0 ? prog.nodes : prog.participants;
+}
+
+int participant_node(const FuzzProgram& prog, int i) {
+  if (prog.participants == 0) return i;
+  // Spread participants across the whole machine, pinning the last one to
+  // node `nodes - 1` so wide shapes always touch spill-range ids (>= 64).
+  return static_cast<int>(static_cast<std::int64_t>(i) *
+                          (prog.nodes - 1) / (prog.participants - 1));
+}
+
 FuzzProgram generate(std::uint64_t seed) {
   std::uint64_t sm = seed;
   util::Rng rng(util::splitmix64(sm));
   FuzzProgram prog;
   prog.seed = seed;
-  prog.nodes = 2 + static_cast<int>(rng.next_below_unbiased(4));     // 2..5
+  // Most seeds exercise dense small machines; ~1 in 8 runs the same phase
+  // structure on a wide (>= 128-node) machine with a few spread-out
+  // participants, driving the hybrid NodeSet / sparse-channel spill paths.
+  if (rng.next_below_unbiased(8) == 0) {
+    const int widths[] = {128, 192, 256};
+    prog.nodes = widths[rng.next_below_unbiased(3)];
+    prog.participants = 2 + static_cast<int>(rng.next_below_unbiased(4));
+  } else {
+    prog.nodes = 2 + static_cast<int>(rng.next_below_unbiased(4));   // 2..5
+  }
+  const int np = participant_count(prog);
   const std::uint32_t sizes[] = {32, 64, 128};
   prog.block_size = sizes[rng.next_below_unbiased(3)];
   prog.nblocks = 4 + static_cast<int>(rng.next_below_unbiased(21));  // 4..24
@@ -87,14 +109,14 @@ FuzzProgram generate(std::uint64_t seed) {
     for (std::size_t b = 0; b < nb; ++b) {
       if (rng.next_below_unbiased(2) == 0)
         ph.writer[b] = static_cast<int>(
-            rng.next_below_unbiased(static_cast<std::uint64_t>(prog.nodes)));
+            rng.next_below_unbiased(static_cast<std::uint64_t>(np)));
       std::uint64_t mask = 0;
-      for (int n = 0; n < prog.nodes; ++n)
+      for (int n = 0; n < np; ++n)
         if (rng.next_below_unbiased(10) < 3) mask |= 1ULL << n;
       ph.reader_mask[b] = mask;
     }
     if (prog.use_locks && rng.next_below_unbiased(2) == 0)
-      for (int n = 0; n < prog.nodes; ++n)
+      for (int n = 0; n < np; ++n)
         if (rng.next_below_unbiased(10) < 3) ph.lock_users |= 1ULL << n;
     ph.reduce = use_reducers && rng.next_below_unbiased(2) == 0;
   }
@@ -109,9 +131,9 @@ FuzzProgram generate(std::uint64_t seed) {
             rng.next_below_unbiased(3) == 0
                 ? -1
                 : static_cast<int>(rng.next_below_unbiased(
-                      static_cast<std::uint64_t>(prog.nodes)));
+                      static_cast<std::uint64_t>(np)));
         std::uint64_t mask = 0;
-        for (int n = 0; n < prog.nodes; ++n)
+        for (int n = 0; n < np; ++n)
           if (rng.next_below_unbiased(10) < 3) mask |= 1ULL << n;
         ph.reader_mask[b] = mask;
       }
@@ -185,7 +207,16 @@ RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
   std::vector<std::uint32_t> ref(nb, 0);  // host-side ground truth
   RunResult out;
 
+  // Physical node -> logical participant id (-1 = barriers/reduces only).
+  // With participants == 0 this is the identity, so classic dense programs
+  // behave exactly as before; wide shapes index writer/reader_mask/lock_users
+  // by the logical id, which always fits the one-word masks.
+  std::vector<int> logical_of(static_cast<std::size_t>(prog.nodes), -1);
+  for (int i = 0; i < participant_count(prog); ++i)
+    logical_of[static_cast<std::size_t>(participant_node(prog, i))] = i;
+
   sys.run([&](NodeCtx& c) {
+    const int lid = logical_of[static_cast<std::size_t>(c.id())];
     for (std::size_t r = 0; r < prog.rounds.size(); ++r) {
       const auto& rd = prog.rounds[r];
       for (std::size_t p = 0; p < rd.phases.size(); ++p) {
@@ -194,27 +225,27 @@ RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
         // producer/consumer separation the compiler's directive placement
         // produces.
         c.phase(2 * static_cast<int>(p));
-        for (std::size_t b = 0; b < nb; ++b) {
-          if (ph.writer[b] != c.id()) continue;
+        for (std::size_t b = 0; lid >= 0 && b < nb; ++b) {
+          if (ph.writer[b] != lid) continue;
           const std::uint32_t v = cell_value(prog.seed, static_cast<int>(r),
                                              static_cast<int>(p),
                                              static_cast<int>(b));
           c.write<std::uint32_t>(addr(b), v);
           ref[b] = v;
         }
-        if (wu != nullptr)
+        if (wu != nullptr && lid >= 0)
           for (std::size_t b = 0; b < nb; ++b)
-            if (ph.writer[b] == c.id())
+            if (ph.writer[b] == lid)
               wu->wu_publish(c.id(), addr(b), prog.block_size);
         c.barrier();
         c.phase(2 * static_cast<int>(p) + 1);
-        for (std::size_t b = 0; b < nb; ++b) {
-          if (!(ph.reader_mask[b] >> c.id() & 1)) continue;
+        for (std::size_t b = 0; lid >= 0 && b < nb; ++b) {
+          if (!(ph.reader_mask[b] >> lid & 1)) continue;
           if (c.read<std::uint32_t>(addr(b)) != ref[b]) ++out.read_mismatches;
         }
         c.barrier();
         if (prog.use_locks) {
-          if (ph.lock_users >> c.id() & 1) {
+          if (lid >= 0 && (ph.lock_users >> lid & 1)) {
             lock.acquire(c);
             const auto v = c.read<std::uint64_t>(counter);
             c.write<std::uint64_t>(counter, v + 1);
@@ -527,6 +558,18 @@ FuzzProgram shrink(const FuzzProgram& prog, const std::string& signature,
         progress = true;
       }
     }
+    // Collapse a wide shape to the equivalent dense machine (participants
+    // become the only nodes). Changes home placement and spill behavior, so
+    // it only sticks when the failure is not spill-specific.
+    if (best.participants != 0) {
+      FuzzProgram cand = best;
+      cand.nodes = best.participants;
+      cand.participants = 0;
+      if (still_fails(cand)) {
+        best = std::move(cand);
+        progress = true;
+      }
+    }
     if (best.use_locks) {
       bool any_users = false;
       for (const auto& rd : best.rounds)
@@ -549,6 +592,10 @@ std::string serialize_trace(const FuzzProgram& prog) {
   os << "presto-fuzz-trace v1\n";
   os << "seed " << prog.seed << '\n';
   os << "nodes " << prog.nodes << '\n';
+  // Written only for wide shapes: dense traces stay byte-identical to the
+  // pre-`participants` format, and old traces parse unchanged.
+  if (prog.participants != 0)
+    os << "participants " << prog.participants << '\n';
   os << "block_size " << prog.block_size << '\n';
   os << "nblocks " << prog.nblocks << '\n';
   os << "locks " << (prog.use_locks ? 1 : 0) << '\n';
@@ -590,7 +637,13 @@ FuzzProgram parse_trace(const std::string& text) {
   is >> prog.seed;
   expect("nodes");
   is >> prog.nodes;
-  expect("block_size");
+  PRESTO_CHECK(is >> tok, "malformed trace: truncated after nodes");
+  if (tok == "participants") {
+    is >> prog.participants;
+    PRESTO_CHECK(is >> tok, "malformed trace: truncated after participants");
+  }
+  PRESTO_CHECK(tok == "block_size",
+               "malformed trace: expected 'block_size', got '" << tok << "'");
   is >> prog.block_size;
   expect("nblocks");
   is >> prog.nblocks;
@@ -603,7 +656,14 @@ FuzzProgram parse_trace(const std::string& text) {
   prog.injected_bug = tok == "none" ? "" : tok;
   expect("rounds");
   is >> rounds;
-  PRESTO_CHECK(is && prog.nodes >= 1 && prog.nodes <= 64 &&
+  // Dense shapes (participants == 0) index the one-word masks by physical
+  // node id, so they stay capped at 64 nodes; wide shapes go through the
+  // logical-participant mapping and only the machine width grows.
+  PRESTO_CHECK(is && prog.nodes >= 1 && prog.nodes <= 65536 &&
+                   (prog.participants == 0
+                        ? prog.nodes <= 64
+                        : prog.participants >= 2 && prog.participants <= 64 &&
+                              prog.participants <= prog.nodes) &&
                    prog.nblocks >= 1 && rounds >= 1,
                "malformed trace header");
   const auto nb = static_cast<std::size_t>(prog.nblocks);

@@ -49,6 +49,15 @@ struct FuzzRound {
 
 struct FuzzProgram {
   int nodes = 2;
+  // Wide machine shapes: 0 means every node is a participant and logical ids
+  // equal physical node ids (the classic <= 64-node corpus, bit-identical to
+  // programs generated before this field existed). A positive value P runs
+  // the program on a `nodes`-wide machine with only P logical participants,
+  // spread evenly so the top participant sits at node `nodes - 1` — this is
+  // how the fuzzer reaches spill-range node ids (>= 64) while writer /
+  // reader_mask / lock_users stay indexed by logical participant and the
+  // reader masks keep fitting in one word.
+  int participants = 0;
   std::uint32_t block_size = 32;
   int nblocks = 8;
   bool use_locks = false;
@@ -77,6 +86,12 @@ struct FuzzVerdict {
   std::string report;     // human-readable description of the first failure
   std::string signature;  // stable hash of the failure; equal across replays
 };
+
+// Logical-participant geometry (see FuzzProgram::participants).
+// participant_count is `participants`, or `nodes` for classic dense shapes;
+// participant_node maps logical id -> physical node id.
+int participant_count(const FuzzProgram& prog);
+int participant_node(const FuzzProgram& prog, int i);
 
 // Seeded program generation (uses Rng::next_below_unbiased throughout).
 FuzzProgram generate(std::uint64_t seed);

@@ -16,20 +16,20 @@ GlobalSpace::GlobalSpace(int nodes, const MemConfig& cfg)
       cfg_(cfg),
       block_shift_(log2_exact(cfg.block_size)),
       page_shift_(log2_exact(cfg.page_size)),
+      tag_chunk_shift_(page_shift_ - block_shift_),
+      tag_chunk_mask_((1ULL << (page_shift_ - block_shift_)) - 1),
       tags_(static_cast<std::size_t>(nodes)),
       frames_(static_cast<std::size_t>(nodes)),
       arenas_(static_cast<std::size_t>(nodes)) {
-  PRESTO_CHECK(nodes > 0 && nodes <= 64, "node count " << nodes);
+  PRESTO_CHECK(nodes > 0 && nodes <= 65536, "node count " << nodes);
   PRESTO_CHECK(cfg.page_size % cfg.block_size == 0,
                "page size not a multiple of block size");
 }
 
 void GlobalSpace::grow_to(std::size_t new_size) {
-  const std::size_t nblocks = new_size >> block_shift_;
   const std::size_t npages = new_size >> page_shift_;
   for (int n = 0; n < nodes_; ++n) {
-    tags_[static_cast<std::size_t>(n)].resize(
-        nblocks, static_cast<std::uint8_t>(Tag::Invalid));
+    tags_[static_cast<std::size_t>(n)].resize(npages);
     frames_[static_cast<std::size_t>(n)].resize(npages);
   }
   page_home_.resize(npages, -1);
@@ -98,6 +98,25 @@ void GlobalSpace::arena_reset(int node, std::size_t mark) {
   auto& ar = arenas_[static_cast<std::size_t>(node)];
   PRESTO_CHECK(mark <= ar.cur, "arena reset past current position");
   ar.cur = mark;
+}
+
+std::uint8_t* GlobalSpace::materialize_tags(int node, PageId p) {
+  auto& c = tags_[static_cast<std::size_t>(node)][static_cast<std::size_t>(p)];
+  const std::size_t bpp = cfg_.page_size / cfg_.block_size;
+  c = std::make_unique<std::uint8_t[]>(bpp);
+  std::memset(c.get(), static_cast<int>(Tag::Invalid), bpp);
+  return c.get();
+}
+
+std::size_t GlobalSpace::tag_bytes_resident() const {
+  const std::size_t bpp = cfg_.page_size / cfg_.block_size;
+  std::size_t n = 0;
+  for (const auto& per_node : tags_) {
+    n += per_node.capacity() * sizeof(per_node[0]);
+    for (const auto& c : per_node)
+      if (c != nullptr) n += bpp;
+  }
+  return n;
 }
 
 std::byte* GlobalSpace::materialize_frame(int node, PageId p) {

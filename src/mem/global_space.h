@@ -116,14 +116,32 @@ class GlobalSpace {
 
   // ---- Access control ------------------------------------------------------
 
+  // Tags are stored in page-granularity chunks materialized on first
+  // set_tag: a node that never touches a page holds a null pointer for it,
+  // which reads as Invalid — so per-node tag storage is O(pages touched),
+  // not O(nodes × blocks), and a 1024-node space stays affordable.
   Tag tag(int node, BlockId b) const {
-    return static_cast<Tag>(
-        tags_[static_cast<std::size_t>(node)][static_cast<std::size_t>(b)]);
+    const std::uint8_t* c =
+        tags_[static_cast<std::size_t>(node)]
+             [static_cast<std::size_t>(b >> tag_chunk_shift_)]
+                 .get();
+    if (c == nullptr) return Tag::Invalid;
+    return static_cast<Tag>(c[b & tag_chunk_mask_]);
   }
   void set_tag(int node, BlockId b, Tag t) {
-    tags_[static_cast<std::size_t>(node)][static_cast<std::size_t>(b)] =
-        static_cast<std::uint8_t>(t);
+    std::uint8_t* c = tags_[static_cast<std::size_t>(node)]
+                           [static_cast<std::size_t>(b >> tag_chunk_shift_)]
+                               .get();
+    if (c == nullptr) {
+      if (t == Tag::Invalid) return;  // null chunk already reads as Invalid
+      c = materialize_tags(node, static_cast<PageId>(b >> tag_chunk_shift_));
+    }
+    c[b & tag_chunk_mask_] = static_cast<std::uint8_t>(t);
   }
+
+  // Host bytes held by materialized tag chunks and the per-node chunk
+  // tables (telemetry for the scale benchmarks).
+  std::size_t tag_bytes_resident() const;
 
   // Node-local bytes of block b if its page frame has been materialized,
   // else nullptr. Never allocates — safe for whole-space validation sweeps.
@@ -207,6 +225,7 @@ class GlobalSpace {
   Addr alloc_now(std::size_t bytes, const std::function<int(PageId)>& home);
   void grow_to(std::size_t new_size);
   std::byte* materialize_frame(int node, PageId p);
+  std::uint8_t* materialize_tags(int node, PageId p);
   void read_slow(int node, Addr a, void* out, std::size_t n);
   void write_slow(int node, Addr a, const void* in, std::size_t n);
   // Vectors to the fault handler until the tag permits the access.
@@ -216,11 +235,14 @@ class GlobalSpace {
   const MemConfig cfg_;
   int block_shift_ = 0;
   int page_shift_ = 0;
+  int tag_chunk_shift_ = 0;  // page_shift_ - block_shift_ (blocks per page)
+  BlockId tag_chunk_mask_ = 0;
   std::size_t size_ = 0;
 
   std::vector<int> page_home_;
-  // tags_[node][block]; frames_[node][page] allocated lazily.
-  std::vector<std::vector<std::uint8_t>> tags_;
+  // tags_[node][page] -> per-page tag chunk (null = all Invalid);
+  // frames_[node][page] allocated lazily.
+  std::vector<std::vector<std::unique_ptr<std::uint8_t[]>>> tags_;
   std::vector<std::vector<std::unique_ptr<std::byte[]>>> frames_;
 
   struct Arena {

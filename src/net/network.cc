@@ -11,10 +11,13 @@ Network::Network(sim::Engine& engine, int nodes, const NetConfig& cfg)
     : engine_(engine),
       nodes_(nodes),
       cfg_(cfg),
-      channels_(static_cast<std::size_t>(nodes) *
-                static_cast<std::size_t>(nodes)),
       per_node_msgs_(static_cast<std::size_t>(nodes), 0),
       per_node_bytes_(static_cast<std::size_t>(nodes), 0) {
+  if (nodes <= kDenseNodeLimit)
+    channels_.resize(static_cast<std::size_t>(nodes) *
+                     static_cast<std::size_t>(nodes));
+  else
+    sparse_.resize(static_cast<std::size_t>(nodes));
   if (engine_.windowed()) {
     PRESTO_CHECK(engine_.window() <= min_latency(),
                  "window width " << engine_.window()
@@ -37,16 +40,39 @@ std::uint64_t Network::bytes_sent() const {
   return n;
 }
 
+Network::Channel& Network::sparse_channel(int src, int dst) {
+  SrcChannels& sc = sparse_[static_cast<std::size_t>(src)];
+  if (sc.slot.empty()) sc.slot.resize(static_cast<std::size_t>(nodes_), 0);
+  std::uint32_t& s = sc.slot[static_cast<std::size_t>(dst)];
+  if (s == 0) {
+    if (sc.count % kSparseChunk == 0)
+      sc.chunks.push_back(std::make_unique<Channel[]>(kSparseChunk));
+    s = ++sc.count;
+  }
+  const std::uint32_t idx = s - 1;
+  return sc.chunks[idx / kSparseChunk][idx % kSparseChunk];
+}
+
 std::size_t Network::channels_used() const {
   std::size_t n = 0;
   for (const auto& ch : channels_)
     if (ch.used) ++n;
+  for (const auto& sc : sparse_)
+    for (std::uint32_t i = 0; i < sc.count; ++i)
+      if (sc.chunks[i / kSparseChunk][i % kSparseChunk].used) ++n;
   return n;
 }
 
 std::size_t Network::metadata_bytes() const {
   std::size_t n = channels_.capacity() * sizeof(Channel);
   for (const auto& ch : channels_) n += ch.ring.capacity_bytes();
+  for (const auto& sc : sparse_) {
+    n += sc.slot.capacity() * sizeof(std::uint32_t) +
+         sc.chunks.capacity() * sizeof(sc.chunks[0]) +
+         sc.chunks.size() * kSparseChunk * sizeof(Channel);
+    for (std::uint32_t i = 0; i < sc.count; ++i)
+      n += sc.chunks[i / kSparseChunk][i % kSparseChunk].ring.capacity_bytes();
+  }
   for (const auto& ob : outboxes_)
     n += ob.entries.capacity() * sizeof(Staged) + ob.bytes.capacity();
   return n;

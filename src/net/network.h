@@ -16,11 +16,22 @@
 //     goes straight into the engine's event queue.
 //
 // Channel state (FIFO clamp + ring) lives in one dense nodes² table indexed
-// by src*nodes+dst: a channel lookup is one multiply-add, the FIFO clamp and
-// ring head share a cache line, and the table is allocated exactly once up
-// front — Channel pointers captured by in-flight delivery events stay stable
-// because the vector never grows. Rings start empty, so an idle channel
-// costs sizeof(Channel), not a ring arena.
+// by src*nodes+dst on machines of up to kDenseNodeLimit nodes: a channel
+// lookup is one multiply-add, the FIFO clamp and ring head share a cache
+// line, and the table is allocated exactly once up front — Channel pointers
+// captured by in-flight delivery events stay stable because the vector never
+// grows. Rings start empty, so an idle channel costs sizeof(Channel), not a
+// ring arena.
+//
+// Above kDenseNodeLimit the dense table would be the largest allocation in
+// the simulator (nodes² channels for traffic that is overwhelmingly
+// neighbor/home-patterned), so each source instead keeps a flat dst->slot
+// index (built lazily on the source's first send) plus a chunked arena of
+// channels materialized on first use. Chunks never move, so Channel pointers
+// are as stable as the dense table's, and both the index and the arena are
+// owned by the source — under the parallel windowed engine every touch
+// happens on the source's lane, so no lock is needed. metadata_bytes then
+// scales with channels actually used, not nodes².
 //
 // Windowed engines (sim/engine.h): a cross-node send issued inside a lane
 // drain may not touch the destination lane's event queue, so it is *staged*
@@ -36,6 +47,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -74,6 +86,10 @@ class Network {
    protected:
     ~Observer() = default;
   };
+
+  // Widest machine that gets the dense nodes² channel table; larger
+  // machines use the per-source sparse tables.
+  static constexpr int kDenseNodeLimit = 64;
 
   Network(sim::Engine& engine, int nodes, const NetConfig& cfg);
 
@@ -129,6 +145,14 @@ class Network {
   // Host bytes held by the channel table and its record-ring arenas.
   std::size_t metadata_bytes() const;
 
+  // What the pre-sparse dense nodes² channel table would occupy for a
+  // machine this wide — the baseline the scale benches report sub-quadratic
+  // metadata against.
+  static std::size_t dense_equiv_bytes(int nodes) {
+    return static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes) *
+           sizeof(Channel);
+  }
+
  private:
   struct Channel {
     sim::Time last_arrival = 0;
@@ -156,13 +180,26 @@ class Network {
     std::vector<std::byte> bytes;
   };
 
+  // Sparse mode (> kDenseNodeLimit nodes): per-source open-channel table.
+  // The dst->slot index array is built on the source's first send; channels
+  // live in fixed-size chunks that never move.
+  struct SrcChannels {
+    std::vector<std::uint32_t> slot;  // dst -> arena slot + 1; 0 = unopened
+    std::vector<std::unique_ptr<Channel[]>> chunks;
+    std::uint32_t count = 0;
+  };
+  static constexpr std::uint32_t kSparseChunk = 8;  // channels per chunk
+
   // Computes the FIFO-clamped arrival time and records traffic stats.
   sim::Time route(int src, int dst, std::size_t bytes, sim::Time depart);
   Channel& channel(int src, int dst) {
-    return channels_[static_cast<std::size_t>(src) *
-                         static_cast<std::size_t>(nodes_) +
-                     static_cast<std::size_t>(dst)];
+    if (!channels_.empty())
+      return channels_[static_cast<std::size_t>(src) *
+                           static_cast<std::size_t>(nodes_) +
+                       static_cast<std::size_t>(dst)];
+    return sparse_channel(src, dst);
   }
+  Channel& sparse_channel(int src, int dst);
 
   // Pops the front record of ch and hands it to the sink at `arrival`, on
   // the destination's lane (lane 0 when windows are off — the legacy path).
@@ -178,8 +215,10 @@ class Network {
   MsgSink* sink_ = nullptr;
   Observer* observer_ = nullptr;
   // Dense nodes² table, [src*nodes + dst]; sized once in the constructor and
-  // never resized (delivery events hold Channel pointers).
+  // never resized (delivery events hold Channel pointers). Empty above
+  // kDenseNodeLimit, where sparse_ takes over.
   std::vector<Channel> channels_;
+  std::vector<SrcChannels> sparse_;
   // Traffic counters are per-source (the source lane owns its own slots, so
   // concurrent lane drains never share a counter); totals are summed on read.
   std::vector<std::uint64_t> per_node_msgs_;

@@ -1,6 +1,7 @@
 #include "proto/predictive.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "check/bughook.h"
 #include "trace/hooks.h"
@@ -12,17 +13,14 @@ PredictiveProtocol::PredictiveProtocol(sim::Engine& engine, net::Network& net,
                                        mem::GlobalSpace& space,
                                        stats::Recorder& rec,
                                        const ProtoCosts& costs,
-                                       ConflictPolicy conflicts)
-    : StacheProtocol(engine, net, space, rec, costs),
+                                       ConflictPolicy conflicts,
+                                       int cluster_nodes)
+    : StacheProtocol(engine, net, space, rec, costs, cluster_nodes),
       sched_(static_cast<std::size_t>(space.nodes())),
       cur_phase_(static_cast<std::size_t>(space.nodes()), -1),
       outstanding_(static_cast<std::size_t>(space.nodes()), 0),
-      push_batch_(static_cast<std::size_t>(space.nodes()),
-                  std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>>(
-                      static_cast<std::size_t>(space.nodes()))),
-      inv_batch_(static_cast<std::size_t>(space.nodes()),
-                 std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>>(
-                     static_cast<std::size_t>(space.nodes()))),
+      push_batch_(static_cast<std::size_t>(space.nodes())),
+      inv_batch_(static_cast<std::size_t>(space.nodes())),
       blocks_per_page_(space.page_size() / space.block_size()),
       conflict_policy_(conflicts),
       stats_(static_cast<std::size_t>(space.nodes())) {}
@@ -63,12 +61,12 @@ std::size_t PredictiveProtocol::metadata_bytes() const {
       if (ps == nullptr) continue;
       n += sizeof(PhaseSched) + ps->recs.capacity() * sizeof(PhaseSched::Rec) +
            ps->index.bytes_resident();
+      for (const auto& r : ps->recs)
+        n += r.e.readers.heap_bytes() + r.e.writers.heap_bytes();
     }
   }
-  for (const auto& per_node : push_batch_)
-    for (const auto& v : per_node) n += v.capacity() * sizeof(v[0]);
-  for (const auto& per_node : inv_batch_)
-    for (const auto& v : per_node) n += v.capacity() * sizeof(v[0]);
+  for (const auto& v : push_batch_) n += v.capacity() * sizeof(BatchItem);
+  for (const auto& v : inv_batch_) n += v.capacity() * sizeof(BatchItem);
   return n;
 }
 
@@ -196,8 +194,8 @@ void PredictiveProtocol::do_presend(int node, int phase) {
   // ---- Stage 2: coalesced pushes and pre-invalidations ----------------------
   auto& push = push_batch_[static_cast<std::size_t>(node)];
   auto& inv = inv_batch_[static_cast<std::size_t>(node)];
-  for (auto& v : push) v.clear();
-  for (auto& v : inv) v.clear();
+  push.clear();
+  inv.clear();
 
   // No yields inside this walk (sends happen after it), so the schedule
   // cannot change mid-iteration; one up-front sort suffices.
@@ -211,13 +209,26 @@ void PredictiveProtocol::do_presend(int node, int phase) {
     if (kind == Kind::kRead) {
       PRESTO_CHECK(d.state != DirEntry::S::Excl,
                    "presend read entry still exclusive after recalls");
+      // Anticipated readers (node-exact, from the schedule) minus those the
+      // directory already lists. A coarse directory can only say "this
+      // cluster may hold copies", so a marked cluster suppresses pushes to
+      // all its members — they fault in the worst case; correctness never
+      // depends on a presend.
       util::NodeSet targets = e.readers.without(node);
-      targets.subtract(d.readers);
+      if (coarse_dir()) {
+        util::NodeSet uncovered;
+        targets.for_each([&](int t) {
+          if (!d.readers.test(sharer_id(t))) uncovered.set(t);
+        });
+        targets = std::move(uncovered);
+      } else {
+        targets.subtract(d.readers);
+      }
       targets.for_each([&](int t) {
-        push[static_cast<std::size_t>(t)].emplace_back(b, mem::Tag::ReadOnly);
+        push.push_back(BatchItem{t, b, mem::Tag::ReadOnly});
       });
       if (targets.any()) {
-        d.readers |= targets;
+        targets.for_each([&](int t) { d.readers.set(sharer_id(t)); });
         d.state = DirEntry::S::Shared;
         if (space_.tag(node, b) == mem::Tag::ReadWrite)
           space_.set_tag(node, b, mem::Tag::ReadOnly);
@@ -226,9 +237,8 @@ void PredictiveProtocol::do_presend(int node, int phase) {
       if (writer == node) {
         // Pre-invalidate remote copies so the home's writes do not stall.
         if (d.state == DirEntry::S::Shared) {
-          d.readers.for_each([&](int t) {
-            inv[static_cast<std::size_t>(t)].emplace_back(b,
-                                                          mem::Tag::Invalid);
+          for_each_sharer_target(d.readers, node, -1, [&](int t) {
+            inv.push_back(BatchItem{t, b, mem::Tag::Invalid});
           });
           d.readers.clear();
           d.state = DirEntry::S::Idle;
@@ -236,11 +246,10 @@ void PredictiveProtocol::do_presend(int node, int phase) {
         }
       } else {
         if (d.state == DirEntry::S::Excl) continue;  // owner == writer
-        d.readers.without(writer).for_each([&](int t) {
-          inv[static_cast<std::size_t>(t)].emplace_back(b, mem::Tag::Invalid);
+        for_each_sharer_target(d.readers, writer, node, [&](int t) {
+          inv.push_back(BatchItem{t, b, mem::Tag::Invalid});
         });
-        push[static_cast<std::size_t>(writer)].emplace_back(
-            b, mem::Tag::ReadWrite);
+        push.push_back(BatchItem{writer, b, mem::Tag::ReadWrite});
         d.readers.clear();
         d.owner = writer;
         d.state = DirEntry::S::Excl;
@@ -249,41 +258,63 @@ void PredictiveProtocol::do_presend(int node, int phase) {
     }
   }
 
-  for (int t = 0; t < space_.nodes(); ++t) {
-    if (!push[static_cast<std::size_t>(t)].empty())
-      send_bulk_runs(node, t, push[static_cast<std::size_t>(t)],
-                     /*invalidate=*/false);
-    if (!inv[static_cast<std::size_t>(t)].empty())
-      send_bulk_runs(node, t, inv[static_cast<std::size_t>(t)],
-                     /*invalidate=*/true);
+  // Group by target: the stable sort keeps each target's items in the block
+  // order they were appended, so runs coalesce exactly as they did when each
+  // target had its own dense vector, and the target-ascending merge below
+  // reproduces the dense layout's emission order (per target: pushes, then
+  // invalidations).
+  const auto by_target = [](const BatchItem& a, const BatchItem& x) {
+    return a.target < x.target;
+  };
+  std::stable_sort(push.begin(), push.end(), by_target);
+  std::stable_sort(inv.begin(), inv.end(), by_target);
+  std::size_t ip = 0, iv = 0;
+  while (ip < push.size() || iv < inv.size()) {
+    const std::int32_t t =
+        std::min(ip < push.size() ? push[ip].target
+                                  : std::numeric_limits<std::int32_t>::max(),
+                 iv < inv.size() ? inv[iv].target
+                                 : std::numeric_limits<std::int32_t>::max());
+    if (ip < push.size() && push[ip].target == t) {
+      std::size_t e = ip + 1;
+      while (e < push.size() && push[e].target == t) ++e;
+      send_bulk_runs(node, t, push.data() + ip, e - ip, /*invalidate=*/false);
+      ip = e;
+    }
+    if (iv < inv.size() && inv[iv].target == t) {
+      std::size_t e = iv + 1;
+      while (e < inv.size() && inv[e].target == t) ++e;
+      send_bulk_runs(node, t, inv.data() + iv, e - iv, /*invalidate=*/true);
+      iv = e;
+    }
   }
   while (out > 0) p.block();
 }
 
-void PredictiveProtocol::send_bulk_runs(
-    int node, int target,
-    const std::vector<std::pair<mem::BlockId, mem::Tag>>& blocks,
-    bool invalidate) {
+void PredictiveProtocol::send_bulk_runs(int node, int target,
+                                        const BatchItem* items,
+                                        std::size_t count_items,
+                                        bool invalidate) {
   auto& p = proc(node);
   auto& out = outstanding_[static_cast<std::size_t>(node)];
   const std::size_t bsz = space_.block_size();
 
   std::size_t i = 0;
-  while (i < blocks.size()) {
+  while (i < count_items) {
     // Extend a run of contiguous blocks with the same install tag.
     std::size_t j = i + 1;
-    while (coalescing_ && j < blocks.size() &&
-           blocks[j].first == blocks[j - 1].first + 1 &&
-           blocks[j].second == blocks[i].second)
+    while (coalescing_ && j < count_items &&
+           items[j].block == items[j - 1].block + 1 &&
+           items[j].tag == items[i].tag)
       ++j;
     const std::uint32_t count = static_cast<std::uint32_t>(j - i);
 
     Msg m;
     m.type = invalidate ? MsgType::BulkInv : MsgType::BulkData;
     m.src = node;
-    m.block = blocks[i].first;
+    m.block = items[i].block;
     m.count = count;
-    m.tag = static_cast<std::uint8_t>(blocks[i].second);
+    m.tag = static_cast<std::uint8_t>(items[i].tag);
     if (!invalidate) {
       // Runs can straddle page frames, so gather into the node's scratch.
       // The snapshot is taken before the charge() yield, as a send buffer
@@ -292,7 +323,7 @@ void PredictiveProtocol::send_bulk_runs(
       std::byte* buf = scratch(node, count * bsz);
       for (std::uint32_t k = 0; k < count; ++k)
         std::memcpy(buf + k * bsz,
-                    space_.block_data(node, blocks[i].first + k), bsz);
+                    space_.block_data(node, items[i].block + k), bsz);
       m.data = buf;
       m.data_len = count * static_cast<std::uint32_t>(bsz);
       stats_[static_cast<std::size_t>(node)].presend_push_blocks += count;
@@ -324,7 +355,7 @@ void PredictiveProtocol::handle(int self, const Msg& m) {
         d.state = DirEntry::S::Idle;
         space_.set_tag(self, m.block, mem::Tag::ReadWrite);
       } else {
-        d.readers.set(d.owner);
+        d.readers.set(sharer_id(d.owner));
         d.owner = -1;
         d.state = DirEntry::S::Shared;
         space_.set_tag(self, m.block, mem::Tag::ReadOnly);

@@ -39,10 +39,15 @@ enum class ConflictPolicy {
 
 class PredictiveProtocol : public StacheProtocol {
  public:
+  // cluster_nodes: see StacheProtocol — coarsens the *directory* sharer
+  // sets; the recorded schedules stay node-exact (they drive presends, and
+  // a presend to a node that never asked is pure waste, so coarsening them
+  // would defeat the point).
   PredictiveProtocol(sim::Engine& engine, net::Network& net,
                      mem::GlobalSpace& space, stats::Recorder& rec,
                      const ProtoCosts& costs,
-                     ConflictPolicy conflicts = ConflictPolicy::kSkip);
+                     ConflictPolicy conflicts = ConflictPolicy::kSkip,
+                     int cluster_nodes = 0);
 
   const char* name() const override { return "predictive"; }
 
@@ -126,11 +131,18 @@ class PredictiveProtocol : public StacheProtocol {
 
   Kind derive(const Entry& e) const;
 
+  // One presend action staged during the stage-2 schedule walk: push (or
+  // invalidate) `block` at `target`, installing `tag`.
+  struct BatchItem {
+    std::int32_t target;
+    mem::BlockId block;
+    mem::Tag tag;
+  };
+
   PhaseSched& ensure_phase(int home, int phase);
   void do_presend(int node, int phase);
-  void send_bulk_runs(int node, int target,
-                      const std::vector<std::pair<mem::BlockId, mem::Tag>>& blocks,
-                      bool invalidate);
+  void send_bulk_runs(int node, int target, const BatchItem* items,
+                      std::size_t count, bool invalidate);
 
   // sched_[home][phase] -> flat schedule, materialized on first record.
   // unique_ptr keeps PhaseSched references stable while the phase vector
@@ -138,14 +150,15 @@ class PredictiveProtocol : public StacheProtocol {
   std::vector<std::vector<std::unique_ptr<PhaseSched>>> sched_;
   std::vector<int> cur_phase_;
   std::vector<int> outstanding_;  // presend acks/recalls awaited per node
-  // Per-(presending node, target) presend batches, reused across phases
-  // (cleared, not freed). Per node because all nodes presend concurrently:
-  // send_bulk_runs yields inside charge(), so another node's presend can run
-  // mid-batch.
-  std::vector<std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>>>
-      push_batch_;
-  std::vector<std::vector<std::vector<std::pair<mem::BlockId, mem::Tag>>>>
-      inv_batch_;
+  // Per-presending-node staging for stage 2, reused across phases (cleared,
+  // not freed) — O(actions), where the old per-(node, target) vector-of-
+  // vectors was O(nodes²) even when idle. Items are appended in block order
+  // and stable-sorted by target before sending, which reproduces the dense
+  // layout's per-target block order exactly. Per node because all nodes
+  // presend concurrently: send_bulk_runs yields inside charge(), so another
+  // node's presend can run mid-batch.
+  std::vector<std::vector<BatchItem>> push_batch_;
+  std::vector<std::vector<BatchItem>> inv_batch_;
   std::uint32_t blocks_per_page_ = 1;
   ConflictPolicy conflict_policy_;
   bool coalescing_ = true;

@@ -27,13 +27,13 @@ long trace_block() {
 
 StacheProtocol::StacheProtocol(sim::Engine& engine, net::Network& net,
                                mem::GlobalSpace& space, stats::Recorder& rec,
-                               const ProtoCosts& costs)
+                               const ProtoCosts& costs, int cluster_nodes)
     : Protocol(engine, net, space, rec, costs),
-      dir_(static_cast<std::size_t>(space.nodes())) {
-  PRESTO_CHECK(space.nodes() <= util::NodeSet::kMaxNodes,
-               "directory sharer sets hold " << util::NodeSet::kMaxNodes
-                                             << " nodes; " << space.nodes()
-                                             << " needs the Bitset spill");
+      dir_(static_cast<std::size_t>(space.nodes())),
+      cluster_(cluster_nodes) {
+  PRESTO_CHECK(cluster_nodes >= 0 && cluster_nodes <= space.nodes(),
+               "cluster size " << cluster_nodes << " on a " << space.nodes()
+                               << "-node machine");
   const std::uint32_t bpp = space.page_size() / space.block_size();
   for (auto& t : dir_) t.configure(bpp);
 }
@@ -73,7 +73,12 @@ std::pair<int, bool> StacheProtocol::pend_pop(DirEntry& d) {
 
 std::size_t StacheProtocol::metadata_bytes() const {
   std::size_t n = Protocol::metadata_bytes();
-  for (const auto& t : dir_) n += t.bytes_resident();
+  for (const auto& t : dir_) {
+    n += t.bytes_resident();
+    t.for_each([&](mem::BlockId, const DirEntry& d) {
+      n += d.readers.heap_bytes();
+    });
+  }
   n += pend_pool_.capacity() * sizeof(PendNode);
   return n;
 }
@@ -101,9 +106,11 @@ std::size_t StacheProtocol::check_invariants() const {
                        "Shared block " << b << " with no readers");
           for (int n = 0; n < space_.nodes(); ++n) {
             if (n == h) continue;
-            const bool listed = d.readers.test(n);
+            const bool listed = d.readers.test(sharer_id(n));
             const mem::Tag t = space_.tag(n, b);
-            PRESTO_CHECK(listed ? t == mem::Tag::ReadOnly
+            // Exact sets agree with the tags both ways; a coarse cluster bit
+            // only bounds its members from above (a member may hold no copy).
+            PRESTO_CHECK(listed ? (coarse_dir() || t == mem::Tag::ReadOnly)
                                 : t == mem::Tag::Invalid,
                          "Shared block " << b << ": node " << n << " tag "
                                          << static_cast<int>(t)
@@ -235,7 +242,7 @@ void StacheProtocol::handle(int self, const Msg& m) {
         complete_getx(self, m.block, d.req_node);
       } else {
         // RecallS path: owner downgraded to a reader.
-        d.readers.set(d.owner);
+        d.readers.set(sharer_id(d.owner));
         d.owner = -1;
         d.state = DirEntry::S::Shared;
         space_.set_tag(self, m.block, mem::Tag::ReadOnly);
@@ -302,8 +309,12 @@ void StacheProtocol::start_request(int home, mem::BlockId b, int requester,
       complete_getx(home, b, requester);
       return;
     case DirEntry::S::Shared: {
-      const util::NodeSet to_inv = d.readers.without(requester);
-      if (to_inv.none()) {
+      // Exact mode: invalidate the listed readers minus the requester (home
+      // is never listed). Coarse mode: conservative fan-out to every member
+      // of every marked cluster except home and requester.
+      int acks = 0;
+      for_each_sharer_target(d.readers, requester, home, [&](int) { ++acks; });
+      if (acks == 0) {
         // Sole-reader upgrade.
         complete_getx(home, b, requester);
         return;
@@ -311,8 +322,8 @@ void StacheProtocol::start_request(int home, mem::BlockId b, int requester,
       d.busy = true;
       d.req_node = requester;
       d.req_write = true;
-      d.acks_needed = to_inv.count();
-      to_inv.for_each([&](int n) {
+      d.acks_needed = acks;
+      for_each_sharer_target(d.readers, requester, home, [&](int n) {
         Msg r;
         r.type = MsgType::Inv;
         r.src = home;
@@ -355,7 +366,7 @@ void StacheProtocol::grant(int home, mem::BlockId b, int requester,
 void StacheProtocol::complete_gets(int home, mem::BlockId b, int requester) {
   auto& d = dir(home, b);
   if (requester != home) {
-    d.readers.set(requester);
+    d.readers.set(sharer_id(requester));
     d.state = DirEntry::S::Shared;
     // The home's own copy drops to ReadOnly so its future writes fault.
     if (space_.tag(home, b) == mem::Tag::ReadWrite)

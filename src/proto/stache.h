@@ -33,9 +33,18 @@ namespace presto::proto {
 
 class StacheProtocol : public Protocol {
  public:
+  // cluster_nodes > 1 turns on the two-level cluster directory: directory
+  // sharer sets track clusters of cluster_nodes consecutive nodes instead of
+  // individual nodes (the coarse-vector organization), shrinking per-entry
+  // metadata by that factor at scale. Invalidations conservatively fan out
+  // to every member of a marked cluster — an Inv at a node without a copy
+  // is harmless (the tag is already Invalid and the ack still counts), it
+  // just costs extra messages; the scale benchmarks measure where the
+  // metadata saving beats that overhead. 0 (the default) keeps exact
+  // node-grain sets and is bit-identical to the pre-cluster protocol.
   StacheProtocol(sim::Engine& engine, net::Network& net,
                  mem::GlobalSpace& space, stats::Recorder& rec,
-                 const ProtoCosts& costs);
+                 const ProtoCosts& costs, int cluster_nodes = 0);
 
   const char* name() const override { return "stache"; }
 
@@ -125,10 +134,39 @@ class StacheProtocol : public Protocol {
     return is_write ? t == mem::Tag::ReadWrite : t != mem::Tag::Invalid;
   }
 
+  // ---- Cluster directory (two-level sharer tracking) -----------------------
+  bool coarse_dir() const { return cluster_ > 1; }
+  // The bit a sharing `node` occupies in a directory sharer set.
+  int sharer_id(int node) const {
+    return cluster_ > 1 ? node / cluster_ : node;
+  }
+  // Expands a directory sharer set into the target nodes an invalidation or
+  // push must reach, ascending, skipping skip_a/skip_b (typically requester
+  // and home). Exact mode visits the members themselves; coarse mode visits
+  // every node of every marked cluster — the conservative fan-out.
+  template <typename Fn>
+  void for_each_sharer_target(const util::NodeSet& s, int skip_a, int skip_b,
+                              Fn&& fn) const {
+    if (cluster_ <= 1) {
+      s.for_each([&](int n) {
+        if (n != skip_a && n != skip_b) fn(n);
+      });
+      return;
+    }
+    s.for_each([&](int cl) {
+      const int lo = cl * cluster_;
+      int hi = lo + cluster_;
+      if (hi > space_.nodes()) hi = space_.nodes();
+      for (int n = lo; n < hi; ++n)
+        if (n != skip_a && n != skip_b) fn(n);
+    });
+  }
+
   // dir_[home]: flat block-indexed directory, chunk-materialized per page.
   std::vector<util::BlockTable<DirEntry>> dir_;
 
  private:
+  const int cluster_;  // nodes per directory cluster; <= 1 = exact sets
   struct PendNode {
     std::int32_t node = -1;
     bool is_write = false;

@@ -16,10 +16,6 @@ WriteUpdateProtocol::WriteUpdateProtocol(sim::Engine& engine,
       outstanding_(static_cast<std::size_t>(space.nodes()), 0),
       fwd_(static_cast<std::size_t>(space.nodes())),
       stats_(static_cast<std::size_t>(space.nodes())) {
-  PRESTO_CHECK(space.nodes() <= util::NodeSet::kMaxNodes,
-               "reader sets hold " << util::NodeSet::kMaxNodes << " nodes; "
-                                   << space.nodes()
-                                   << " needs the Bitset spill");
   const std::uint32_t bpp = space.page_size() / space.block_size();
   for (auto& t : readers_) t.configure(bpp);
   for (auto& t : dirty_) t.configure(bpp);
@@ -60,7 +56,11 @@ void WriteUpdateProtocol::release_token(int home, std::uint64_t token) {
 
 std::size_t WriteUpdateProtocol::metadata_bytes() const {
   std::size_t n = Protocol::metadata_bytes();
-  for (const auto& t : readers_) n += t.bytes_resident();
+  for (const auto& t : readers_) {
+    n += t.bytes_resident();
+    t.for_each(
+        [&](mem::BlockId, const util::NodeSet& s) { n += s.heap_bytes(); });
+  }
   for (const auto& t : dirty_) n += t.bytes_resident();
   for (const auto& tp : fwd_) n += tp.pool.capacity() * sizeof(ForwardState);
   return n;

@@ -67,17 +67,17 @@ System::System(const MachineConfig& cfg, ProtocolKind kind)
   switch (kind) {
     case ProtocolKind::kStache:
       protocol_ = std::make_unique<proto::StacheProtocol>(
-          engine_, *net_, *space_, rec_, cfg.costs);
+          engine_, *net_, *space_, rec_, cfg.costs, cfg.cluster_nodes);
       break;
     case ProtocolKind::kPredictive:
       protocol_ = std::make_unique<proto::PredictiveProtocol>(
           engine_, *net_, *space_, rec_, cfg.costs,
-          proto::ConflictPolicy::kSkip);
+          proto::ConflictPolicy::kSkip, cfg.cluster_nodes);
       break;
     case ProtocolKind::kPredictiveAnticipate:
       protocol_ = std::make_unique<proto::PredictiveProtocol>(
           engine_, *net_, *space_, rec_, cfg.costs,
-          proto::ConflictPolicy::kAnticipate);
+          proto::ConflictPolicy::kAnticipate, cfg.cluster_nodes);
       break;
     case ProtocolKind::kWriteUpdate:
       protocol_ = std::make_unique<proto::WriteUpdateProtocol>(

@@ -1,0 +1,119 @@
+// Cold spill-array paths for the hybrid NodeSet (see util/bitset.h). None
+// of these run on machines of <= 64 nodes, where every set stays inline.
+#include "util/bitset.h"
+
+#include <algorithm>
+
+#include "check/bughook.h"
+
+namespace presto::util {
+
+namespace {
+
+std::uint64_t* alloc_ext(std::size_t nwords) {
+  auto* e = new std::uint64_t[nwords + 1]();
+  e[0] = nwords;
+  return e;
+}
+
+}  // namespace
+
+void NodeSet::set_spill_(int n) {
+  const std::size_t wi = static_cast<std::size_t>(n - kInlineNodes) >> 6;
+  if (ext_ == nullptr || wi >= ext_[0]) {
+    const std::size_t old = ext_ == nullptr ? 0 : ext_[0];
+    std::uint64_t* grown = alloc_ext(std::max(wi + 1, old * 2));
+    for (std::size_t i = 0; i < old; ++i) grown[i + 1] = ext_[i + 1];
+    delete[] ext_;
+    ext_ = grown;
+  }
+  ext_[wi + 1] |= 1ULL << (n & 63);
+}
+
+void NodeSet::reset_spill_(int n) {
+  const std::size_t wi = static_cast<std::size_t>(n - kInlineNodes) >> 6;
+  if (ext_ == nullptr || wi >= ext_[0]) return;
+  ext_[wi + 1] &= ~(1ULL << (n & 63));
+  maybe_shrink_();
+}
+
+void NodeSet::copy_ext_(const NodeSet& o) {
+  ext_ = alloc_ext(o.ext_[0]);
+  for (std::size_t i = 0; i < o.ext_[0]; ++i) ext_[i + 1] = o.ext_[i + 1];
+}
+
+void NodeSet::assign_ext_(const NodeSet& o) {
+  if (ext_ != nullptr) {
+    delete[] ext_;
+    ext_ = nullptr;
+  }
+  if (o.ext_ != nullptr) copy_ext_(o);
+}
+
+int NodeSet::count_spill_() const {
+  int c = 0;
+  for (std::size_t i = 0; i < ext_[0]; ++i)
+    c += __builtin_popcountll(ext_[i + 1]);
+  return c;
+}
+
+int NodeSet::first_spill_() const {
+  for (std::size_t i = 0; i < ext_[0]; ++i)
+    if (ext_[i + 1] != 0)
+      return kInlineNodes + static_cast<int>(i) * 64 +
+             __builtin_ctzll(ext_[i + 1]);
+  PRESTO_FAIL("first() on empty NodeSet");
+}
+
+void NodeSet::union_spill_(const NodeSet& o) {
+  if (ext_ == nullptr || ext_[0] < o.ext_[0]) {
+    const std::size_t old = ext_ == nullptr ? 0 : ext_[0];
+    std::uint64_t* grown = alloc_ext(o.ext_[0]);
+    for (std::size_t i = 0; i < old; ++i) grown[i + 1] = ext_[i + 1];
+    delete[] ext_;
+    ext_ = grown;
+  }
+  for (std::size_t i = 0; i < o.ext_[0]; ++i) ext_[i + 1] |= o.ext_[i + 1];
+}
+
+void NodeSet::intersect_spill_(const NodeSet& o) {
+  const std::size_t on = o.ext_ == nullptr ? 0 : o.ext_[0];
+  for (std::size_t i = 0; i < ext_[0]; ++i)
+    ext_[i + 1] &= i < on ? o.ext_[i + 1] : 0;
+  maybe_shrink_();
+}
+
+void NodeSet::subtract_spill_(const NodeSet& o) {
+  if (o.ext_ == nullptr) return;
+  const std::size_t n = std::min(ext_[0], o.ext_[0]);
+  for (std::size_t i = 0; i < n; ++i) ext_[i + 1] &= ~o.ext_[i + 1];
+  maybe_shrink_();
+}
+
+bool NodeSet::spill_equal_(const NodeSet& a, const NodeSet& b) {
+  // Canonical form (non-null ext_ holds >= 1 member) means null-vs-non-null
+  // differ; equal member sets can still differ in capacity, so compare with
+  // zero padding.
+  if ((a.ext_ == nullptr) != (b.ext_ == nullptr)) return false;
+  const std::size_t an = a.ext_[0], bn = b.ext_[0];
+  for (std::size_t i = 0; i < std::max(an, bn); ++i) {
+    const std::uint64_t aw = i < an ? a.ext_[i + 1] : 0;
+    const std::uint64_t bw = i < bn ? b.ext_[i + 1] : 0;
+    if (aw != bw) return false;
+  }
+  return true;
+}
+
+void NodeSet::maybe_shrink_() {
+  for (std::size_t i = 0; i < ext_[0]; ++i)
+    if (ext_[i + 1] != 0) return;
+  delete[] ext_;
+  ext_ = nullptr;
+  if (check::bug_hooks().drop_spill_sharer) [[unlikely]] {
+    // Planted bug (see check/bughook.h): the large -> small shrink loses the
+    // highest surviving inline member.
+    if (w0_ != 0) w0_ &= ~(1ULL << (63 - __builtin_clzll(w0_)));
+  }
+}
+
+}  // namespace presto::util

@@ -1,13 +1,28 @@
 // Bit-vector sharer sets.
 //
-// NodeSet is the protocol-metadata workhorse: a single-word set of node ids
-// for directory sharer/reader masks, schedule reader/writer sets, and the
-// directory-audit validator. One machine word covers the CM-5-scale
-// machines the simulator models (≤ 64 nodes; protocol constructors check
-// this). Machines wider than NodeSet::kMaxNodes must spill to the dynamic
-// Bitset below, which the compiler's iterative dataflow solver already uses.
+// NodeSet is the protocol-metadata workhorse: a set of node ids for
+// directory sharer/reader masks, schedule reader/writer sets, and the
+// directory-audit validator. It is a hybrid small/large set: members below
+// kInlineNodes (64) live in one inline machine word — the common case on
+// CM-5-scale machines, where a NodeSet never allocates and compiles down to
+// the single-word bit ops it always was — and members >= 64 spill to a
+// heap-allocated word array that grows on demand, so 256–1024-node machines
+// use the same type end to end. Iteration is globally ascending (ctz order
+// within each word, inline word first), which is what keeps protocol message
+// emission order — and therefore every golden pin — bit-identical at <= 64
+// nodes: on such machines the spill array simply never exists.
+//
+// The spill array is canonical: ext_ != nullptr implies at least one member
+// >= 64. Every clearing operation that can empty the spill words frees them
+// (the "large -> small shrink"), so representation and semantics never
+// diverge and equality stays cheap.
+//
+// Bitset (below) is the index-addressed dynamic bit vector used by the
+// compiler's iterative dataflow solver; it is sized up front and has no
+// small-set optimization.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -17,69 +32,192 @@ namespace presto::util {
 
 class NodeSet {
  public:
-  static constexpr int kMaxNodes = 64;
+  // Members below this threshold are stored inline (no allocation).
+  static constexpr int kInlineNodes = 64;
 
   constexpr NodeSet() = default;
-
-  static constexpr NodeSet of(int n) { return NodeSet(1ULL << n); }
-  static constexpr NodeSet from_word(std::uint64_t w) { return NodeSet(w); }
-  constexpr std::uint64_t word() const { return w_; }
-
-  void set(int n) { w_ |= 1ULL << n; }
-  void reset(int n) { w_ &= ~(1ULL << n); }
-  constexpr bool test(int n) const { return (w_ >> n) & 1; }
-  void clear() { w_ = 0; }
-
-  constexpr bool any() const { return w_ != 0; }
-  constexpr bool none() const { return w_ == 0; }
-  // Exactly one member.
-  constexpr bool single() const { return w_ != 0 && (w_ & (w_ - 1)) == 0; }
-  int count() const { return __builtin_popcountll(w_); }
-  // Lowest member; undefined when empty.
-  int first() const { return __builtin_ctzll(w_); }
-
-  NodeSet& operator|=(NodeSet o) {
-    w_ |= o.w_;
+  ~NodeSet() {
+    if (ext_ != nullptr) [[unlikely]]
+      delete[] ext_;
+  }
+  NodeSet(const NodeSet& o) : w0_(o.w0_) {
+    if (o.ext_ != nullptr) [[unlikely]]
+      copy_ext_(o);
+  }
+  NodeSet& operator=(const NodeSet& o) {
+    if (this == &o) return *this;
+    w0_ = o.w0_;
+    if (ext_ != nullptr || o.ext_ != nullptr) [[unlikely]]
+      assign_ext_(o);
     return *this;
   }
-  NodeSet& operator&=(NodeSet o) {
-    w_ &= o.w_;
+  NodeSet(NodeSet&& o) noexcept : w0_(o.w0_), ext_(o.ext_) {
+    o.w0_ = 0;
+    o.ext_ = nullptr;
+  }
+  NodeSet& operator=(NodeSet&& o) noexcept {
+    if (this == &o) return *this;
+    if (ext_ != nullptr) delete[] ext_;
+    w0_ = o.w0_;
+    ext_ = o.ext_;
+    o.w0_ = 0;
+    o.ext_ = nullptr;
+    return *this;
+  }
+
+  static NodeSet of(int n) {
+    NodeSet s;
+    s.set(n);
+    return s;
+  }
+  // Low-word (members < 64) conversions, used by the fuzzer's trace format
+  // and tests. from_word never produces spill members; word() ignores them.
+  static NodeSet from_word(std::uint64_t w) { return NodeSet(w); }
+  constexpr std::uint64_t word() const { return w0_; }
+
+  void set(int n) {
+    if (n < kInlineNodes) {
+      w0_ |= 1ULL << n;
+      return;
+    }
+    set_spill_(n);
+  }
+  void reset(int n) {
+    if (n < kInlineNodes) {
+      w0_ &= ~(1ULL << n);
+      return;
+    }
+    reset_spill_(n);
+  }
+  bool test(int n) const {
+    if (n < kInlineNodes) return (w0_ >> n) & 1;
+    const std::size_t wi = static_cast<std::size_t>(n - kInlineNodes) >> 6;
+    if (ext_ == nullptr || wi >= ext_[0]) return false;
+    return (ext_[wi + 1] >> (n & 63)) & 1;
+  }
+  void clear() {
+    w0_ = 0;
+    if (ext_ != nullptr) [[unlikely]] {
+      delete[] ext_;
+      ext_ = nullptr;
+    }
+  }
+
+  bool any() const { return w0_ != 0 || ext_ != nullptr; }
+  bool none() const { return !any(); }
+  // Exactly one member.
+  bool single() const {
+    if (ext_ == nullptr) return w0_ != 0 && (w0_ & (w0_ - 1)) == 0;
+    return w0_ == 0 && count_spill_() == 1;
+  }
+  int count() const {
+    int c = __builtin_popcountll(w0_);
+    if (ext_ != nullptr) [[unlikely]]
+      c += count_spill_();
+    return c;
+  }
+  // Lowest member; undefined when empty.
+  int first() const {
+    if (w0_ != 0) return __builtin_ctzll(w0_);
+    return first_spill_();
+  }
+
+  NodeSet& operator|=(const NodeSet& o) {
+    w0_ |= o.w0_;
+    if (o.ext_ != nullptr) [[unlikely]]
+      union_spill_(o);
+    return *this;
+  }
+  NodeSet& operator&=(const NodeSet& o) {
+    w0_ &= o.w0_;
+    if (ext_ != nullptr) [[unlikely]]
+      intersect_spill_(o);
     return *this;
   }
   // Set difference (this \ o).
-  void subtract(NodeSet o) { w_ &= ~o.w_; }
-  constexpr NodeSet without(int n) const { return NodeSet(w_ & ~(1ULL << n)); }
+  void subtract(const NodeSet& o) {
+    w0_ &= ~o.w0_;
+    if (ext_ != nullptr) [[unlikely]]
+      subtract_spill_(o);
+  }
+  NodeSet without(int n) const {
+    NodeSet r(*this);
+    r.reset(n);
+    return r;
+  }
 
-  friend constexpr NodeSet operator|(NodeSet a, NodeSet b) {
-    return NodeSet(a.w_ | b.w_);
+  friend NodeSet operator|(const NodeSet& a, const NodeSet& b) {
+    NodeSet r(a);
+    r |= b;
+    return r;
   }
-  friend constexpr NodeSet operator&(NodeSet a, NodeSet b) {
-    return NodeSet(a.w_ & b.w_);
+  friend NodeSet operator&(const NodeSet& a, const NodeSet& b) {
+    NodeSet r(a);
+    r &= b;
+    return r;
   }
-  friend constexpr bool operator==(NodeSet a, NodeSet b) {
-    return a.w_ == b.w_;
+  friend bool operator==(const NodeSet& a, const NodeSet& b) {
+    if (a.w0_ != b.w0_) return false;
+    if (a.ext_ == nullptr && b.ext_ == nullptr) return true;
+    return spill_equal_(a, b);
   }
-  friend constexpr bool operator!=(NodeSet a, NodeSet b) {
-    return a.w_ != b.w_;
+  friend bool operator!=(const NodeSet& a, const NodeSet& b) {
+    return !(a == b);
   }
 
   // Visits members in ascending order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    std::uint64_t w = w_;
+    std::uint64_t w = w0_;
     while (w) {
       fn(__builtin_ctzll(w));
       w &= w - 1;
     }
+    if (ext_ != nullptr) [[unlikely]] {
+      for (std::size_t wi = 0; wi < ext_[0]; ++wi) {
+        std::uint64_t v = ext_[wi + 1];
+        const int base = kInlineNodes + static_cast<int>(wi) * 64;
+        while (v) {
+          fn(base + __builtin_ctzll(v));
+          v &= v - 1;
+        }
+      }
+    }
+  }
+
+  // Heap bytes held by the spill array (0 for inline sets); protocols fold
+  // this into their metadata_bytes accounting.
+  std::size_t heap_bytes() const {
+    return ext_ == nullptr ? 0 : (ext_[0] + 1) * sizeof(std::uint64_t);
   }
 
  private:
-  explicit constexpr NodeSet(std::uint64_t w) : w_(w) {}
-  std::uint64_t w_ = 0;
+  explicit constexpr NodeSet(std::uint64_t w) : w0_(w) {}
+
+  // Cold spill-array paths, out of line (util/bitset.cc) so the inline fast
+  // paths above stay branch-plus-word-op sized.
+  void set_spill_(int n);
+  void reset_spill_(int n);
+  void copy_ext_(const NodeSet& o);
+  void assign_ext_(const NodeSet& o);
+  int count_spill_() const;
+  int first_spill_() const;
+  void union_spill_(const NodeSet& o);
+  void intersect_spill_(const NodeSet& o);
+  void subtract_spill_(const NodeSet& o);
+  static bool spill_equal_(const NodeSet& a, const NodeSet& b);
+  // Frees the spill array when it holds no members (large -> small shrink,
+  // restoring the canonical inline representation).
+  void maybe_shrink_();
+
+  std::uint64_t w0_ = 0;   // members [0, 64)
+  // nullptr, or new[]'d {word_count, words...}: member 64+i*64+b is bit b of
+  // ext_[1+i]. Canonical: non-null implies at least one member >= 64.
+  std::uint64_t* ext_ = nullptr;
 };
 
-static_assert(sizeof(NodeSet) == 8 && NodeSet::kMaxNodes == 64,
-              "NodeSet is one machine word; wider machines spill to Bitset");
+static_assert(sizeof(NodeSet) == 16 && NodeSet::kInlineNodes == 64,
+              "NodeSet is one inline word plus a spill pointer");
 
 class Bitset {
  public:

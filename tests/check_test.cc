@@ -168,6 +168,81 @@ TEST(Fuzz, InjectedBugIsCaughtShrunkAndReplayedIdentically) {
   EXPECT_FALSE(rv.ok);
 }
 
+// Wide-shape program whose correctness depends on the home's reader set
+// surviving a large -> small shrink. Participants 0/1/2 sit at physical
+// nodes 0/63/127 of a 128-node machine; block 0's home is node 0. Phase 1
+// registers readers {63, 127} at the home, phase 2 has node 127 write (and,
+// under write-update, publish), phase 3 has node 63 read the new value.
+// Clearing 127 from {63, 127} empties the NodeSet spill array — exactly
+// where the drop-spill-sharer bug loses the surviving reader 63.
+FuzzProgram spill_shrink_program() {
+  FuzzProgram prog;
+  prog.nodes = 128;
+  prog.participants = 3;
+  prog.block_size = 32;
+  prog.nblocks = 1;
+  prog.seed = 9;
+  FuzzPhase prime;
+  prime.writer = {-1};
+  prime.reader_mask = {0x6};  // participants 1 and 2
+  FuzzPhase write;
+  write.writer = {2};
+  write.reader_mask = {0x0};
+  FuzzPhase readback;
+  readback.writer = {-1};
+  readback.reader_mask = {0x2};  // participant 1 must see the new value
+  FuzzRound rd;
+  rd.phases = {prime, write, readback};
+  prog.rounds.push_back(rd);
+  return prog;
+}
+
+TEST(Fuzz, WideShapesMapParticipantsAcrossTheMachine) {
+  const FuzzProgram prog = spill_shrink_program();
+  EXPECT_EQ(participant_count(prog), 3);
+  EXPECT_EQ(participant_node(prog, 0), 0);
+  EXPECT_EQ(participant_node(prog, 1), 63);
+  EXPECT_EQ(participant_node(prog, 2), 127);
+  // Dense shapes are the identity mapping.
+  FuzzProgram dense = producer_consumer(1);
+  EXPECT_EQ(participant_count(dense), 2);
+  EXPECT_EQ(participant_node(dense, 1), 1);
+  // Wide traces round-trip (the participants line) and stay clean.
+  EXPECT_EQ(serialize_trace(parse_trace(serialize_trace(prog))),
+            serialize_trace(prog));
+  const FuzzVerdict v = check_program(prog, /*latency_sweep=*/false);
+  EXPECT_TRUE(v.ok) << v.report;
+}
+
+TEST(Fuzz, CatchesDroppedSpillSharer) {
+  // The planted hybrid-NodeSet bug: maybe_shrink_ frees an emptied spill
+  // array but also drops the highest surviving inline member. Node 63's
+  // registered read is forgotten, its copy goes stale, and the oracle (or
+  // the host reference) flags the stale read under write-update. The same
+  // program must stay clean on machines that never spill (<= 64 nodes the
+  // bug cannot fire) and on the exact-set protocols.
+  FuzzProgram prog = spill_shrink_program();
+  prog.injected_bug = "drop-spill-sharer";
+  const FuzzVerdict v = check_program(prog, /*latency_sweep=*/false);
+  ASSERT_FALSE(v.ok);
+  EXPECT_NE(v.signature.find("write-update"), std::string::npos)
+      << v.signature;
+
+  const FuzzProgram shrunk =
+      shrink(prog, v.signature, /*latency_sweep=*/false, /*max_attempts=*/60);
+  const FuzzVerdict sv = check_program(shrunk, false);
+  ASSERT_FALSE(sv.ok);
+  EXPECT_EQ(sv.signature, v.signature);
+  // The failure is spill-specific: shrinking must not collapse the machine
+  // below the spill threshold.
+  EXPECT_GT(shrunk.nodes, 64);
+
+  // Replay from the serialized trace reproduces the verdict byte-for-byte.
+  const FuzzVerdict rv = check_program(parse_trace(serialize_trace(shrunk)),
+                                       /*latency_sweep=*/false);
+  EXPECT_EQ(rv.report, sv.report);
+}
+
 TEST(Fuzz, WriteUpdateSupportRules) {
   FuzzProgram prog = producer_consumer(2);
   EXPECT_TRUE(supports_write_update(prog));

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "util/bitset.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -65,6 +68,193 @@ TEST(Bitset, EqualityRequiresSameBits) {
   EXPECT_EQ(a, b);
   a.set(5);
   EXPECT_FALSE(a == b);
+}
+
+// ---- Hybrid NodeSet: inline word below 64, heap spill above -----------------
+
+TEST(NodeSet, InlineMembersNeverAllocate) {
+  NodeSet s;
+  EXPECT_TRUE(s.none());
+  s.set(0);
+  s.set(5);
+  s.set(63);
+  EXPECT_EQ(s.heap_bytes(), 0u);  // members < 64 stay in the inline word
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_TRUE(s.test(63));
+  EXPECT_FALSE(s.test(64));  // probing spill range without a spill array
+  EXPECT_FALSE(s.test(1000));
+  EXPECT_EQ(s.word(), (1ULL << 0) | (1ULL << 5) | (1ULL << 63));
+  s.reset(5);
+  EXPECT_EQ(s.count(), 2);
+  EXPECT_EQ(s.first(), 0);
+}
+
+TEST(NodeSet, SpillAcrossTheInlineBoundary) {
+  NodeSet s;
+  s.set(63);
+  s.set(64);   // first spill word
+  s.set(130);  // second spill word
+  s.set(1023);
+  EXPECT_GT(s.heap_bytes(), 0u);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_TRUE(s.test(63) && s.test(64) && s.test(130) && s.test(1023));
+  EXPECT_FALSE(s.test(65) || s.test(129) || s.test(1022));
+  EXPECT_EQ(s.first(), 63);
+  s.reset(63);
+  EXPECT_EQ(s.first(), 64);
+  EXPECT_FALSE(s.single());
+}
+
+TEST(NodeSet, ForEachIsGloballyAscending) {
+  NodeSet s;
+  const int members[] = {900, 2, 64, 63, 127, 128, 65, 0};
+  for (int m : members) s.set(m);
+  std::vector<int> got;
+  s.for_each([&](int n) { got.push_back(n); });
+  EXPECT_EQ(got, (std::vector<int>{0, 2, 63, 64, 65, 127, 128, 900}));
+}
+
+TEST(NodeSet, ShrinkRestoresInlineRepresentation) {
+  // Clearing the last spill member must free the heap array (the canonical
+  // invariant: ext != nullptr implies a member >= 64), so equality with a
+  // never-spilled set holds and empty-set checks stay one compare.
+  NodeSet s;
+  s.set(3);
+  s.set(200);
+  EXPECT_GT(s.heap_bytes(), 0u);
+  s.reset(200);
+  EXPECT_EQ(s.heap_bytes(), 0u);
+  EXPECT_EQ(s, NodeSet::of(3));
+
+  NodeSet t;
+  t.set(200);
+  t.reset(200);
+  EXPECT_TRUE(t.none());
+  EXPECT_EQ(t, NodeSet());
+
+  // without() is copy + reset: the copy shrinks, the source is untouched.
+  NodeSet u;
+  u.set(7);
+  u.set(100);
+  const NodeSet v = u.without(100);
+  EXPECT_EQ(v.heap_bytes(), 0u);
+  EXPECT_EQ(v, NodeSet::of(7));
+  EXPECT_TRUE(u.test(100));
+}
+
+TEST(NodeSet, SetAlgebraSpansTheBoundary) {
+  NodeSet a, b;
+  a.set(1);
+  a.set(70);
+  a.set(300);
+  b.set(1);
+  b.set(70);
+  b.set(500);
+
+  NodeSet u = a | b;
+  EXPECT_EQ(u.count(), 4);
+  EXPECT_TRUE(u.test(300) && u.test(500));
+
+  NodeSet i = a & b;
+  EXPECT_EQ(i.count(), 2);
+  EXPECT_TRUE(i.test(1) && i.test(70));
+  EXPECT_FALSE(i.test(300));
+
+  NodeSet d = a;
+  d.subtract(b);
+  EXPECT_EQ(d, NodeSet::of(300));
+  EXPECT_TRUE(d.single());
+
+  // Subtracting everything shrinks back to the empty inline set.
+  NodeSet e = a;
+  e.subtract(a);
+  EXPECT_TRUE(e.none());
+  EXPECT_EQ(e.heap_bytes(), 0u);
+}
+
+TEST(NodeSet, EqualityIsSemanticNotRepresentational) {
+  // A set that once spilled and shrank equals one that never spilled, and
+  // spill arrays of different capacities with equal members compare equal.
+  NodeSet once;
+  once.set(9);
+  once.set(64);
+  once.reset(64);
+  EXPECT_EQ(once, NodeSet::of(9));
+
+  NodeSet small, large;
+  small.set(64);
+  large.set(64);
+  large.set(4000);   // grows the spill array
+  large.reset(4000); // leaves capacity behind; members now equal `small`
+  EXPECT_EQ(small, large);
+  EXPECT_NE(small, NodeSet::of(63));
+}
+
+TEST(NodeSet, CopyAndMoveSemantics) {
+  NodeSet s;
+  s.set(2);
+  s.set(128);
+
+  NodeSet copy(s);  // deep copy: distinct spill arrays
+  copy.set(129);
+  EXPECT_FALSE(s.test(129));
+  EXPECT_TRUE(copy.test(2) && copy.test(128));
+
+  NodeSet assigned;
+  assigned.set(64);  // existing spill is replaced
+  assigned = s;
+  EXPECT_EQ(assigned, s);
+  EXPECT_FALSE(assigned.test(64));
+
+  NodeSet moved(std::move(copy));
+  EXPECT_TRUE(moved.test(129));
+  EXPECT_TRUE(copy.none());  // NOLINT(bugprone-use-after-move): spec'd empty
+
+  NodeSet target;
+  target.set(70);
+  target = std::move(moved);
+  EXPECT_TRUE(target.test(128) && target.test(129));
+  EXPECT_FALSE(target.test(70));
+}
+
+TEST(NodeSet, MatchesBitsetOnSharedDomain) {
+  // On ids < 64 (the classic machine range) NodeSet and Bitset must agree
+  // operation for operation — NodeSet is the Bitset fast path the protocols
+  // rely on for bit-identical emission order.
+  Rng rng(7);
+  NodeSet ns_a, ns_b;
+  Bitset bs_a(64), bs_b(64);
+  for (int i = 0; i < 40; ++i) {
+    const int n = static_cast<int>(rng.next_below_unbiased(64));
+    if (i % 3 == 0) {
+      ns_b.set(n);
+      bs_b.set(static_cast<std::size_t>(n));
+    } else {
+      ns_a.set(n);
+      bs_a.set(static_cast<std::size_t>(n));
+    }
+  }
+  auto agree = [](const NodeSet& ns, const Bitset& bs) {
+    EXPECT_EQ(static_cast<std::size_t>(ns.count()), bs.count());
+    std::vector<int> from_ns, from_bs;
+    ns.for_each([&](int n) { from_ns.push_back(n); });
+    bs.for_each([&](std::size_t n) { from_bs.push_back(static_cast<int>(n)); });
+    EXPECT_EQ(from_ns, from_bs);
+  };
+  agree(ns_a, bs_a);
+  NodeSet ns_u = ns_a | ns_b;
+  Bitset bs_u = bs_a;
+  bs_u.union_with(bs_b);
+  agree(ns_u, bs_u);
+  NodeSet ns_i = ns_a & ns_b;
+  Bitset bs_i = bs_a;
+  bs_i.intersect_with(bs_b);
+  agree(ns_i, bs_i);
+  NodeSet ns_d = ns_a;
+  ns_d.subtract(ns_b);
+  Bitset bs_d = bs_a;
+  bs_d.subtract(bs_b);
+  agree(ns_d, bs_d);
 }
 
 TEST(Rng, DeterministicStream) {
