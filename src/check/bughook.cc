@@ -21,6 +21,8 @@ void set_bug_hook(const char* name, bool on) {
     h.drop_presend_data = on;
   } else if (std::strcmp(name, "delay-window-flush") == 0) {
     h.delay_window_flush = on;
+  } else if (std::strcmp(name, "stale-sense-flag") == 0) {
+    h.stale_sense_flag = on;
   } else if (std::strcmp(name, "drop-spill-sharer") == 0) {
     h.drop_spill_sharer = on;
   } else {

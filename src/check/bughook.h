@@ -32,6 +32,15 @@ struct BugHooks {
   // which is what lets the same process hold a clean reference.
   bool delay_window_flush = false;
 
+  // Parallel worker pool only (workers > 1): the first helper released in a
+  // run believes its stale sense flag already shows the window complete, so
+  // it arrives at the barrier without draining its lanes (once per run).
+  // Its events execute one window late — per-lane (time, seq) order is
+  // intact, so counters and execution results match, but the window-boundary
+  // trace stamping order diverges and the parallel differential's trace
+  // digest must catch it. Serial runs have no pool and are unaffected.
+  bool stale_sense_flag = false;
+
   // Hybrid NodeSet only (machines > 64 nodes): when clearing the last
   // spill-array member shrinks a sharer set back to its inline
   // representation, the shrink also drops the highest surviving inline

@@ -73,8 +73,13 @@ std::size_t Network::metadata_bytes() const {
     for (std::uint32_t i = 0; i < sc.count; ++i)
       n += sc.chunks[i / kSparseChunk][i % kSparseChunk].ring.capacity_bytes();
   }
-  for (const auto& ob : outboxes_)
-    n += ob.entries.capacity() * sizeof(Staged) + ob.bytes.capacity();
+  for (const auto& ob : outboxes_) {
+    n += ob.entries.capacity() * sizeof(Staged);
+    if (ob.open != nullptr) n += sizeof(StagedArena) + ob.open->bytes.capacity();
+    for (const auto& a : ob.sealed) n += sizeof(StagedArena) + a->bytes.capacity();
+    for (const auto& a : ob.free) n += sizeof(StagedArena) + a->bytes.capacity();
+  }
+  n += holdover_.entries.capacity() * sizeof(Staged);
   return n;
 }
 
@@ -119,22 +124,30 @@ sim::Time Network::send_msg(int src, int dst, std::size_t wire_bytes,
                             std::size_t payload_len) {
   PRESTO_CHECK(sink_ != nullptr, "send_msg with no MsgSink registered");
   const sim::Time arrival = route(src, dst, wire_bytes, depart);
-  Channel& ch = channel(src, dst);
   if (src != dst && engine_.in_lane_context()) {
     PRESTO_CHECK(engine_.current_lane() == src,
                  "lane " << engine_.current_lane() << " sending as " << src);
+    // Single copy: header+payload land contiguously in the source's open
+    // arena; the boundary flush schedules deliveries that read them in
+    // place (no ring push, no second copy).
     Outbox& ob = outboxes_[static_cast<std::size_t>(src)];
-    const std::size_t off = ob.bytes.size();
-    ob.bytes.resize(off + header_len + payload_len);
-    std::memcpy(ob.bytes.data() + off, header, header_len);
-    if (payload_len > 0)
-      std::memcpy(ob.bytes.data() + off + header_len, payload, payload_len);
-    ob.entries.push_back(Staged{&ch, dst, arrival, /*is_record=*/true,
+    if (ob.open == nullptr) ob.open = std::make_unique<StagedArena>();
+    StagedArena& a = *ob.open;
+    const std::size_t off = a.bytes.size();
+    const auto* h = static_cast<const std::byte*>(header);
+    a.bytes.insert(a.bytes.end(), h, h + header_len);
+    if (payload_len > 0) {
+      const auto* p = static_cast<const std::byte*>(payload);
+      a.bytes.insert(a.bytes.end(), p, p + payload_len);
+    }
+    ++ob.open_records;
+    ob.entries.push_back(Staged{&a, dst, arrival, /*is_record=*/true,
                                 static_cast<std::uint32_t>(header_len),
                                 static_cast<std::uint32_t>(payload_len), off,
                                 sim::InlineFn()});
     return arrival;
   }
+  Channel& ch = channel(src, dst);
   ch.ring.push(header, header_len, payload, payload_len);
   schedule_record_delivery(ch, dst, arrival);
   return arrival;
@@ -146,6 +159,35 @@ void Network::stage_fn(int src, int dst, sim::Time arrival, sim::InlineFn fn) {
   outboxes_[static_cast<std::size_t>(src)].entries.push_back(
       Staged{nullptr, dst, arrival, /*is_record=*/false, 0, 0, 0,
              std::move(fn)});
+}
+
+void Network::seal_open(Outbox& ob) {
+  if (ob.open_records == 0) return;
+  // The count is the arena's delivery obligation; the window barrier's
+  // release/acquire edges publish the bytes to the destination lanes that
+  // will read them.
+  ob.open->live.store(ob.open_records, std::memory_order_release);
+  ob.sealed.push_back(std::move(ob.open));
+  if (!ob.free.empty()) {
+    ob.open = std::move(ob.free.back());
+    ob.free.pop_back();
+  } else {
+    ob.open = std::make_unique<StagedArena>();
+  }
+  ob.open_records = 0;
+}
+
+void Network::reclaim_arenas(Outbox& ob) {
+  for (std::size_t i = 0; i < ob.sealed.size();) {
+    if (ob.sealed[i]->live.load(std::memory_order_acquire) != 0) {
+      ++i;
+      continue;
+    }
+    ob.sealed[i]->bytes.clear();  // keep capacity
+    ob.free.push_back(std::move(ob.sealed[i]));
+    ob.sealed[i] = std::move(ob.sealed.back());
+    ob.sealed.pop_back();
+  }
 }
 
 void Network::flush_staged() {
@@ -162,27 +204,39 @@ void Network::flush_staged() {
     // messages physically sit in the mailbox, so their wire departure — and
     // therefore arrival — slips by the window width (merely re-inserting the
     // events late would be invisible: delivery times are absolute stamps).
+    // Only the entries move; their record bytes stay in source 1's arena,
+    // which seals normally below and is reclaimed once the late deliveries
+    // finally run.
     flush_delayed_ = true;
     std::swap(holdover_.entries, outboxes_[1].entries);
-    std::swap(holdover_.bytes, outboxes_[1].bytes);
     for (Staged& s : holdover_.entries) s.arrival += engine_.window();
   }
-  for (Outbox& ob : outboxes_) flush_outbox(ob);
+  for (Outbox& ob : outboxes_) {
+    reclaim_arenas(ob);
+    seal_open(ob);
+    flush_outbox(ob);
+  }
 }
 
 void Network::flush_outbox(Outbox& ob) {
   for (Staged& s : ob.entries) {
     if (s.is_record) {
-      s.ch->ring.push(ob.bytes.data() + s.byte_off, s.header_len,
-                      ob.bytes.data() + s.byte_off + s.header_len,
-                      s.payload_len);
-      schedule_record_delivery(*s.ch, s.dst, s.arrival);
+      // Deliver straight out of the sealed arena: the capture fits the
+      // engine's inline closure storage, and the decrement is the arena's
+      // only shared word.
+      engine_.schedule_on(s.dst, s.arrival,
+                          [this, a = s.arena, off = s.byte_off,
+                           len = static_cast<std::size_t>(s.header_len) +
+                                 s.payload_len,
+                           dst = s.dst] {
+                            sink_->on_msg(dst, a->bytes.data() + off, len);
+                            a->live.fetch_sub(1, std::memory_order_release);
+                          });
     } else {
       engine_.schedule_on(s.dst, s.arrival, std::move(s.fn));
     }
   }
   ob.entries.clear();
-  ob.bytes.clear();
 }
 
 }  // namespace presto::net

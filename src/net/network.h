@@ -38,13 +38,28 @@
 // in the source node's outbox — routing (the FIFO clamp, traffic counters,
 // the observer call) still happens at send time, on state the source lane
 // owns — and the boundary flush (BoundaryOp::kNet) walks sources 0..N-1 in
-// send order, pushing each record into its channel ring and scheduling the
-// delivery on the destination lane. The flush order is fixed, so message
-// sequence numbers — and therefore every simulated result — are independent
-// of how lanes were partitioned over workers. Self-sends and sends from
-// outside any lane (setup, boundary context) deliver directly, as before.
+// send order, scheduling each delivery on the destination lane. The flush
+// order is fixed, so message sequence numbers — and therefore every
+// simulated result — are independent of how lanes were partitioned over
+// workers. Self-sends and sends from outside any lane (setup, boundary
+// context) deliver directly through the channel ring, as before.
+//
+// Staged record bytes are written exactly once: send_msg appends them to the
+// source's open *arena*, and the boundary flush merely seals the arena
+// (stamping its live-delivery count) and schedules events that read the
+// bytes in place at arrival — no second copy into the channel ring, no
+// boundary memcpy at all. A sealed arena is immutable, so destination lanes
+// read it concurrently without synchronization beyond the window barrier's
+// release/acquire edges; each delivery decrements the arena's live counter
+// (single producer per arena, its consumers are the destination lanes — the
+// counter is the only shared word), and the flush reclaims drained arenas
+// into a freelist, so steady-state staging allocates nothing. Per-source
+// staging is deliberate: a worker→worker mailbox indexing would make the
+// flush order depend on the worker count, per-source order keeps it
+// canonical for free.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -160,24 +175,38 @@ class Network {
     RecordRing ring;
   };
 
+  // Staged record bytes for one flush interval of one source. The arena
+  // object's address is stable from the moment a record lands in it (the
+  // byte vector may grow while open; offsets stay valid). Sealing stamps
+  // `live` with the number of deliveries that will read the bytes; each
+  // delivery decrements it, and an arena at zero is recycled.
+  struct StagedArena {
+    std::vector<std::byte> bytes;
+    std::atomic<std::uint32_t> live{0};
+  };
+
   // One staged cross-node delivery (windowed mode). Record deliveries keep
-  // their header+payload bytes in the owning outbox's arena; closure
-  // deliveries carry the callable itself.
+  // their header+payload bytes in a staging arena; closure deliveries carry
+  // the callable itself.
   struct Staged {
-    Channel* ch;
+    StagedArena* arena;  // bytes owner (records only; null for closures)
     int dst;
     sim::Time arrival;
     bool is_record;
     std::uint32_t header_len;
     std::uint32_t payload_len;
-    std::size_t byte_off;  // into the outbox byte arena (records only)
+    std::size_t byte_off;  // into arena->bytes (records only)
     sim::InlineFn fn;      // closure delivery when !is_record
   };
-  // Per-source mailbox; entries are flushed in send order, arenas keep their
-  // capacity across windows so steady-state staging allocates nothing.
+  // Per-source mailbox; entries are flushed in send order. The open arena
+  // collects this interval's record bytes; sealed arenas are in flight until
+  // their deliveries drain, then return to the freelist with their capacity.
   struct Outbox {
     std::vector<Staged> entries;
-    std::vector<std::byte> bytes;
+    std::unique_ptr<StagedArena> open;   // created on first staged record
+    std::uint32_t open_records = 0;      // records staged in `open`
+    std::vector<std::unique_ptr<StagedArena>> sealed;
+    std::vector<std::unique_ptr<StagedArena>> free;
   };
 
   // Sparse mode (> kDenseNodeLimit nodes): per-source open-channel table.
@@ -208,6 +237,11 @@ class Network {
   // Boundary flush (BoundaryOp::kNet): sources 0..N-1 in send order.
   void flush_staged();
   void flush_outbox(Outbox& ob);
+  // Stamps the open arena's live count and moves it to the sealed list
+  // (no-op when it holds no records).
+  void seal_open(Outbox& ob);
+  // Recycles sealed arenas whose deliveries have all run.
+  void reclaim_arenas(Outbox& ob);
 
   sim::Engine& engine_;
   const int nodes_;
@@ -226,7 +260,9 @@ class Network {
   // Windowed mode only (empty otherwise).
   std::vector<Outbox> outboxes_;
   // Planted-bug state (check/bughook.h delay_window_flush): a one-shot hold
-  // of one source's mailbox for a full window, recovered at the next flush.
+  // of one source's mailbox entries for a full window, recovered at the next
+  // flush. Only entries move; their arena seals normally in the owning
+  // outbox, so the held records' bytes stay valid.
   Outbox holdover_;
   bool flush_delayed_ = false;
 };

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "sim/parallel.h"
 #include "trace/file.h"
 #include "util/check.h"
 
@@ -56,7 +57,7 @@ System::System(const MachineConfig& cfg, ProtocolKind kind)
                        ? (cfg.workers > 0 ? cfg.workers
                                           : default_workers(cfg.nodes))
                        : 1;
-    engine_.enable_windows(w, cfg.nodes, cfg_.workers);
+    engine_.enable_windows(w, cfg.nodes, cfg_.workers, cfg.batch_windows);
   }
   net_ = std::make_unique<net::Network>(engine_, cfg.nodes, cfg.net);
   space_ = std::make_unique<mem::GlobalSpace>(cfg.nodes, cfg.mem);
@@ -171,6 +172,16 @@ void System::run(const std::function<void(NodeCtx&)>& body) {
   host.backend = sim::backend_name(engine_.backend());
   host.windows = engine_.windows_run();
   host.workers = engine_.windowed() ? engine_.workers() : 1;
+  const sim::WindowPoolStats wps = engine_.window_stats();
+  host.win_barrier_wait_ns = wps.barrier_wait_ns;
+  host.win_drain_ns = wps.drain_ns;
+  host.win_boundary_ns = wps.boundary_ns;
+  host.win_park_ns = wps.park_ns;
+  host.win_parks = wps.parks;
+  host.win_spin_releases = wps.spin_releases;
+  host.win_releases = wps.releases;
+  host.win_serial_windows = wps.serial_windows;
+  host.win_adopted_drains = wps.adopted_drains;
   for (int n = 0; n < cfg_.nodes; ++n) {
     host.yields += engine_.processor(n).yield_count();
     host.blocks += engine_.processor(n).block_count();

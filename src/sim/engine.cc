@@ -1,5 +1,7 @@
 #include "sim/engine.h"
 
+#include <chrono>
+
 #include "sim/parallel.h"
 #include "sim/processor.h"
 #include "util/check.h"
@@ -26,7 +28,8 @@ Engine::~Engine() {
   processors_.clear();
 }
 
-void Engine::enable_windows(Time window, int lanes, int workers) {
+void Engine::enable_windows(Time window, int lanes, int workers,
+                            int max_batch) {
   PRESTO_CHECK(!windowed_, "enable_windows called twice");
   PRESTO_CHECK(window >= 1, "window width must be positive, got " << window);
   PRESTO_CHECK(lanes >= 1, "need at least one lane, got " << lanes);
@@ -39,8 +42,13 @@ void Engine::enable_windows(Time window, int lanes, int workers) {
   workers_ = 1;
   if (backend_ == Backend::kParallel) {
     workers_ = workers < 1 ? 1 : (workers > lanes ? lanes : workers);
-    if (workers_ > 1) pool_ = std::make_unique<WindowPool>(*this, workers_);
+    if (workers_ > 1)
+      pool_ = std::make_unique<WindowPool>(*this, workers_, max_batch);
   }
+}
+
+WindowPoolStats Engine::window_stats() {
+  return pool_ != nullptr ? pool_->collect_stats() : WindowPoolStats{};
 }
 
 void Engine::set_boundary_op(BoundaryOp slot, std::function<void()> fn) {
@@ -236,6 +244,10 @@ void Engine::lane_sched_signal() {
 
 void Engine::drain_lane(int lane_id) {
   Lane& l = lane(lane_id);
+  // Under a worker pool a lane may be drained by a different thread each
+  // window (adoption); the saved drain-loop context must be re-bound to the
+  // thread actually draining (TSan fiber-handle refresh; no-op otherwise).
+  if (backend_ != Backend::kThread) bind_host_context(l.sched_ctx);
   const int prev_lane = tls_lane_;
   const Engine* prev_engine = tls_engine_;
   tls_lane_ = lane_id;
@@ -322,10 +334,16 @@ void Engine::run_windowed() {
     ++windows_run_;
     if (pool_ != nullptr) {
       pool_->run_window();
+      const auto t0 = std::chrono::steady_clock::now();
+      run_boundary();
+      pool_->stats().boundary_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
     } else {
       for (int li = 0; li < num_lanes(); ++li) drain_lane(li);
+      run_boundary();
     }
-    run_boundary();
   }
 }
 

@@ -58,6 +58,7 @@ namespace presto::sim {
 
 class Processor;
 class WindowPool;
+struct WindowPoolStats;
 
 // Fixed boundary-operation slots, run in enum order at every window
 // boundary (serial, on run()'s caller). Re-registering a slot overwrites it,
@@ -143,13 +144,19 @@ class Engine {
   // cross-node latency or staged deliveries could land in a lane's past).
   // With backend kParallel, `workers` persistent worker threads drain the
   // lanes concurrently (clamped to [1, lanes]); other backends drain
-  // serially and ignore `workers`. Must be called before any processor or
-  // event exists.
-  void enable_windows(Time window, int lanes, int workers);
+  // serially and ignore `workers`. `max_batch` caps a worker's spin-acquired
+  // consecutive-window streak (0 = unbounded; host-only knob, see
+  // sim/parallel.h — simulated results are invariant to it). Must be called
+  // before any processor or event exists.
+  void enable_windows(Time window, int lanes, int workers, int max_batch = 0);
   bool windowed() const { return windowed_; }
   Time window() const { return window_; }
   int num_lanes() const { return static_cast<int>(lanes_.size()); }
   int workers() const { return workers_; }
+
+  // Window-synchronization attribution (sim/parallel.h); all-zero when no
+  // worker pool is active. Host-side observability only.
+  WindowPoolStats window_stats();
 
   // Registers (or overwrites) a boundary operation; null clears the slot.
   void set_boundary_op(BoundaryOp slot, std::function<void()> fn);

@@ -267,6 +267,14 @@ void fiber_switch(FiberContext& from, FiberContext& to) {
   finish_incoming_switch(from);
 }
 
+void bind_host_context(FiberContext& ctx) {
+#if PRESTO_TSAN
+  ctx.tsan = __tsan_get_current_fiber();
+#else
+  (void)ctx;
+#endif
+}
+
 void fiber_exit_to(FiberContext& dying, FiberContext& to) {
 #if PRESTO_ASAN
   // Null fake-stack handle: the outgoing stack is gone for good; ASan frees

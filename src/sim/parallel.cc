@@ -1,55 +1,241 @@
 #include "sim/parallel.h"
 
+#include <algorithm>
+#include <chrono>
+
+#include "check/bughook.h"
 #include "sim/engine.h"
 #include "util/check.h"
 
 namespace presto::sim {
+namespace {
 
-WindowPool::WindowPool(Engine& engine, int workers)
-    : engine_(engine), workers_(workers) {
+// Spin budget before a waiter touches the kernel. The pause phase covers the
+// steady state where the peer is at most one window of drain work away; the
+// yield phase keeps oversubscribed hosts live without burning a scheduling
+// quantum in pause loops.
+constexpr int kSpinPause = 1024;
+constexpr int kSpinYield = 64;
+
+// A runnable lane's work estimate for one window: its pending-entry count,
+// capped. The cap matters because a heap holds every future event of the
+// lane while a single window executes only the few that fall inside it —
+// uncapped, two deep lanes would look like a parallel-worthy window forever
+// and a mostly-idle machine would eat a release/arrival round trip every
+// window. With the cap, a worker only looks release-worthy when several of
+// its lanes are runnable at once.
+constexpr std::uint32_t kLaneEstCap = 8;
+// A window whose total estimate is below this runs entirely on the caller:
+// a release/arrival round trip costs more than draining this many events.
+constexpr std::uint32_t kSerialGrain = 64;
+// A helper whose runnable lanes' estimate is below this is not released;
+// the caller adopts its lanes instead.
+constexpr std::uint32_t kAdoptGrain = 16;
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+WindowPool::WindowPool(Engine& engine, int workers, int max_batch)
+    : engine_(engine), workers_(workers), max_batch_(max_batch) {
   PRESTO_CHECK(workers_ >= 2, "WindowPool needs >= 2 workers, got " << workers_);
-  threads_.reserve(static_cast<std::size_t>(workers_));
-  for (int w = 0; w < workers_; ++w)
-    threads_.emplace_back(&WindowPool::worker_main, this, w);
+  slots_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int w = 1; w < workers_; ++w) slots_.push_back(std::make_unique<Slot>());
+  work_est_.resize(static_cast<std::size_t>(workers_));
+  released_.resize(static_cast<std::size_t>(workers_));
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int w = 1; w < workers_; ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
 }
 
 WindowPool::~WindowPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
-    ++generation_;
+  // Helpers are quiescent here: every run_window() returned only after all
+  // released helpers arrived, so each is parked or spinning on its epoch.
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& s : slots_) {
+    s->epoch.fetch_add(1, std::memory_order_release);
+    s->epoch.notify_one();
   }
-  start_cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
-void WindowPool::run_window() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    arrived_ = 0;
-    ++generation_;
+std::uint32_t WindowPool::await_epoch(Slot& slot, std::uint32_t seen,
+                                      bool allow_spin) {
+  std::uint32_t e = slot.epoch.load(std::memory_order_acquire);
+  if (e != seen) {
+    ++slot.spin_releases;
+    return e;
   }
-  start_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return arrived_ == workers_; });
+  if (allow_spin) {
+    for (int i = 0; i < kSpinPause; ++i) {
+      cpu_pause();
+      e = slot.epoch.load(std::memory_order_acquire);
+      if (e != seen) {
+        ++slot.spin_releases;
+        return e;
+      }
+    }
+    for (int i = 0; i < kSpinYield; ++i) {
+      std::this_thread::yield();
+      e = slot.epoch.load(std::memory_order_acquire);
+      if (e != seen) {
+        ++slot.spin_releases;
+        return e;
+      }
+    }
+  }
+  const std::uint64_t t0 = now_ns();
+  // wait() may return spuriously or on a stale comparand; reload and retry.
+  do {
+    slot.epoch.wait(seen, std::memory_order_acquire);
+    e = slot.epoch.load(std::memory_order_acquire);
+  } while (e == seen);
+  slot.park_ns += now_ns() - t0;
+  ++slot.parks;
+  return e;
 }
 
 void WindowPool::worker_main(int w) {
-  std::uint64_t seen = 0;
+  Slot& slot = *slots_[static_cast<std::size_t>(w - 1)];
+  std::uint32_t seen = 0;
+  int streak = 0;  // consecutive releases acquired without a park
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] { return generation_ != seen; });
-      seen = generation_;
-      if (stop_) return;
+    const bool allow_spin = max_batch_ == 0 || streak < max_batch_;
+    const std::uint64_t parks_before = slot.parks;
+    seen = await_epoch(slot, seen, allow_spin);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    streak = slot.parks == parks_before ? streak + 1 : 1;
+    if (check::bug_hooks().stale_sense_flag &&
+        !stale_sense_fired_.exchange(true, std::memory_order_relaxed))
+        [[unlikely]] {
+      // Planted bug (see check/bughook.h): arrive without draining, as if a
+      // stale sense flag already showed the window complete.
+      if (arrivals_.fetch_sub(1, std::memory_order_release) == 1)
+        arrivals_.notify_one();
+      continue;
     }
-    for (int lane = w; lane < engine_.num_lanes(); lane += workers_)
-      engine_.drain_lane(lane);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (++arrived_ == workers_) done_cv_.notify_one();
+    const int nlanes = engine_.num_lanes();
+    for (int i = w; i < nlanes; i += workers_) engine_.drain_lane(i);
+    if (arrivals_.fetch_sub(1, std::memory_order_release) == 1)
+      arrivals_.notify_one();
+  }
+}
+
+void WindowPool::run_window() {
+  const int nlanes = engine_.num_lanes();
+  // Classify: how much pending work each worker's runnable lanes hold.
+  std::fill(work_est_.begin(), work_est_.end(), 0u);
+  std::uint64_t total = 0;
+  for (int i = 0; i < nlanes; ++i) {
+    const Engine::Lane& l = engine_.lane(i);
+    if (l.heap.empty() || l.heap[0].t >= l.cap) continue;
+    const auto est = static_cast<std::uint32_t>(
+        l.heap.size() < kLaneEstCap ? l.heap.size() : kLaneEstCap);
+    work_est_[static_cast<std::size_t>(i % workers_)] += est;
+    total += est;
+  }
+
+  int nreleased = 0;
+  std::fill(released_.begin(), released_.end(), std::uint8_t{0});
+  if (total > kSerialGrain) {
+    for (int w = 1; w < workers_; ++w) {
+      if (work_est_[static_cast<std::size_t>(w)] >= kAdoptGrain) {
+        released_[static_cast<std::size_t>(w)] = 1;
+        ++nreleased;
+      }
     }
   }
+
+  if (nreleased == 0) {
+    // Serial fast path: the whole window on the caller, no atomics.
+    const std::uint64_t t0 = now_ns();
+    for (int i = 0; i < nlanes; ++i) {
+      if (i % workers_ != 0) {
+        const Engine::Lane& l = engine_.lane(i);
+        if (!l.heap.empty() && l.heap[0].t < l.cap) ++stats_.adopted_drains;
+      }
+      engine_.drain_lane(i);
+    }
+    stats_.drain_ns += now_ns() - t0;
+    ++stats_.serial_windows;
+    return;
+  }
+
+  // The relaxed store is ordered before the epoch release stores below; a
+  // helper's acquire on its epoch therefore sees the fresh arrival count
+  // (and every lane cap the engine set before calling us).
+  arrivals_.store(nreleased, std::memory_order_relaxed);
+  for (int w = 1; w < workers_; ++w) {
+    if (!released_[static_cast<std::size_t>(w)]) continue;
+    Slot& s = *slots_[static_cast<std::size_t>(w - 1)];
+    s.epoch.fetch_add(1, std::memory_order_release);
+    s.epoch.notify_one();
+  }
+  stats_.releases += static_cast<std::uint64_t>(nreleased);
+
+  // Drain own lanes plus any unreleased helper's runnable lanes (adoption),
+  // concurrently with the released helpers on disjoint lanes.
+  const std::uint64_t t0 = now_ns();
+  for (int i = 0; i < nlanes; ++i) {
+    const int owner = i % workers_;
+    if (owner != 0 && released_[static_cast<std::size_t>(owner)]) continue;
+    if (owner != 0) {
+      const Engine::Lane& l = engine_.lane(i);
+      if (!l.heap.empty() && l.heap[0].t < l.cap) ++stats_.adopted_drains;
+    }
+    engine_.drain_lane(i);
+  }
+  const std::uint64_t t1 = now_ns();
+  stats_.drain_ns += t1 - t0;
+
+  // Wait for arrivals. All decrements form one release sequence on
+  // arrivals_, so the acquire that observes zero orders every helper's lane
+  // writes before the boundary ops that follow this call.
+  int n = arrivals_.load(std::memory_order_acquire);
+  while (n != 0) {
+    for (int i = 0; i < kSpinPause && n != 0; ++i) {
+      cpu_pause();
+      n = arrivals_.load(std::memory_order_acquire);
+    }
+    for (int i = 0; i < kSpinYield && n != 0; ++i) {
+      std::this_thread::yield();
+      n = arrivals_.load(std::memory_order_acquire);
+    }
+    if (n != 0) {
+      arrivals_.wait(n, std::memory_order_acquire);
+      n = arrivals_.load(std::memory_order_acquire);
+    }
+  }
+  stats_.barrier_wait_ns += now_ns() - t1;
+}
+
+const WindowPoolStats& WindowPool::collect_stats() {
+  // Quiescent point: the last run_window() returned only after every helper
+  // arrived, so each helper's counter writes happen-before the acquire that
+  // observed its arrival.
+  std::uint64_t park_ns = 0, parks = 0, spins = 0;
+  for (const auto& s : slots_) {
+    park_ns += s->park_ns;
+    parks += s->parks;
+    spins += s->spin_releases;
+  }
+  stats_.park_ns = park_ns;
+  stats_.parks = parks;
+  stats_.spin_releases = spins;
+  return stats_;
 }
 
 }  // namespace presto::sim

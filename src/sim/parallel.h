@@ -1,29 +1,53 @@
 // Persistent worker pool driving a windowed Engine's lane drains in
 // parallel (Backend::kParallel).
 //
-// Each window, run_window() releases every worker once; worker w drains the
-// lanes congruent to w modulo the worker count, in increasing lane order,
-// and the call returns when all workers have arrived at the low-watermark
-// barrier. Lane ownership is static for the whole run — a simulated node's
-// fiber always executes on the same OS thread — which keeps sanitizer fiber
-// bookkeeping simple and avoids migrating warm stacks between cores. Static
-// interleaved pinning (rather than work stealing) is the right shape here:
-// lanes are near-uniform in cost for SPMD workloads, and a stolen lane would
-// move its fiber set to a different thread mid-run for little gain.
+// The caller of run_window() participates as worker 0; the pool spawns
+// workers-1 helper threads. Lane ownership is static (lane i belongs to
+// worker i mod workers) so a helper just walks its stride, but *which*
+// workers run at all is decided per window:
+//
+//   * Idle-lane elision — a helper none of whose lanes has a runnable event
+//     below the cap is simply not released; it sleeps through the window at
+//     zero cost. When a boundary flush later lands events in one of its
+//     lanes, the next window's classification sees the lane runnable again
+//     and either releases the owner or adopts the lane (below).
+//   * Adoption — a helper whose runnable lanes hold only a handful of
+//     pending events is not worth a release/arrival round trip; the caller
+//     adopts those lanes and drains them itself. Windows whose *total*
+//     pending work is small run entirely on the caller with no atomics at
+//     all (the dominant case for phase-synchronized workloads where most
+//     lanes sit parked at a barrier).
+//   * Release barrier — released helpers are signalled through per-worker
+//     epoch words (a sense-reversing flag generalized to a counter, one
+//     cache line each) and arrive by decrementing a shared counter. Both
+//     sides spin briefly (cpu pause, then sched yield for oversubscribed
+//     hosts) before parking in a futex via std::atomic::wait, so a helper
+//     that is re-released while still spinning processes k consecutive
+//     windows without touching the kernel — adaptive window batching. The
+//     boundary ops still run at every logical window boundary in their
+//     canonical order on the caller, so batching is invisible to results.
+//     `max_batch` caps the spin-acquired streak (a helper parks at least
+//     once every max_batch windows); 0 means unbounded. The cap exists for
+//     stress tests and the fuzzer, which randomize it to exercise both the
+//     spin and the park path.
+//
+// Fibers migrate between OS threads under adoption (a lane drained by its
+// owner one window may be drained by the caller the next). That is safe:
+// every switch is bracketed with the sanitizer fiber hooks, the drain loop
+// rebinds the lane's scheduler context to the current thread
+// (sim::bind_host_context), and the release/arrival atomics give the
+// happens-before edges that order one window's lane writes before the next
+// window's reads regardless of which thread performs them.
 //
 // Determinism: lanes share no mutable state during a drain (every cross-lane
-// effect is staged and applied at the window boundary, on the caller of
-// run_window()), so the partitioning of lanes over workers — and the worker
-// count itself — cannot influence any simulated result. The pool's
-// generation/arrival barrier uses a mutex + condvars, giving the
-// happens-before edges that make the handoff of lane state between the main
-// thread (cap assignment, boundary flushes) and the workers (drains) sound
-// under ThreadSanitizer.
+// effect is staged and applied at the window boundary, on the caller), so
+// neither the worker count, nor which workers were released or which lanes
+// adopted, can influence any simulated result.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -31,36 +55,81 @@ namespace presto::sim {
 
 class Engine;
 
+// Host-side attribution for the pool's window synchronization, surfaced via
+// stats::HostCounters (win_* fields) and bench/host_throughput
+// --backend=parallel. Observability only; never feeds back into results.
+struct WindowPoolStats {
+  std::uint64_t barrier_wait_ns = 0;  // caller waiting for helper arrivals
+  std::uint64_t drain_ns = 0;         // caller draining own + adopted lanes
+  std::uint64_t boundary_ns = 0;      // serial boundary ops between windows
+  std::uint64_t park_ns = 0;          // helper wall time parked in futex waits
+  std::uint64_t parks = 0;            // helper futex parks
+  std::uint64_t spin_releases = 0;    // releases acquired by spinning alone
+  std::uint64_t releases = 0;         // helper releases (sum over windows)
+  std::uint64_t serial_windows = 0;   // windows run entirely on the caller
+  std::uint64_t adopted_drains = 0;   // runnable helper lanes the caller drained
+};
+
 class WindowPool {
  public:
-  // Spawns `workers` (>= 2) persistent threads; they idle until run_window.
-  WindowPool(Engine& engine, int workers);
+  // Spawns `workers - 1` (workers >= 2) persistent helper threads; they idle
+  // until released. `max_batch` caps a helper's spin-acquired release streak
+  // (0 = unbounded; see file comment).
+  WindowPool(Engine& engine, int workers, int max_batch);
   ~WindowPool();
 
   WindowPool(const WindowPool&) = delete;
   WindowPool& operator=(const WindowPool&) = delete;
 
-  // Drains every lane of the engine up to its cap, using all workers.
-  // Called once per window from the engine's run loop; returns after the
-  // last worker arrives.
+  // Drains every lane of the engine up to its cap (caps are set by the
+  // engine's run loop before the call), using the caller plus whichever
+  // helpers this window's classification releases. Returns after the last
+  // released helper arrives.
   void run_window();
 
   int workers() const { return workers_; }
+  int max_batch() const { return max_batch_; }
+
+  // Folds the helper-side counters into stats() and returns it. Safe
+  // between windows (helpers publish their counters with each arrival).
+  const WindowPoolStats& collect_stats();
+  WindowPoolStats& stats() { return stats_; }
 
  private:
+  // Per-helper release word plus helper-owned counters, padded so a
+  // spinning helper never shares a line with another or with the arrival
+  // counter. Counter fields are published by the helper's arrival
+  // (release on arrivals_) and read by the caller after an acquire.
+  struct alignas(64) Slot {
+    std::atomic<std::uint32_t> epoch{0};
+    std::uint64_t park_ns = 0;
+    std::uint64_t parks = 0;
+    std::uint64_t spin_releases = 0;
+  };
+
   void worker_main(int w);
+  // Blocks until the slot's epoch moves past `seen` (spin, then yield, then
+  // futex park unless `allow_spin` is false); updates the slot's counters.
+  std::uint32_t await_epoch(Slot& slot, std::uint32_t seen, bool allow_spin);
 
   Engine& engine_;
   const int workers_;
+  const int max_batch_;
 
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;  // bumped once per window (and at stop)
-  int arrived_ = 0;
-  bool stop_ = false;
+  std::atomic<int> arrivals_{0};
+  std::atomic<bool> stop_{false};
+  // Planted-bug state (check/bughook.h stale_sense_flag): one-shot, claimed
+  // by the first released helper.
+  std::atomic<bool> stale_sense_fired_{false};
 
+  std::vector<std::unique_ptr<Slot>> slots_;  // helper w -> slots_[w - 1]
   std::vector<std::thread> threads_;
+
+  // Caller-side scratch, sized once (no per-window allocation).
+  std::vector<std::uint32_t> work_est_;   // per worker, pending-entry estimate
+  std::vector<std::uint8_t> released_;    // per worker, this window
+
+  WindowPoolStats stats_;
 };
 
 }  // namespace presto::sim

@@ -15,15 +15,22 @@ Tracer::Tracer(const TraceConfig& cfg, mem::GlobalSpace& space,
       space_(space),
       engine_(engine),
       deferred_(engine != nullptr && engine->windowed()),
-      bufs_(static_cast<std::size_t>(space.nodes())),
+      bufs_(deferred_ ? static_cast<std::size_t>(space.nodes()) : 1),
+      shards_(deferred_ ? static_cast<std::size_t>(space.nodes()) : 1),
+      buf_mask_(deferred_ ? ~std::size_t{0} : 0),
+      shard_mask_(deferred_ ? ~std::size_t{0} : 0),
+      node_events_(static_cast<std::size_t>(space.nodes()), 0),
+      node_dropped_(static_cast<std::size_t>(space.nodes()), 0),
       state_(static_cast<std::size_t>(space.nodes())),
       cur_phase_(static_cast<std::size_t>(space.nodes()), -1),
       pending_count_(static_cast<std::size_t>(space.nodes()), 0),
       miss_(static_cast<std::size_t>(space.nodes())) {
   const std::uint32_t bpp = space.page_size() / space.block_size();
   for (auto& t : state_) t.configure(bpp);
+  for (std::size_t k = 0; k < kNumEventKinds; ++k)
+    kind_enabled_[k] =
+        (cfg_.categories & event_kind_category(static_cast<EventKind>(k))) != 0;
   if (deferred_) {
-    shards_.resize(static_cast<std::size_t>(space.nodes()));
     // Overwrites any previous tracer's slot (enable_oracle re-attaches).
     engine_->set_boundary_op(sim::BoundaryOp::kTrace,
                              [this] { stamp_window(); });
@@ -42,49 +49,65 @@ Summary::PhaseTotals& Tracer::phase_totals(int node) {
 
 void Tracer::emit(EventKind k, int node, sim::Time t, std::uint64_t block,
                   std::uint32_t arg, std::int16_t peer, std::uint16_t aux) {
-  if ((cfg_.categories & event_kind_category(k)) == 0) return;
-  auto& buf = bufs_[static_cast<std::size_t>(node)];
-  Summary& sm = sum(node);
-  if (buf.events >= cfg_.max_events_per_node || seq_exhausted_) {
-    ++buf.dropped;
-    ++sm.dropped;
+  if (!kind_enabled_[static_cast<std::size_t>(k)]) return;
+  std::uint64_t& ne = node_events_[static_cast<std::size_t>(node)];
+  if (ne >= cfg_.max_events_per_node) [[unlikely]] {
+    ++node_dropped_[static_cast<std::size_t>(node)];
     return;
   }
-  if (!deferred_ && seq_ == 0xffffffffu) {
-    // u32 seq is the canonical order; never wrap. (Deferred mode checks at
-    // stamp time instead — seq_ is only touched at window boundaries there.)
-    seq_exhausted_ = true;
-    ++buf.dropped;
-    ++sm.dropped;
-    return;
+  NodeBuf& buf = bufs_[static_cast<std::size_t>(node) & buf_mask_];
+  Event* e = buf.cur;
+  if (e == buf.end) [[unlikely]] e = refill(buf);
+  buf.cur = e + 1;
+  Event ev;
+  ev.t = static_cast<std::uint64_t>(t);
+  ev.block = block;
+  // Events buffer unstamped; stamp_window() assigns the canonical sequence
+  // in bulk (window boundaries, or finalize on serial engines).
+  ev.seq = 0;
+  ev.arg = arg;
+  ev.kind = static_cast<std::uint16_t>(k);
+  ev.node = static_cast<std::int16_t>(node);
+  ev.peer = peer;
+  ev.aux = aux;
+  *e = ev;
+  ++ne;
+}
+
+Event* Tracer::refill(NodeBuf& buf) {
+  if (!buf.chunks.empty()) {
+    buf.chunks.back()->n = kChunkEvents;  // sealed full
+    // Serial engines stamp the sealed chunk here, while its 64 KiB is still
+    // cache-resident: append order IS the canonical order (single buffer),
+    // so the eager stamp assigns exactly what the finalize walk would — but
+    // a deferred walk over the full trace re-streams every chunk from DRAM,
+    // which at millions of events costs more than the stores that built
+    // them. Windowed engines must wait for the boundary (canonical order is
+    // node-major per window), and get the same warmth from stamping every
+    // window.
+    if (!deferred_) stamp_window();
   }
-  if (buf.chunks.empty() || buf.chunks.back()->n == kChunkEvents) {
-    if (!buf.free_chunks.empty()) {
-      buf.chunks.push_back(std::move(buf.free_chunks.back()));
-      buf.free_chunks.pop_back();
-      buf.chunks.back()->n = 0;
-    } else {
-      buf.chunks.push_back(std::make_unique<Chunk>());
-    }
-  }
+  // Default-init, not make_unique: value-initialization would memset the
+  // whole chunk that the cursor is about to overwrite anyway — with a fresh
+  // chunk every 2048 events, that zeroing pass doubles the append path's
+  // memory traffic.
+  buf.chunks.push_back(std::unique_ptr<Chunk>(new Chunk));
   Chunk& c = *buf.chunks.back();
-  Event& e = c.ev[c.n++];
-  e.t = static_cast<std::uint64_t>(t);
-  e.block = block;
-  // Deferred mode buffers unstamped; stamp_window() assigns the canonical
-  // sequence at the next window boundary, in node order then append order.
-  e.seq = deferred_ ? 0u : seq_++;
-  e.arg = arg;
-  e.kind = static_cast<std::uint16_t>(k);
-  e.node = static_cast<std::int16_t>(node);
-  e.peer = peer;
-  e.aux = aux;
-  ++buf.events;
-  ++sm.events;
+  c.n = 0;
+  buf.cur = c.ev.data();
+  buf.end = buf.cur + kChunkEvents;
+  return buf.cur;
+}
+
+void Tracer::sync_tail(NodeBuf& buf) {
+  if (buf.chunks.empty()) return;
+  Chunk& c = *buf.chunks.back();
+  c.n = static_cast<std::size_t>(buf.cur - c.ev.data());
 }
 
 void Tracer::stamp_window() {
   for (auto& buf : bufs_) {
+    sync_tail(buf);
     std::size_t ci = buf.stamp_chunk;
     std::size_t pos = buf.stamp_pos;
     while (ci < buf.chunks.size()) {
@@ -303,13 +326,18 @@ void Tracer::finalize(sim::Time exec_time, const char* protocol_name) {
   finalized_ = true;
   exec_time_ = exec_time;
   protocol_name_ = protocol_name;
-  if (deferred_) {
-    // Stamp anything recorded since the last window boundary, then fold the
-    // per-node shards into the shared summary (node order, like stamping).
+  {
+    // Stamp anything not yet sequenced — everything since the last window
+    // boundary (windowed), or the whole emission-order buffer (serial, where
+    // the bulk stamp reproduces exactly the seq an emit-time counter would
+    // have assigned). Then fold the summary shards (node order, like
+    // stamping) and the per-node append/drop counts.
     stamp_window();
+    for (std::size_t i = 0; i < node_events_.size(); ++i) {
+      summary_.events += node_events_[i];
+      summary_.dropped += node_dropped_[i];
+    }
     for (const Summary& s : shards_) {
-      summary_.events += s.events;
-      summary_.dropped += s.dropped;
       summary_.misses += s.misses;
       for (std::size_t i = 0; i < kNumMissClasses; ++i)
         summary_.miss_by_class[i] += s.miss_by_class[i];

@@ -2,12 +2,22 @@
 // typed event stream plus an online accounting summary.
 //
 // Buffering follows net/record_ring.h's arena discipline at event
-// granularity: each node appends fixed 32-byte POD events to a chunked
-// per-node buffer whose 4096-event chunks are drawn from a shared freelist
-// (no per-event allocation; a chunk allocation every 128 KiB of trace, and
-// none once the freelist has warmed). Buffers are bounded by
-// TraceConfig::max_events_per_node; overflow drops events but never
-// silently — dropped counts land in the summary and the file meta.
+// granularity: fixed 32-byte POD events are appended through a raw write
+// cursor into 2048-event chunks (no per-event allocation; one 64 KiB chunk
+// allocation per 2048 events, sized under the allocator's mmap threshold so
+// chunk memory recycles through the heap arena instead of costing a fresh
+// mmap + page-fault sweep per chunk — the dominant tracing cost at millions
+// of events was the virtual-memory churn, not the stores). The
+// append path is branch-lean by construction: category filtering is one
+// indexed load from a per-kind enable table precomputed at construction, the
+// store is a plain cursor write, and the canonical sequence number is never
+// assigned at emit time — events buffer unstamped and are stamped in bulk at
+// window boundaries (windowed engines, BoundaryOp::kTrace) or at finalize
+// (serial engines, where the single emission-order buffer makes the stamp
+// pass reproduce exactly the dense seq an emit-time counter would have
+// produced — digests are byte-identical across the two schemes). Buffers are
+// bounded by TraceConfig::max_events_per_node; overflow drops events but
+// never silently — dropped counts land in the summary and the file meta.
 //
 // Observation is pure (no simulated time charged, no events scheduled), and
 // the tracer chains to whatever observers were attached before it (the
@@ -155,20 +165,23 @@ class Tracer final : public Hooks,
   const Summary& summary() const { return summary_; }
 
  private:
-  static constexpr std::size_t kChunkEvents = 4096;
+  // 2048 events = 64 KiB: deliberately below glibc's 128 KiB mmap threshold,
+  // so chunks come from (and return to) the heap arena — repeated traced
+  // runs in one process reuse warm pages instead of re-faulting fresh maps.
+  static constexpr std::size_t kChunkEvents = 2048;
   struct Chunk {
     std::array<Event, kChunkEvents> ev;
     std::size_t n = 0;
   };
   struct NodeBuf {
+    // Raw write cursor into the tail chunk; cur == end triggers the refill
+    // slow path. The tail chunk's element count is synced from the cursor
+    // before any walk (sync_tail).
+    Event* cur = nullptr;
+    Event* end = nullptr;
     std::vector<std::unique_ptr<Chunk>> chunks;
-    // Chunk freelist is per node: under a windowed engine every node's lane
-    // may append concurrently, so recycling must never cross nodes.
-    std::vector<std::unique_ptr<Chunk>> free_chunks;
-    std::uint64_t events = 0;
-    std::uint64_t dropped = 0;
-    // First event not yet given a canonical sequence number (windowed mode;
-    // see stamp_window).
+    // First event not yet given a canonical sequence number (see
+    // stamp_window).
     std::size_t stamp_chunk = 0;
     std::size_t stamp_pos = 0;
   };
@@ -179,19 +192,27 @@ class Tracer final : public Hooks,
 
   void emit(EventKind k, int node, sim::Time t, std::uint64_t block,
             std::uint32_t arg, std::int16_t peer, std::uint16_t aux);
+  // Slow path of emit: seals the tail chunk and opens a fresh one (freelist
+  // first), returning the new cursor.
+  Event* refill(NodeBuf& buf);
+  // Syncs the tail chunk's element count from the write cursor; required
+  // before any chunk walk (stamp, build).
+  static void sync_tail(NodeBuf& buf);
   std::uint8_t& state(int node, mem::BlockId b) {
     return state_[static_cast<std::size_t>(node)].at(b);
   }
-  // Summary the node's hooks accumulate into: the shared summary_ normally;
-  // a per-node shard under a windowed engine (hooks fire on concurrently
-  // draining lanes), merged into summary_ by finalize().
+  // Summary shard the node's hooks accumulate into: one per node under a
+  // windowed engine (hooks fire on concurrently draining lanes), a single
+  // shared shard on serial engines; finalize() folds shards into summary_.
   Summary& sum(int node) {
-    return deferred_ ? shards_[static_cast<std::size_t>(node)] : summary_;
+    return shards_[static_cast<std::size_t>(node) & shard_mask_];
   }
   Summary::PhaseTotals& phase_totals(int node);
-  // Windowed mode (BoundaryOp::kTrace): assigns canonical sequence numbers
-  // to every event recorded this window, in node order then append order —
-  // a total order independent of how lanes were partitioned over workers.
+  // Assigns canonical sequence numbers to every event not yet stamped, in
+  // node order then append order — a total order independent of how lanes
+  // were partitioned over workers. Windowed engines run this at every
+  // boundary (BoundaryOp::kTrace); serial engines once at finalize, where
+  // the single emission-order buffer makes it reproduce the emit-order seq.
   void stamp_window();
   // Resolves a pending presend on access (hit) or fault/overwrite (waste).
   void resolve_pending(int node, mem::BlockId b, bool hit, sim::Time t);
@@ -204,13 +225,22 @@ class Tracer final : public Hooks,
   proto::CoherenceObserver* next_coherence_ = nullptr;
   net::Network::Observer* next_net_ = nullptr;
 
-  // Windowed engine attached: events buffer unstamped and per-node state
-  // shards, with stamping/merging at window boundaries / finalize.
+  // Windowed engine attached: per-node buffers and summary shards (lanes
+  // append concurrently), stamped at window boundaries. Serial engines use
+  // one buffer and one shard for all nodes (mask 0), stamped at finalize.
   const bool deferred_;
   std::vector<NodeBuf> bufs_;
-  std::vector<Summary> shards_;  // [node]; deferred mode only
+  std::vector<Summary> shards_;
+  const std::size_t buf_mask_;    // node -> buffer index mask
+  const std::size_t shard_mask_;  // node -> shard index mask
+  // Per-kind record filter, precomputed from cfg_.categories: the emit fast
+  // path's only filter branch is one indexed load.
+  std::array<bool, kNumEventKinds> kind_enabled_{};
+  // Per-node appended/dropped counts (the max_events_per_node cap is per
+  // node regardless of how nodes share buffers).
+  std::vector<std::uint64_t> node_events_;
+  std::vector<std::uint64_t> node_dropped_;
   std::uint32_t seq_ = 0;
-  bool seq_exhausted_ = false;
 
   std::vector<util::BlockTable<std::uint8_t>> state_;
   std::vector<int> cur_phase_;        // per node; -1 before first directive

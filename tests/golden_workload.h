@@ -24,6 +24,11 @@ struct WorkloadResult {
   std::uint64_t events = 0;
   sim::Time exec = 0;
   std::uint64_t mem_hash = 0;  // FNV-1a over every node's view + tags
+  // Host-side counters (never part of equivalence — they describe how the
+  // host ran the simulation, not what was simulated). Tests use the win_*
+  // fields to prove a parallel run actually released helpers / elided lanes
+  // rather than passing vacuously through the serial fast path.
+  stats::HostCounters host;
   // Filled only when the run was traced (the golden-trace tier).
   bool traced = false;
   trace::Digest trace_digest;
@@ -50,15 +55,17 @@ inline WorkloadResult run_micro_workload(runtime::ProtocolKind kind,
                                          std::uint32_t trace_categories =
                                              trace::kCatAll,
                                          sim::Time window = 0,
-                                         int workers = 0) {
+                                         int workers = 0,
+                                         int batch_windows = 0) {
   runtime::MachineConfig cfg =
       runtime::MachineConfig::cm5_blizzard(nodes, block_size);
   cfg.quantum_floor = quantum_floor;
   cfg.backend = backend;
   cfg.trace.enabled = traced;  // in-memory: tests read the stream directly
   cfg.trace.categories = trace_categories;
-  cfg.window = window;    // 0 = legacy single-lane engine
-  cfg.workers = workers;  // kParallel only
+  cfg.window = window;            // 0 = legacy single-lane engine
+  cfg.workers = workers;          // kParallel only
+  cfg.batch_windows = batch_windows;  // kParallel only; results-invariant
   runtime::System sys(cfg, kind);
   auto& space = sys.space();
 
@@ -117,6 +124,7 @@ inline WorkloadResult run_micro_workload(runtime::ProtocolKind kind,
   res.bytes = sys.network().bytes_sent();
   res.events = sys.engine().events_executed();
   res.exec = sys.exec_time();
+  res.host = sys.recorder().host();
   std::uint64_t h = 1469598103934665603ULL;
   for (int n = 0; n < nodes; ++n) {
     for (std::uint64_t b = 0; b < space.num_blocks(); ++b) {
