@@ -56,6 +56,33 @@ struct Scale {
   }
 };
 
+// --protocol=NAME restricts a bench's protocol sweep to one protocol (any
+// name printed by runtime::protocol_kind_name: stache, predictive,
+// predictive+anticipate, write-update, ccached). The default is every
+// registered protocol in canonical sweep order — benches iterate the
+// registry (runtime::kAllProtocolKinds) rather than keeping their own
+// arrays, so a new protocol shows up in every sweep without per-tool edits.
+// Unknown names abort with the list of valid ones.
+inline std::vector<runtime::ProtocolKind> protocols_from_cli(
+    const util::Cli& cli) {
+  const std::string p = cli.get("protocol", "");
+  if (p.empty())
+    return std::vector<runtime::ProtocolKind>(
+        std::begin(runtime::kAllProtocolKinds),
+        std::end(runtime::kAllProtocolKinds));
+  runtime::ProtocolKind kind;
+  if (!runtime::protocol_kind_from_name(p.c_str(), &kind)) {
+    std::string names;
+    for (const auto k : runtime::kAllProtocolKinds) {
+      if (!names.empty()) names += ", ";
+      names += runtime::protocol_kind_name(k);
+    }
+    PRESTO_CHECK(false, "--protocol: unknown protocol '"
+                            << p << "' (expected one of: " << names << ")");
+  }
+  return {kind};
+}
+
 // --trace=FILE[:cat,cat...] records a deterministic event trace of each run
 // (docs/observability.md). ".json" writes Perfetto trace_event JSON, any
 // other extension the binary format for presto_trace. When a bench runs

@@ -11,9 +11,12 @@
 //   * "water"  — the paper's §5.3 molecular-dynamics workload: static
 //     repetitive producer-consumer sharing on positions, heavy on schedule
 //     recording and directory probes at a few hot home nodes.
+//   * "ranker" — pagerank push over a drifting graph, run under stache and
+//     ccached: the merge-traffic extreme, exercising the commutative-update
+//     log/flush path against the invalidation path on the same program.
 //
 // Emits results/BENCH_host.json with host events/sec (micro), wall-clock
-// (barnes/water), and the metadata-layer counters (directory probes,
+// (barnes/water/ranker), and the metadata-layer counters (directory probes,
 // schedule lookups, resident metadata bytes), next to the pre-rewrite
 // baselines captured at the same scale so every future PR sees the perf
 // trajectory. See docs/performance.md.
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "apps/barnes/barnes.h"
+#include "apps/ranker/ranker.h"
 #include "apps/water/water.h"
 #include "runtime/system.h"
 #include "util/check.h"
@@ -247,6 +251,9 @@ struct AppBenchResult {
   double wall_s = 0.0;
   double checksum = 0.0;
   std::uint64_t msgs = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t cc_flushes = 0;
+  std::uint64_t exec_ns = 0;
   std::uint64_t dir_probes = 0;
   std::uint64_t sched_lookups = 0;
   stats::HostCounters host;
@@ -257,6 +264,9 @@ AppBenchResult from_app(const apps::AppResult& r, double wall_s) {
   res.wall_s = wall_s;
   res.checksum = r.checksum;
   res.msgs = r.report.msgs;
+  res.faults = r.report.faults;
+  res.cc_flushes = r.report.cc_flushes;
+  res.exec_ns = static_cast<std::uint64_t>(r.report.exec);
   res.dir_probes = r.report.dir_probes;
   res.sched_lookups = r.report.sched_lookups;
   res.host = r.report.host;
@@ -284,6 +294,22 @@ AppBenchResult run_water_shaped(int nodes, std::size_t molecules, int steps) {
   const auto r = apps::run_water(params, machine,
                                  runtime::ProtocolKind::kPredictive,
                                  /*directives=*/true);
+  return from_app(r, seconds_since(t0));
+}
+
+// Ranker is the merge-traffic extreme of the app matrix: run it under both
+// stache (every push is an invalidation fault) and ccached (pushes privatize
+// into per-node logs, one flush per dirty block per phase) so the JSON
+// trajectory records both the host cost and the simulated win of the
+// commutative-update path on the same program.
+AppBenchResult run_ranker_shaped(int nodes, std::size_t vertices, int iters,
+                                 runtime::ProtocolKind kind) {
+  apps::RankerParams params;
+  params.vertices = vertices;
+  params.iters = iters;
+  const auto machine = runtime::MachineConfig::cm5_blizzard(nodes, 32);
+  const auto t0 = Clock::now();
+  const auto r = apps::run_ranker(params, machine, kind, /*directives=*/false);
   return from_app(r, seconds_since(t0));
 }
 
@@ -320,6 +346,11 @@ int main(int argc, char** argv) {
   const std::size_t molecules = static_cast<std::size_t>(
       cli.get_int("molecules", quick ? 128 : 512));
   const int water_steps = static_cast<int>(cli.get_int("water-steps", 2));
+  const int ranker_nodes = static_cast<int>(cli.get_int("ranker-nodes", 8));
+  const std::size_t ranker_vertices = static_cast<std::size_t>(
+      cli.get_int("ranker-vertices", quick ? 256 : 1024));
+  const int ranker_iters =
+      static_cast<int>(cli.get_int("ranker-iters", quick ? 2 : 8));
   const double min_micro_eps =
       static_cast<double>(cli.get_int("min-micro-eps", 0));
   const std::string backend_s = cli.get("backend", "");
@@ -468,6 +499,35 @@ int main(int argc, char** argv) {
               (unsigned long long)water.sched_lookups);
   print_host(water.host);
 
+  std::printf("ranker: nodes=%d vertices=%zu iters=%d ...\n", ranker_nodes,
+              ranker_vertices, ranker_iters);
+  std::fflush(stdout);
+  const auto ranker_st = run_ranker_shaped(ranker_nodes, ranker_vertices,
+                                           ranker_iters,
+                                           runtime::ProtocolKind::kStache);
+  const auto ranker_cc = run_ranker_shaped(ranker_nodes, ranker_vertices,
+                                           ranker_iters,
+                                           runtime::ProtocolKind::kCCached);
+  PRESTO_CHECK(ranker_st.checksum == ranker_cc.checksum,
+               "ranker checksum diverged across protocols ("
+                   << ranker_st.checksum << " vs " << ranker_cc.checksum
+                   << ")");
+  std::printf("ranker/stache:  wall %.3fs, sim exec %.3fs, %llu faults, "
+              "%llu msgs\n",
+              ranker_st.wall_s, static_cast<double>(ranker_st.exec_ns) / 1e9,
+              (unsigned long long)ranker_st.faults,
+              (unsigned long long)ranker_st.msgs);
+  std::printf("ranker/ccached: wall %.3fs, sim exec %.3fs, %llu faults, "
+              "%llu cc flushes, %llu msgs (sim exec %.2fx of stache)\n",
+              ranker_cc.wall_s, static_cast<double>(ranker_cc.exec_ns) / 1e9,
+              (unsigned long long)ranker_cc.faults,
+              (unsigned long long)ranker_cc.cc_flushes,
+              (unsigned long long)ranker_cc.msgs,
+              ranker_st.exec_ns > 0
+                  ? static_cast<double>(ranker_cc.exec_ns) /
+                        static_cast<double>(ranker_st.exec_ns)
+                  : 0.0);
+
   // Metadata scaling spot-checks: resident bytes vs the dense-layout
   // equivalent across the machine widths the scale sweep covers in depth
   // (bench/scale_sweep.cc has the full block-size grid).
@@ -527,6 +587,13 @@ int main(int argc, char** argv) {
                  "    \"dir_probes\": %llu,\n"
                  "    \"sched_lookups\": %llu,\n"
                  "    \"metadata_bytes\": %llu\n"
+                 "  },\n"
+                 "  \"ranker\": {\n"
+                 "    \"nodes\": %d, \"vertices\": %zu, \"iters\": %d,\n"
+                 "    \"stache\": {\"wall_s\": %.4f, \"sim_exec_ns\": %llu, "
+                 "\"faults\": %llu, \"msgs\": %llu},\n"
+                 "    \"ccached\": {\"wall_s\": %.4f, \"sim_exec_ns\": %llu, "
+                 "\"faults\": %llu, \"cc_flushes\": %llu, \"msgs\": %llu}\n"
                  "  },\n",
                  micro_nodes, blocks, rounds,
                  (unsigned long long)micro.events, micro.wall_s,
@@ -545,7 +612,15 @@ int main(int argc, char** argv) {
                  water.checksum, (unsigned long long)water.msgs,
                  (unsigned long long)water.dir_probes,
                  (unsigned long long)water.sched_lookups,
-                 (unsigned long long)water.host.metadata_bytes);
+                 (unsigned long long)water.host.metadata_bytes,
+                 ranker_nodes, ranker_vertices, ranker_iters,
+                 ranker_st.wall_s, (unsigned long long)ranker_st.exec_ns,
+                 (unsigned long long)ranker_st.faults,
+                 (unsigned long long)ranker_st.msgs,
+                 ranker_cc.wall_s, (unsigned long long)ranker_cc.exec_ns,
+                 (unsigned long long)ranker_cc.faults,
+                 (unsigned long long)ranker_cc.cc_flushes,
+                 (unsigned long long)ranker_cc.msgs);
     std::fprintf(f, "  \"metadata_scale\": [\n");
     for (std::size_t i = 0; i < smeta.size(); ++i)
       std::fprintf(f,

@@ -43,6 +43,8 @@ struct SweepPoint {
   std::uint64_t msgs = 0;
   std::uint64_t bytes = 0;
   std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t cc_flushes = 0;
   std::uint64_t presend_blocks = 0;
   std::size_t metadata_bytes = 0;
   std::size_t dense_equiv_bytes = 0;
@@ -61,6 +63,11 @@ struct SweepPoint {
 //     (also the home) rewrites a 16-block region each round; 32 consumers
 //     spread across the machine read all of it. Consumer fault stalls and
 //     home handler occupancy dominate — the regime presend targets.
+//   * "reduce" — every node adds into a 16-block commutative region homed on
+//     node 0 each round, then 32 consumers read the merged totals. Under
+//     Stache the adds are an rmw ownership ping-pong across the whole
+//     machine; under ccached they privatize into per-node logs merged at the
+//     home — the regime the commutative-update protocol targets.
 SweepPoint run_point(int nodes, std::uint32_t block, const char* pattern,
                      runtime::ProtocolKind kind, int cluster_nodes,
                      int rounds) {
@@ -70,6 +77,7 @@ SweepPoint run_point(int nodes, std::uint32_t block, const char* pattern,
   runtime::System sys(m, kind);
 
   const bool ringp = std::string_view(pattern) == "ring";
+  const bool reducep = std::string_view(pattern) == "reduce";
   const auto ring_home = [&](mem::PageId p) {
     // Home each page so ring block i lands near node i's home region
     // (blocks per page > 1, so homes advance page by page).
@@ -83,6 +91,9 @@ SweepPoint run_point(int nodes, std::uint32_t block, const char* pattern,
   const int region_blocks = 16;
   const mem::Addr hot = sys.space().alloc_on_node(
       0, static_cast<std::size_t>(ringp ? 1 : region_blocks) * block);
+  if (reducep)
+    sys.space().set_commutative(
+        hot, static_cast<std::size_t>(region_blocks) * block);
   const int hot_readers = 32;
   const int stride = nodes / hot_readers;
 
@@ -91,6 +102,26 @@ SweepPoint run_point(int nodes, std::uint32_t block, const char* pattern,
     const int n = c.nodes();
     const mem::Addr mine = ring + static_cast<mem::Addr>(c.id()) * block;
     for (int r = 0; r < rounds; ++r) {
+      if (reducep) {
+        // Every node contributes one unit to each block's first word, then
+        // the consumers verify the merged total. Reads after the flush +
+        // barrier (the ccached discipline); the read copies installed here
+        // are what the next round's merges must quiesce.
+        c.phase(0);
+        for (int b = 0; b < region_blocks; ++b)
+          c.cc_add(hot + static_cast<mem::Addr>(b) * block, 1);
+        c.cc_flush();
+        c.barrier();
+        c.phase(1);
+        if (c.id() % stride == 1)
+          for (int b = 0; b < region_blocks; ++b)
+            PRESTO_CHECK(c.read<std::int64_t>(
+                             hot + static_cast<mem::Addr>(b) * block) ==
+                             static_cast<std::int64_t>(r + 1) * n,
+                         "stale reduce read");
+        c.barrier();
+        continue;
+      }
       c.phase(0);
       if (ringp) {
         c.write<int>(mine, r * n + c.id());
@@ -130,6 +161,9 @@ SweepPoint run_point(int nodes, std::uint32_t block, const char* pattern,
   p.msgs = sys.network().messages_sent();
   p.bytes = sys.network().bytes_sent();
   p.read_faults = sys.recorder().sum(&stats::NodeCounters::read_faults);
+  p.write_faults = sys.recorder().sum(&stats::NodeCounters::write_faults);
+  if (const auto* cc = sys.ccached(); cc != nullptr)
+    p.cc_flushes = cc->cc_stats().flushes;
   p.presend_blocks =
       sys.recorder().sum(&stats::NodeCounters::presend_blocks_received);
   p.metadata_bytes =
@@ -207,6 +241,30 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // The reduce pattern compares the commutative-update protocol against the
+  // rmw storm the same program produces under Stache.
+  for (const int nodes : widths) {
+    for (const std::uint32_t block : blocks) {
+      const SweepPoint st = run_point(nodes, block, "reduce",
+                                      runtime::ProtocolKind::kStache, 0,
+                                      rounds);
+      const SweepPoint cc = run_point(nodes, block, "reduce",
+                                      runtime::ProtocolKind::kCCached, 0,
+                                      rounds);
+      print_point(st);
+      print_point(cc);
+      std::printf("  -> ccached/stache exec ratio %.3f at reduce nodes=%d "
+                  "block=%u (%llu rmw faults -> %llu flushes)\n",
+                  st.exec_time > 0 ? static_cast<double>(cc.exec_time) /
+                                         static_cast<double>(st.exec_time)
+                                   : 0.0,
+                  nodes, block,
+                  (unsigned long long)st.write_faults,
+                  (unsigned long long)cc.cc_flushes);
+      points.push_back(st);
+      points.push_back(cc);
+    }
+  }
 
   for (const SweepPoint& p : points) {
     if (max_meta > 0 &&
@@ -239,12 +297,15 @@ int main(int argc, char** argv) {
           "    {\"pattern\": \"%s\", \"nodes\": %d, \"block_size\": %u, "
           "\"protocol\": \"%s\", "
           "\"cluster_nodes\": %d, \"exec_time_ns\": %llu, \"msgs\": %llu, "
-          "\"bytes\": %llu, \"read_faults\": %llu, \"presend_blocks\": %llu, "
+          "\"bytes\": %llu, \"read_faults\": %llu, \"write_faults\": %llu, "
+          "\"cc_flushes\": %llu, \"presend_blocks\": %llu, "
           "\"metadata_bytes\": %zu, \"dense_equiv_bytes\": %zu, "
           "\"wall_s\": %.4f}%s\n",
           p.pattern, p.nodes, p.block, p.protocol, p.cluster_nodes,
           (unsigned long long)p.exec_time, (unsigned long long)p.msgs,
           (unsigned long long)p.bytes, (unsigned long long)p.read_faults,
+          (unsigned long long)p.write_faults,
+          (unsigned long long)p.cc_flushes,
           (unsigned long long)p.presend_blocks, p.metadata_bytes,
           p.dense_equiv_bytes, p.wall_s,
           i + 1 < points.size() ? "," : "");

@@ -1,0 +1,28 @@
+// Ocean: regular red-black stencil relaxation on a square grid — the
+// statically analyzable counterpart to adaptive (§5.1). Each sweep averages a
+// point's four neighbours; red and black points live in separate planes with
+// blocked (row-block, page-padded) partitioning, so every block has a single
+// writer and the only communication is boundary-row reads between
+// neighbouring nodes. The sharing pattern is identical every iteration —
+// the best case for the predictive protocol's learned schedules, and a
+// workload with no commutative regions at all (so ccached must match Stache
+// bit-for-bit on it).
+#pragma once
+
+#include "apps/common/versions.h"
+
+namespace presto::apps {
+
+struct OceanParams {
+  std::size_t n = 64;   // grid is n x n; must be even and >= 4
+  int iters = 10;       // red+black sweeps
+  double hot = 100.0;   // boundary potential along the top edge
+  int flush_every = 0;  // rebuild predictive schedules every k iterations
+                        // (0 = never)
+};
+
+AppResult run_ocean(const OceanParams& params,
+                    const runtime::MachineConfig& machine,
+                    runtime::ProtocolKind kind, bool directives);
+
+}  // namespace presto::apps

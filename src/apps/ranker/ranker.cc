@@ -1,0 +1,122 @@
+#include "apps/ranker/ranker.h"
+
+#include <vector>
+
+#include "runtime/aggregate.h"
+#include "runtime/system.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace presto::apps {
+namespace {
+
+using runtime::Aggregate1D;
+using runtime::NodeCtx;
+
+constexpr int kPhasePush = 0;
+constexpr int kPhaseUpdate = 1;
+
+// Fixed-point scale for ranks and the damping factor 217/256 (~0.85).
+constexpr std::int64_t kScale = 1 << 16;
+constexpr std::int64_t kDampNum = 217;
+constexpr int kDampShift = 8;
+
+// Edge target for (iteration, source, edge): u^skew maps the uniform draw
+// onto a power-law head, concentrating in-degree on the low vertex ids. The
+// generator is salted with the iteration so the edge set drifts every
+// sweep. IEEE multiplies only — bit-deterministic everywhere.
+std::size_t edge_target(util::Rng& rng, std::size_t nv, int skew) {
+  const double u = rng.next_double();
+  double p = u;
+  for (int s = 1; s < skew; ++s) p *= u;
+  const auto t = static_cast<std::size_t>(static_cast<double>(nv) * p);
+  return t < nv ? t : nv - 1;
+}
+
+util::Rng edge_rng(std::uint64_t seed, int it, std::size_t v) {
+  return util::Rng(seed ^
+                   (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(it + 1)) ^
+                   (0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(v) + 1)));
+}
+
+}  // namespace
+
+AppResult run_ranker(const RankerParams& params,
+                     const runtime::MachineConfig& machine,
+                     runtime::ProtocolKind kind, bool directives) {
+  PRESTO_CHECK(params.vertices > 0, "empty graph");
+  PRESTO_CHECK(params.degree > 0 && params.skew > 0, "bad ranker params");
+  runtime::System sys(machine, kind);
+
+  const std::size_t nv = params.vertices;
+  auto rank = Aggregate1D<std::int64_t>::create(sys.space(), nv);
+  auto next = Aggregate1D<std::int64_t>::create(sys.space(), nv);
+  // The contribution array takes commutative (reduction) updates only.
+  sys.space().set_commutative(
+      next.addr(0), next.addr(nv - 1) + sizeof(std::int64_t) - next.addr(0));
+
+  // Write-update provides phase consistency only: a read-modify-write on a
+  // stale copy may lose a concurrent node's update, so the push phase
+  // cannot use shared-memory accumulation there (see header).
+  const bool private_push = kind == runtime::ProtocolKind::kWriteUpdate;
+
+  double checksum = 0.0;
+
+  sys.run([&](NodeCtx& c) {
+    const auto [lo, hi] = rank.range(c.id());
+    for (std::size_t v = lo; v < hi; ++v) {
+      rank.set(c, v, kScale);
+      next.set(c, v, 0);
+    }
+    c.barrier();
+
+    std::vector<double> acc;  // private accumulators (write-update only)
+    if (private_push) acc.assign(nv, 0.0);
+
+    for (int it = 0; it < params.iters; ++it) {
+      if (directives) c.phase(kPhasePush);
+      if (private_push) acc.assign(nv, 0.0);
+      for (std::size_t v = lo; v < hi; ++v) {
+        const std::int64_t share =
+            rank.get(c, v) / static_cast<std::int64_t>(params.degree);
+        util::Rng rng = edge_rng(params.seed, it, v);
+        for (int e = 0; e < params.degree; ++e) {
+          const std::size_t t = edge_target(rng, nv, params.skew);
+          c.charge_flops(4);
+          if (private_push)
+            acc[t] += static_cast<double>(share);
+          else
+            c.cc_add(next.addr(t), share);
+        }
+      }
+      if (private_push)
+        c.reduce_vec_sum(acc);
+      else
+        c.cc_flush();
+      c.barrier();
+
+      if (directives) c.phase(kPhaseUpdate);
+      for (std::size_t v = lo; v < hi; ++v) {
+        const std::int64_t incoming =
+            private_push ? static_cast<std::int64_t>(acc[v]) : next.get(c, v);
+        c.charge_flops(2);
+        rank.set(c, v, kScale + ((incoming * kDampNum) >> kDampShift));
+        if (!private_push) next.set(c, v, 0);
+      }
+      c.barrier();
+    }
+
+    double local = 0.0;
+    for (std::size_t v = lo; v < hi; ++v)
+      local += static_cast<double>(rank.get(c, v));
+    const double total = c.reduce_sum(local);
+    if (c.id() == 0) checksum = total;
+  });
+
+  AppResult result;
+  result.report = sys.report("");
+  result.checksum = checksum;
+  return result;
+}
+
+}  // namespace presto::apps

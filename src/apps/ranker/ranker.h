@@ -1,0 +1,38 @@
+// Ranker: pagerank-style push over a synthetic power-law graph whose edge
+// set is re-drawn (deterministically) every iteration, so the sharing
+// pattern never converges — the predictive protocol's learned schedules are
+// always one iteration stale. Every push is a commutative 64-bit add into a
+// contribution array marked with GlobalSpace::set_commutative: under the
+// ccached protocol those adds are privatized into per-node logs and merged
+// at the home on cc_flush (merge traffic); under every other protocol
+// cc_add degrades to a remote atomic read-modify-write, producing a storm
+// of write faults to the high-degree (power-law head) vertices.
+//
+// Arithmetic is integer fixed-point throughout — addition commutes exactly,
+// so the final ranks (and checksum) are bit-identical across protocols and
+// merge orders. Under write-update (phase consistency: a privatized rmw on
+// a stale copy may lose concurrent updates) the push phase instead
+// accumulates contributions in private host memory and combines them with a
+// deterministic node-order reduce_vec_sum; the sums stay below 2^53, so the
+// double-valued reduction is still exact and the ranks still match.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common/versions.h"
+
+namespace presto::apps {
+
+struct RankerParams {
+  std::size_t vertices = 256;  // vertex count
+  int degree = 4;              // out-edges per vertex, re-drawn per iteration
+  int iters = 10;
+  int skew = 3;                // edge targets ~ n * u^skew (power-law head)
+  std::uint64_t seed = 1;      // edge-set seed (salted per iteration)
+};
+
+AppResult run_ranker(const RankerParams& params,
+                     const runtime::MachineConfig& machine,
+                     runtime::ProtocolKind kind, bool directives);
+
+}  // namespace presto::apps

@@ -25,6 +25,10 @@ void set_bug_hook(const char* name, bool on) {
     h.stale_sense_flag = on;
   } else if (std::strcmp(name, "drop-spill-sharer") == 0) {
     h.drop_spill_sharer = on;
+  } else if (std::strcmp(name, "drop-merge-entry") == 0) {
+    h.drop_merge_entry = on;
+  } else if (std::strcmp(name, "double-apply-on-replay") == 0) {
+    h.double_apply_on_replay = on;
   } else {
     PRESTO_FAIL("unknown bug hook '" << name << "'");
   }

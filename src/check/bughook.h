@@ -49,6 +49,17 @@ struct BugHooks {
   // invariants must flag. Machines of <= 64 nodes never spill and are
   // unaffected.
   bool drop_spill_sharer = false;
+
+  // ccached only: the home's merge discards the first (word, delta) entry of
+  // every CcFlush it applies — a lost commutative update. The merged image
+  // diverges from the oracle's committed shadow (final_sweep) and from every
+  // other protocol's result (differential fuzzer).
+  bool drop_merge_entry = false;
+
+  // ccached only: the home applies each CcFlush log twice — the classic
+  // non-idempotent replay bug for logged updates. Every flushed delta lands
+  // doubled, caught the same two ways as drop_merge_entry.
+  bool double_apply_on_replay = false;
 };
 
 // Mutable process-wide hooks; initialized once from PRESTO_TEST_BUG

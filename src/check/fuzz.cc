@@ -24,6 +24,21 @@ std::uint32_t cell_value(std::uint64_t salt, int r, int p, int b) {
   return static_cast<std::uint32_t>(util::splitmix64(s)) | 1u;
 }
 
+// Commutative delta pushed by logical participant `lid` into cc block b in
+// (round, phase) — 0 means that (node, block) pair sits the phase out. Pure
+// in the program seed, so the host-side expectation and the in-fiber adds
+// derive identical values and a shrunk program stays self-consistent.
+std::int64_t cc_delta(std::uint64_t salt, int r, int p, int b, int lid) {
+  std::uint64_t s = salt ^ 0xcccccccccccccccdULL;
+  s ^= (static_cast<std::uint64_t>(r) + 1) * 0x9e3779b97f4a7c15ULL;
+  s ^= (static_cast<std::uint64_t>(p) + 1) * 0xbf58476d1ce4e5b9ULL;
+  s ^= (static_cast<std::uint64_t>(b) + 1) * 0x94d049bb133111ebULL;
+  s ^= (static_cast<std::uint64_t>(lid) + 1) * 0xd6e8feb86659fd93ULL;
+  const std::uint64_t h = util::splitmix64(s);
+  if (h % 4 == 0) return 0;
+  return static_cast<std::int64_t>((h >> 8) % 2001) - 1000;
+}
+
 constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
 
 std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
@@ -96,6 +111,10 @@ FuzzProgram generate(std::uint64_t seed) {
   const int rounds = 2 + static_cast<int>(rng.next_below_unbiased(3));
   prog.use_locks = rng.next_below_unbiased(4) == 0;
   const bool use_reducers = rng.next_below_unbiased(4) == 0;
+  // Commutative phases model reduction applications (ranker's push): ~1 in 4
+  // programs pushes privatized adds, exercising ccached's log/merge paths —
+  // and the degraded remote rmw storm under every other protocol.
+  const bool use_cc = rng.next_below_unbiased(4) == 0;
   // Drifting assignments model adaptive applications (the schedule changes
   // between rounds, so the predictive protocol keeps mispredicting — it must
   // stay correct anyway).
@@ -119,6 +138,9 @@ FuzzProgram generate(std::uint64_t seed) {
       for (int n = 0; n < np; ++n)
         if (rng.next_below_unbiased(10) < 3) ph.lock_users |= 1ULL << n;
     ph.reduce = use_reducers && rng.next_below_unbiased(2) == 0;
+    if (use_cc && rng.next_below_unbiased(2) == 0)
+      for (int n = 0; n < np; ++n)
+        if (rng.next_below_unbiased(10) < 4) ph.cc_mask |= 1ULL << n;
   }
 
   for (int r = 0; r < rounds; ++r) {
@@ -145,7 +167,15 @@ FuzzProgram generate(std::uint64_t seed) {
   return prog;
 }
 
+bool has_commutative(const FuzzProgram& prog) {
+  for (const auto& rd : prog.rounds)
+    for (const auto& ph : rd.phases)
+      if (ph.cc_mask != 0) return true;
+  return false;
+}
+
 bool supports_write_update(const FuzzProgram& prog) {
+  if (has_commutative(prog)) return false;  // rmw on a stale copy loses adds
   std::vector<int> writer(static_cast<std::size_t>(prog.nblocks), -1);
   for (const auto& rd : prog.rounds) {
     for (const auto& ph : rd.phases) {
@@ -204,6 +234,34 @@ RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
   auto addr = [&](std::size_t b) {
     return base + static_cast<mem::Addr>(b) * prog.block_size;
   };
+  // Commutative (reduction) region: one 64-bit accumulator per block,
+  // allocated only for programs with cc phases so every other program's
+  // memory layout — and therefore its golden behavior — is untouched.
+  const bool cc = has_commutative(prog);
+  mem::Addr cc_base = 0;
+  std::vector<std::int64_t> cc_expect(nb, 0);
+  if (cc) {
+    cc_base = sys.space().alloc(nb * prog.block_size, [&](mem::PageId p) {
+      return static_cast<int>(p % static_cast<mem::PageId>(prog.nodes));
+    });
+    sys.space().set_commutative(cc_base, nb * prog.block_size);
+    // Host-side expectation, precomputed so the fibers never touch shared
+    // host state: blocks start zero and addition commutes.
+    for (std::size_t r = 0; r < prog.rounds.size(); ++r)
+      for (std::size_t p = 0; p < prog.rounds[r].phases.size(); ++p) {
+        const std::uint64_t mask = prog.rounds[r].phases[p].cc_mask;
+        for (int lid = 0; lid < participant_count(prog); ++lid) {
+          if (!(mask >> lid & 1)) continue;
+          for (std::size_t b = 0; b < nb; ++b)
+            cc_expect[b] += cc_delta(prog.seed, static_cast<int>(r),
+                                     static_cast<int>(p),
+                                     static_cast<int>(b), lid);
+        }
+      }
+  }
+  auto cc_addr = [&](std::size_t b) {
+    return cc_base + static_cast<mem::Addr>(b) * prog.block_size;
+  };
   auto* wu = sys.writeupdate();
 
   std::vector<std::uint32_t> ref(nb, 0);  // host-side ground truth
@@ -246,6 +304,22 @@ RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
           if (c.read<std::uint32_t>(addr(b)) != ref[b]) ++out.read_mismatches;
         }
         c.barrier();
+        if (ph.cc_mask != 0) {
+          // Commutative push: every masked participant privatizes its adds,
+          // then ALL nodes flush and barrier before anyone reads the region
+          // (the ccached discipline; a no-op flush under other protocols,
+          // where cc_add degraded to an immediate remote rmw).
+          if (lid >= 0 && (ph.cc_mask >> lid & 1)) {
+            for (std::size_t b = 0; b < nb; ++b) {
+              const std::int64_t d =
+                  cc_delta(prog.seed, static_cast<int>(r),
+                           static_cast<int>(p), static_cast<int>(b), lid);
+              if (d != 0) c.cc_add(cc_addr(b), d);
+            }
+          }
+          if (lid >= 0) c.cc_flush();
+          c.barrier();
+        }
         if (prog.use_locks) {
           if (lid >= 0 && (ph.lock_users >> lid & 1)) {
             lock.acquire(c);
@@ -270,6 +344,16 @@ RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
       out.memory.resize(nb);
       for (std::size_t b = 0; b < nb; ++b)
         out.memory[b] = c.read<std::uint32_t>(addr(b));
+      if (cc) {
+        out.cc_memory.resize(nb);
+        for (std::size_t b = 0; b < nb; ++b) {
+          const auto v = c.read<std::int64_t>(cc_addr(b));
+          out.cc_memory[b] = v;
+          // Every flush landed before the final barrier, so the merged
+          // image must equal the host-side sum exactly.
+          if (v != cc_expect[b]) ++out.read_mismatches;
+        }
+      }
       if (prog.use_locks) out.lock_total = c.read<std::uint64_t>(counter);
     }
   });
@@ -291,6 +375,8 @@ RunResult run_program(const FuzzProgram& prog, runtime::ProtocolKind kind,
     capture->data = sys.tracer()->build(m.costs, m.net);
     for (int n = 0; n < prog.nodes; ++n)
       capture->counters.push_back(sys.recorder().node(n));
+    if (auto* ccp = sys.ccached(); ccp != nullptr)
+      capture->cc_flushes = ccp->cc_stats().flushes;
   }
   return out;
 }
@@ -302,6 +388,11 @@ FuzzVerdict check_program(const FuzzProgram& prog, bool latency_sweep,
       {"stache", ProtocolKind::kStache},
       {"predictive", ProtocolKind::kPredictive},
       {"anticipate", ProtocolKind::kPredictiveAnticipate},
+      // ccached always applies: programs without commutative phases must
+      // reproduce Stache exactly (empty logs change nothing), and cc
+      // programs must merge to the same totals every rmw-based protocol
+      // reaches.
+      {"ccached", ProtocolKind::kCCached},
   };
   if (supports_write_update(prog))
     kinds.emplace_back("write-update", ProtocolKind::kWriteUpdate);
@@ -347,6 +438,8 @@ FuzzVerdict check_program(const FuzzProgram& prog, bool latency_sweep,
       digest = fnv1a(digest, label.data(), label.size());
       digest = fnv1a(digest, r.memory.data(),
                      r.memory.size() * sizeof(std::uint32_t));
+      digest = fnv1a(digest, r.cc_memory.data(),
+                     r.cc_memory.size() * sizeof(std::int64_t));
       digest = fnv1a(digest, &r.lock_total, sizeof r.lock_total);
       digest = fnv1a(digest, &r.reduce_digest, sizeof r.reduce_digest);
       digest = fnv1a(digest, &r.read_mismatches, sizeof r.read_mismatches);
@@ -380,6 +473,16 @@ FuzzVerdict check_program(const FuzzProgram& prog, bool latency_sweep,
              "final memory differs from stache at block " +
                  std::to_string(b) + " (" + std::to_string(r.memory[b]) +
                  " vs " + std::to_string(baseline.memory[b]) + ")");
+        return verdict;
+      }
+      if (r.cc_memory != baseline.cc_memory) {
+        std::size_t b = 0;
+        while (b < r.cc_memory.size() && r.cc_memory[b] == baseline.cc_memory[b])
+          ++b;
+        fail("ccdiff[" + label + "]",
+             "commutative totals differ from stache at block " +
+                 std::to_string(b) + " (" + std::to_string(r.cc_memory[b]) +
+                 " vs " + std::to_string(baseline.cc_memory[b]) + ")");
         return verdict;
       }
       if (r.lock_total != baseline.lock_total) {
@@ -526,6 +629,14 @@ FuzzProgram shrink(const FuzzProgram& prog, const std::string& signature,
             progress = true;
           }
         }
+        if (best.rounds[r].phases[p].cc_mask != 0) {
+          FuzzProgram cand = best;
+          cand.rounds[r].phases[p].cc_mask = 0;
+          if (still_fails(cand)) {
+            best = std::move(cand);
+            progress = true;
+          }
+        }
       }
     }
     // Clear every assignment of one block across the whole program.
@@ -616,7 +727,13 @@ std::string serialize_trace(const FuzzProgram& prog) {
     for (std::size_t p = 0; p < rd.phases.size(); ++p) {
       const auto& ph = rd.phases[p];
       os << "phase " << p << " lock " << std::hex << ph.lock_users << std::dec
-         << " reduce " << (ph.reduce ? 1 : 0) << '\n';
+         << " reduce " << (ph.reduce ? 1 : 0);
+      // Written only for commutative phases: traces without them stay
+      // byte-identical to the pre-`cc` format, and old traces parse
+      // unchanged (the `participants` precedent).
+      if (ph.cc_mask != 0)
+        os << " cc " << std::hex << ph.cc_mask << std::dec;
+      os << '\n';
       os << "w";
       for (int w : ph.writer) os << ' ' << w;
       os << "\nr" << std::hex;
@@ -693,7 +810,13 @@ FuzzProgram parse_trace(const std::string& text) {
       is >> flag;
       ph.reduce = flag != 0;
       PRESTO_CHECK(is && idx == p, "malformed phase header");
-      expect("w");
+      PRESTO_CHECK(is >> tok, "malformed trace: truncated after reduce");
+      if (tok == "cc") {
+        is >> std::hex >> ph.cc_mask >> std::dec;
+        PRESTO_CHECK(is >> tok, "malformed trace: truncated after cc");
+      }
+      PRESTO_CHECK(tok == "w",
+                   "malformed trace: expected 'w', got '" << tok << "'");
       ph.writer.resize(nb);
       for (auto& w : ph.writer) is >> w;
       expect("r");

@@ -41,6 +41,11 @@ struct FuzzPhase {
   std::vector<std::uint64_t> reader_mask;  // per block; bit per node
   std::uint64_t lock_users = 0;            // nodes bumping the locked counter
   bool reduce = false;                     // end the phase with a reduce_sum
+  // Nodes pushing commutative adds into the reduction region this phase.
+  // The phase ends with an all-node cc_flush + barrier — the discipline the
+  // ccached protocol requires before anyone reads (or plain-writes) a
+  // commutative block.
+  std::uint64_t cc_mask = 0;
 };
 
 struct FuzzRound {
@@ -69,6 +74,10 @@ struct FuzzProgram {
 // Everything a program can observe, plus a determinism digest.
 struct RunResult {
   std::vector<std::uint32_t> memory;  // final value per block (node 0 reads)
+  // Final value per commutative block (empty when the program has no
+  // commutative phases). Integer adds commute exactly, so these must agree
+  // bit-for-bit across every protocol and merge order.
+  std::vector<std::int64_t> cc_memory;
   std::uint64_t lock_total = 0;       // final lock-protected counter
   double reduce_digest = 0.0;         // accumulated reduction results
   std::uint64_t read_mismatches = 0;  // reads differing from the host ref
@@ -97,10 +106,15 @@ int participant_node(const FuzzProgram& prog, int i);
 FuzzProgram generate(std::uint64_t seed);
 
 // True when the program is meaningful under write-update: no locks (an
-// update protocol cannot provide mutual exclusion) and a stable single
+// update protocol cannot provide mutual exclusion), a stable single
 // writer per block across the whole program (the hand-optimized SPMD
-// usage the protocol models).
+// usage the protocol models), and no commutative phases (a read-modify-write
+// on a stale phase-consistent copy loses concurrent updates).
 bool supports_write_update(const FuzzProgram& prog);
+
+// True when any phase carries commutative adds (a second, set_commutative
+// region is allocated and diffed only for such programs).
+bool has_commutative(const FuzzProgram& prog);
 
 // Optional per-run trace capture (tests/trace_property_test.cc reconciles
 // the tracer's independent accounting against the protocol counters over
@@ -111,6 +125,10 @@ struct TraceCapture {
   trace::Summary summary;
   trace::TraceData data;  // canonical stream + cost-model meta
   std::vector<stats::NodeCounters> counters;  // per node, for reconciliation
+  // ccached flush round trips (0 under other protocols): each opens one
+  // merge-class miss window with no tag fault, so the reconciliation
+  // identity is misses == faults + cc_flushes.
+  std::uint64_t cc_flushes = 0;
 };
 
 // Runs the program under one protocol/network configuration with the oracle

@@ -123,6 +123,40 @@ void Oracle::check_write(int node, mem::BlockId b, std::size_t off,
   push_ring(Ev::kWrite, node, -1, static_cast<std::uint8_t>(n), b);
 }
 
+void Oracle::on_cc_update(int node, mem::BlockId b, std::size_t off,
+                          std::int64_t delta) {
+  if (LaneBuf* lb = defer_target()) {
+    DefRec r;
+    r.kind = Ev::kCcUpdate;
+    r.t = engine_->now();
+    r.a = static_cast<std::int16_t>(node);
+    r.block = b;
+    r.off = static_cast<std::uint32_t>(off);
+    r.n = sizeof(delta);
+    r.data_off = stash(*lb, &delta, sizeof(delta));
+    r.has_data = true;
+    lb->recs.push_back(r);
+    return;
+  }
+  check_cc_update(node, b, off, delta);
+}
+
+void Oracle::check_cc_update(int node, mem::BlockId b, std::size_t off,
+                             std::int64_t delta) {
+  ensure_block(b);
+  // Fold the delta into the committed shadow. last_writer_/multi_writer_
+  // stay untouched: a commutative update is not a write in the
+  // single-writer sense, and every contributor's delta commutes exactly.
+  std::byte* p = committed_.data() +
+                 static_cast<std::size_t>(b) * space_.block_size() + off;
+  std::int64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  v += delta;
+  std::memcpy(p, &v, sizeof(v));
+  ++cc_updates_checked_;
+  push_ring(Ev::kCcUpdate, node, -1, 0, b);
+}
+
 void Oracle::on_app_read(int node, mem::BlockId b, std::size_t off,
                          const void* seen, std::size_t n) {
   if (LaneBuf* lb = defer_target()) {
@@ -144,7 +178,12 @@ void Oracle::on_app_read(int node, mem::BlockId b, std::size_t off,
 void Oracle::check_read(int node, mem::BlockId b, std::size_t off,
                         const void* seen, std::size_t n) {
   ensure_block(b);
-  if (mode_ == Mode::kSC || strict_reads_) {
+  // Reads of commutative blocks are exempt from the data-value check: the
+  // committed shadow folds in every node's privatized delta the instant
+  // cc_add runs, while the protocol's merged image only catches up at flush
+  // time — a mid-phase read legally observes the pre-merge bytes. The
+  // end-of-run final_sweep still compares every valid copy strictly.
+  if ((mode_ == Mode::kSC || strict_reads_) && !space_.is_commutative(b)) {
     // Data-value: the bytes this read observed must equal the committed
     // bytes — the most recent write in simulated execution order.
     const std::byte* want = committed_.data() +
@@ -194,6 +233,12 @@ void Oracle::check_send(int src, int dst, const proto::Msg& m) {
   const std::size_t bsz = space_.block_size();
   push_ring(Ev::kSend, src, dst, static_cast<std::uint8_t>(m.type), m.block);
   if (m.data == nullptr) return;  // fault-injected drop; installs will catch
+  if (m.type == proto::MsgType::CcFlush) {
+    // Payload is (word, delta) log entries, not block bytes; the merged
+    // result is audited against the committed shadow by final_sweep.
+    ++sends_checked_;
+    return;
+  }
   if (m.data_len != m.count * bsz) {
     violation(src, m.block,
               std::string("payload size mismatch on ") +
@@ -212,12 +257,15 @@ void Oracle::check_send(int src, int dst, const proto::Msg& m) {
     // have written the same block (false sharing), each publishes a whole
     // block holding only its own stores, so no single payload can equal the
     // merged committed view.
+    // Commutative blocks are exempt: the committed shadow runs ahead of the
+    // protocol's merged image between cc_add and flush (see check_read).
     const bool must_match =
-        mode_ == Mode::kSC ||
-        (m.type == proto::MsgType::UpdateData &&
-         last_writer_[static_cast<std::size_t>(b)] ==
-             static_cast<std::int16_t>(src) &&
-         multi_writer_[static_cast<std::size_t>(b)] == 0);
+        !space_.is_commutative(b) &&
+        (mode_ == Mode::kSC ||
+         (m.type == proto::MsgType::UpdateData &&
+          last_writer_[static_cast<std::size_t>(b)] ==
+              static_cast<std::int16_t>(src) &&
+          multi_writer_[static_cast<std::size_t>(b)] == 0));
     if (must_match &&
         std::memcmp(m.data + static_cast<std::size_t>(k) * bsz,
                     committed_.data() + static_cast<std::size_t>(b) * bsz,
@@ -259,7 +307,7 @@ void Oracle::check_install(int node, mem::BlockId b, const std::byte* data,
   // Install coherence: bytes landing at a node must still equal the
   // committed view (FIFO channels guarantee no committed write raced past
   // the payload in flight). Stale valid copies are legal under kPhase.
-  if (mode_ == Mode::kSC && data != nullptr &&
+  if (mode_ == Mode::kSC && data != nullptr && !space_.is_commutative(b) &&
       std::memcmp(data,
                   committed_.data() + static_cast<std::size_t>(b) *
                                           space_.block_size(),
@@ -334,6 +382,12 @@ void Oracle::replay_window() {
       case Ev::kNet:
         push_ring(Ev::kNet, r.a, r.b, 0, r.block);
         break;
+      case Ev::kCcUpdate: {
+        std::int64_t delta;
+        std::memcpy(&delta, d, sizeof(delta));
+        check_cc_update(r.a, r.block, r.off, delta);
+        break;
+      }
     }
   }
   replaying_ = false;
@@ -396,6 +450,9 @@ std::string Oracle::ring_dump(std::size_t max_events) const {
         break;
       case Ev::kNet:
         os << "net  " << e.a << "->" << e.b << " bytes=" << e.block;
+        break;
+      case Ev::kCcUpdate:
+        os << "cc-update node=" << e.a << " block=" << e.block;
         break;
     }
     os << '\n';

@@ -98,6 +98,13 @@ class Oracle final : public mem::AccessObserver,
                    const void* seen, std::size_t n) override;
   void on_app_write(int node, mem::BlockId b, std::size_t off,
                     const void* data, std::size_t n) override;
+  // Privatized commutative update (ccached): folds delta into the committed
+  // shadow immediately — addition commutes, so the shadow stays exact no
+  // matter what order the protocol's logs merge in. No tag checks apply (the
+  // update is local by design); a merge that loses or double-applies a delta
+  // is caught by final_sweep when the home's copy diverges from the shadow.
+  void on_cc_update(int node, mem::BlockId b, std::size_t off,
+                    std::int64_t delta) override;
 
   // ---- proto::CoherenceObserver ---------------------------------------------
   void on_data_send(int src, int dst, const proto::Msg& m) override;
@@ -127,6 +134,7 @@ class Oracle final : public mem::AccessObserver,
   std::uint64_t writes_checked() const { return writes_checked_; }
   std::uint64_t sends_checked() const { return sends_checked_; }
   std::uint64_t installs_checked() const { return installs_checked_; }
+  std::uint64_t cc_updates_checked() const { return cc_updates_checked_; }
 
   // The committed (most recently written) bytes of a block — the shadow the
   // fuzzer uses as its host-side reference.
@@ -136,7 +144,9 @@ class Oracle final : public mem::AccessObserver,
   std::string ring_dump(std::size_t max_events = 64) const;
 
  private:
-  enum class Ev : std::uint8_t { kRead, kWrite, kInstall, kSend, kNet };
+  enum class Ev : std::uint8_t {
+    kRead, kWrite, kInstall, kSend, kNet, kCcUpdate
+  };
   struct RingEvent {
     sim::Time t = 0;
     Ev kind = Ev::kRead;
@@ -189,6 +199,8 @@ class Oracle final : public mem::AccessObserver,
   void check_send(int src, int dst, const proto::Msg& m);
   void check_install(int node, mem::BlockId b, const std::byte* data,
                      mem::Tag tag);
+  void check_cc_update(int node, mem::BlockId b, std::size_t off,
+                       std::int64_t delta);
 
   mem::GlobalSpace& space_;
   const sim::Engine* engine_;
@@ -221,6 +233,7 @@ class Oracle final : public mem::AccessObserver,
   std::uint64_t writes_checked_ = 0;
   std::uint64_t sends_checked_ = 0;
   std::uint64_t installs_checked_ = 0;
+  std::uint64_t cc_updates_checked_ = 0;
 };
 
 // True when a System should attach an oracle without being asked:

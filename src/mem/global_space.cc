@@ -100,6 +100,17 @@ void GlobalSpace::arena_reset(int node, std::size_t mark) {
   ar.cur = mark;
 }
 
+void GlobalSpace::set_commutative(Addr base, std::size_t bytes) {
+  PRESTO_CHECK(bytes > 0, "empty commutative region");
+  PRESTO_CHECK(base + bytes <= size_, "commutative region past end of space");
+  const BlockId first = block_of(base);
+  const BlockId last = block_of(base + bytes - 1);
+  if (commutative_.size() <= static_cast<std::size_t>(last))
+    commutative_.resize(static_cast<std::size_t>(last) + 1, 0);
+  for (BlockId b = first; b <= last; ++b)
+    commutative_[static_cast<std::size_t>(b)] = 1;
+}
+
 std::uint8_t* GlobalSpace::materialize_tags(int node, PageId p) {
   auto& c = tags_[static_cast<std::size_t>(node)][static_cast<std::size_t>(p)];
   const std::size_t bpp = cfg_.page_size / cfg_.block_size;

@@ -53,6 +53,17 @@ class AccessObserver {
                            const void* seen, std::size_t n) = 0;
   virtual void on_app_write(int node, BlockId b, std::size_t off,
                             const void* data, std::size_t n) = 0;
+  // Privatized commutative update (ccached protocol, NodeCtx::cc_add):
+  // `delta` will be added to the 64-bit word at byte offset `off` of block b
+  // when the node's update log merges at the home. Defaulted so observers
+  // that predate commutative regions ignore it.
+  virtual void on_cc_update(int node, BlockId b, std::size_t off,
+                            std::int64_t delta) {
+    (void)node;
+    (void)b;
+    (void)off;
+    (void)delta;
+  }
 
  protected:
   ~AccessObserver() = default;
@@ -113,6 +124,20 @@ class GlobalSpace {
   // stability is what makes the communication schedule repetitive).
   std::size_t arena_mark(int node) const;
   void arena_reset(int node, std::size_t mark);
+
+  // ---- Commutative (reduction) regions -------------------------------------
+
+  // Marks [base, base+bytes) as commutative: every block the range touches
+  // may be updated with order-independent privatized int64 adds
+  // (NodeCtx::cc_add). The marking is advisory for invalidation protocols —
+  // only the ccached protocol, the tracer's merge attribution, and the
+  // oracle's exemptions consult it. Set before the parallel section begins;
+  // marks are never cleared.
+  void set_commutative(Addr base, std::size_t bytes);
+  bool is_commutative(BlockId b) const {
+    const std::size_t i = static_cast<std::size_t>(b);
+    return i < commutative_.size() && commutative_[i] != 0;
+  }
 
   // ---- Access control ------------------------------------------------------
 
@@ -251,6 +276,11 @@ class GlobalSpace {
     std::vector<Addr> chunks;  // page-aligned chunks in allocation order
   };
   std::vector<Arena> arenas_;
+
+  // commutative_[block] != 0 — block belongs to a set_commutative region.
+  // A plain byte vector (one per block in the space): regions are rare and
+  // contiguous, and is_commutative sits on protocol hot paths.
+  std::vector<std::uint8_t> commutative_;
 
   FaultHandler* fault_ = nullptr;
   AccessObserver* observer_ = nullptr;

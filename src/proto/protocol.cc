@@ -25,6 +25,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::WuWriteNote: return "WuWriteNote";
     case MsgType::UpdateData: return "UpdateData";
     case MsgType::UpdateAck: return "UpdateAck";
+    case MsgType::CcFlush: return "CcFlush";
+    case MsgType::CcFlushAck: return "CcFlushAck";
   }
   return "?";
 }

@@ -60,6 +60,9 @@ enum class MsgType : std::uint8_t {
   WuWriteNote,     // writer -> home: writer took local ReadWrite
   UpdateData,      // writer -> home, or home -> readers: fresh block contents
   UpdateAck,       // final recipient -> home -> writer
+  // Commutative-update protocol (ccached).
+  CcFlush,         // node -> home: (word index, delta) entries for one block
+  CcFlushAck,      // home -> node: deltas merged into the committed image
 };
 
 const char* msg_type_name(MsgType t);

@@ -106,8 +106,25 @@ enum class ProtocolKind {
   kPredictive,             // compiler-directed predictive protocol
   kPredictiveAnticipate,   // + conflict anticipation extension (§3.4)
   kWriteUpdate,            // hand-optimized SPMD baseline [5]
+  kCCached,                // commutative-update (reduction) protocol
 };
 
 const char* protocol_kind_name(ProtocolKind k);
+
+// Protocol registry: every kind, in canonical sweep order. Benches and CLIs
+// iterate this instead of keeping their own arrays, so a new protocol shows
+// up in every sweep without per-tool edits.
+inline constexpr ProtocolKind kAllProtocolKinds[] = {
+    ProtocolKind::kStache,
+    ProtocolKind::kPredictive,
+    ProtocolKind::kPredictiveAnticipate,
+    ProtocolKind::kWriteUpdate,
+    ProtocolKind::kCCached,
+};
+inline constexpr int kNumProtocolKinds =
+    static_cast<int>(sizeof(kAllProtocolKinds) / sizeof(kAllProtocolKinds[0]));
+
+// Parses a name as printed by protocol_kind_name; false on unknown names.
+bool protocol_kind_from_name(const char* name, ProtocolKind* out);
 
 }  // namespace presto::runtime

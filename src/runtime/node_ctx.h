@@ -21,6 +21,10 @@
 #include "trace/hooks.h"
 #include "util/rng.h"
 
+namespace presto::proto {
+class CCachedProtocol;
+}  // namespace presto::proto
+
 namespace presto::runtime {
 
 class NodeCtx {
@@ -70,6 +74,19 @@ class NodeCtx {
                [&](void* p) { fn(*static_cast<T*>(p)); });
   }
 
+  // ---- Commutative (reduction) updates --------------------------------------
+
+  // Adds `delta` to the 64-bit word at a, which must lie 8-byte aligned
+  // inside a mem::GlobalSpace::set_commutative region. Under the ccached
+  // protocol the update is privatized into this node's log (made globally
+  // visible by cc_flush); under every other protocol it degrades to an
+  // ordinary atomic read-modify-write, so identical application code runs in
+  // every configuration.
+  void cc_add(mem::Addr a, std::int64_t delta);
+  // Flushes this node's pending commutative updates to their homes. No-op
+  // under non-ccached protocols (there is nothing privatized to flush).
+  void cc_flush();
+
   // ---- Compute cost model ---------------------------------------------------
 
   void charge(sim::Time t) { proc_.charge(t); }
@@ -117,6 +134,7 @@ class NodeCtx {
   stats::Recorder& rec_;
   BarrierManager& barrier_;
   proto::Protocol& protocol_;
+  proto::CCachedProtocol* cc_ = nullptr;  // non-null iff protocol is ccached
   util::Rng rng_;
 };
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "sim/parallel.h"
@@ -18,8 +19,19 @@ const char* protocol_kind_name(ProtocolKind k) {
     case ProtocolKind::kPredictive: return "predictive";
     case ProtocolKind::kPredictiveAnticipate: return "predictive+anticipate";
     case ProtocolKind::kWriteUpdate: return "write-update";
+    case ProtocolKind::kCCached: return "ccached";
   }
   return "?";
+}
+
+bool protocol_kind_from_name(const char* name, ProtocolKind* out) {
+  for (const ProtocolKind k : kAllProtocolKinds) {
+    if (std::strcmp(name, protocol_kind_name(k)) == 0) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace {
@@ -84,6 +96,10 @@ System::System(const MachineConfig& cfg, ProtocolKind kind)
       protocol_ = std::make_unique<proto::WriteUpdateProtocol>(
           engine_, *net_, *space_, rec_, cfg.costs);
       break;
+    case ProtocolKind::kCCached:
+      protocol_ = std::make_unique<proto::CCachedProtocol>(
+          engine_, *net_, *space_, rec_, cfg.costs, cfg.cluster_nodes);
+      break;
   }
   protocol_->install();
   barrier_ = std::make_unique<BarrierManager>(
@@ -142,6 +158,12 @@ proto::PredictiveProtocol* System::predictive() {
 proto::WriteUpdateProtocol* System::writeupdate() {
   return kind_ == ProtocolKind::kWriteUpdate
              ? static_cast<proto::WriteUpdateProtocol*>(protocol_.get())
+             : nullptr;
+}
+
+proto::CCachedProtocol* System::ccached() {
+  return kind_ == ProtocolKind::kCCached
+             ? static_cast<proto::CCachedProtocol*>(protocol_.get())
              : nullptr;
 }
 
@@ -270,6 +292,12 @@ stats::Report System::report(std::string label) const {
   r.presend_blocks = rec_.sum(&stats::NodeCounters::presend_blocks_sent);
   r.dir_probes = rec_.sum(&stats::NodeCounters::dir_probes);
   r.sched_lookups = rec_.sum(&stats::NodeCounters::sched_lookups);
+  if (kind_ == ProtocolKind::kCCached) {
+    const auto& cs =
+        static_cast<const proto::CCachedProtocol*>(protocol_.get())->cc_stats();
+    r.cc_flushes = cs.flushes;
+    r.cc_entries = cs.flushed_entries;
+  }
   r.host = rec_.host();
   if (tracer_ != nullptr) {
     const trace::Summary& s = tracer_->summary();
@@ -282,6 +310,8 @@ stats::Report System::report(std::string label) const {
         trace::MissClass::kInvalidation)];
     r.miss_presend_waste = s.miss_by_class[static_cast<std::size_t>(
         trace::MissClass::kPresendWaste)];
+    r.miss_merge =
+        s.miss_by_class[static_cast<std::size_t>(trace::MissClass::kMerge)];
     r.miss_latency_total = s.miss_latency_total;
     r.presend_hits = s.presend_hits;
     r.presend_waste = s.presend_waste;

@@ -38,13 +38,14 @@ std::string Report::trace_summary(const std::vector<Report>& rs) {
   for (const auto& r : rs) any = any || r.traced;
   if (!any) return "";
   util::Table t({"version", "events", "miss lat (s)", "cold", "inval",
-                 "presend-waste", "presend hits", "waste", "unused"});
+                 "presend-waste", "merge", "presend hits", "waste", "unused"});
   for (const auto& r : rs) {
     if (!r.traced) continue;
     t.add_row({r.label, std::to_string(r.trace_events),
                util::fmt_double(sim::to_seconds(r.miss_latency_total), 3),
                std::to_string(r.miss_cold), std::to_string(r.miss_invalidation),
                std::to_string(r.miss_presend_waste),
+               std::to_string(r.miss_merge),
                std::to_string(r.presend_hits), std::to_string(r.presend_waste),
                std::to_string(r.presend_unused)});
   }

@@ -39,6 +39,15 @@ struct Report {
   std::uint64_t dir_probes = 0;
   std::uint64_t sched_lookups = 0;
 
+  // Commutative-update (ccached) protocol counters: flush round trips and
+  // the (word, delta) entries they carried. Each flush opens one merge-class
+  // miss window, so under ccached the class identity reads
+  // miss_cold + miss_invalidation + miss_presend_waste + miss_merge ==
+  // faults + cc_flushes (zero for every other protocol and for ccached runs
+  // that never touch a commutative block).
+  std::uint64_t cc_flushes = 0;
+  std::uint64_t cc_entries = 0;
+
   // Host-side (wall-clock) execution counters for the run that produced this
   // report. Observability only — never part of simulated results.
   HostCounters host;
@@ -53,6 +62,7 @@ struct Report {
   std::uint64_t miss_cold = 0;
   std::uint64_t miss_invalidation = 0;
   std::uint64_t miss_presend_waste = 0;
+  std::uint64_t miss_merge = 0;  // misses on commutative blocks
   sim::Time miss_latency_total = 0;
   std::uint64_t presend_hits = 0;
   std::uint64_t presend_waste = 0;

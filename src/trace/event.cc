@@ -59,6 +59,7 @@ const char* miss_class_name(MissClass c) {
     case MissClass::kCold: return "cold";
     case MissClass::kInvalidation: return "invalidation";
     case MissClass::kPresendWaste: return "presend-waste";
+    case MissClass::kMerge: return "merge";
   }
   return "?";
 }

@@ -53,8 +53,11 @@ enum class MissClass : std::uint8_t {
   kInvalidation = 1,  // held one and lost it (includes upgrades)
   kPresendWaste = 2,  // lost a *presend-installed* copy — the schedule paid
                       //   for this block and the miss happened anyway
+  kMerge = 3,         // miss on a commutative (set_commutative) block:
+                      //   ccached flush round trips and, under other
+                      //   protocols, the reduction traffic ccached replaces
 };
-inline constexpr std::size_t kNumMissClasses = 3;
+inline constexpr std::size_t kNumMissClasses = 4;
 inline constexpr std::uint16_t kMissWriteBit = 1u << 8;
 
 struct Event {

@@ -198,6 +198,13 @@ void Tracer::on_miss_start(int node, std::uint64_t block, bool is_write,
   } else {
     cls = (st & kEverValid) != 0 ? MissClass::kInvalidation : MissClass::kCold;
   }
+  // Misses on commutative blocks are merge traffic: ccached's flush round
+  // trips, and under the other protocols the reduction ping-pong ccached
+  // replaces. Classified after the pending-bit logic so the presend
+  // hit/waste/unused partition is untouched and the class is comparable
+  // across protocols.
+  if (space_.is_commutative(static_cast<mem::BlockId>(block)))
+    cls = MissClass::kMerge;
   auto& m = miss_[static_cast<std::size_t>(node)];
   m.t0 = t0;
   m.cls = cls;
@@ -292,6 +299,14 @@ void Tracer::on_app_write(int node, mem::BlockId b, std::size_t off,
   st |= kEverValid;
   if (next_access_ != nullptr)
     next_access_->on_app_write(node, b, off, data, n);
+}
+
+void Tracer::on_cc_update(int node, mem::BlockId b, std::size_t off,
+                          std::int64_t delta) {
+  // Privatized update: no copy became valid at the node, so no state change
+  // and no event — but the chained oracle must still see it to keep its
+  // committed shadow exact.
+  if (next_access_ != nullptr) next_access_->on_cc_update(node, b, off, delta);
 }
 
 // ---- proto::CoherenceObserver -----------------------------------------------

@@ -141,6 +141,8 @@ class Tracer final : public Hooks,
                    std::size_t n) override;
   void on_app_write(int node, mem::BlockId b, std::size_t off,
                     const void* data, std::size_t n) override;
+  void on_cc_update(int node, mem::BlockId b, std::size_t off,
+                    std::int64_t delta) override;
 
   // ---- proto::CoherenceObserver ---------------------------------------------
   void on_data_send(int src, int dst, const proto::Msg& m) override;

@@ -8,6 +8,8 @@
 
 #include "apps/adaptive/adaptive.h"
 #include "apps/barnes/barnes.h"
+#include "apps/ocean/ocean.h"
+#include "apps/ranker/ranker.h"
 #include "apps/water/splash_water.h"
 #include "apps/water/water.h"
 
@@ -35,6 +37,21 @@ WaterParams small_water() {
   WaterParams p;
   p.molecules = 64;
   p.steps = 4;
+  return p;
+}
+
+OceanParams small_ocean() {
+  OceanParams p;
+  p.n = 16;
+  p.iters = 6;
+  return p;
+}
+
+RankerParams small_ranker() {
+  RankerParams p;
+  p.vertices = 96;
+  p.degree = 4;
+  p.iters = 6;
   return p;
 }
 
@@ -147,6 +164,92 @@ TEST(Water, StaticPatternReachesSteadyStateHits) {
   // position reads locally after the first step.
   EXPECT_GT(opt.report.local_hit_pct, unopt.report.local_hit_pct);
   EXPECT_LT(opt.report.faults, unopt.report.faults / 2);
+}
+
+TEST(Ocean, AllProtocolsAgree) {
+  const auto m = MachineConfig::cm5_blizzard(4, 32);
+  const auto unopt = run_ocean(small_ocean(), m, ProtocolKind::kStache, false);
+  const auto opt = run_ocean(small_ocean(), m, ProtocolKind::kPredictive, true);
+  const auto wu = run_ocean(small_ocean(), m, ProtocolKind::kWriteUpdate, false);
+  const auto cc = run_ocean(small_ocean(), m, ProtocolKind::kCCached, false);
+  EXPECT_DOUBLE_EQ(unopt.checksum, opt.checksum);
+  EXPECT_DOUBLE_EQ(unopt.checksum, wu.checksum);
+  EXPECT_DOUBLE_EQ(unopt.checksum, cc.checksum);
+  EXPECT_GT(unopt.checksum, 0.0);  // potential spread from the hot edge
+}
+
+TEST(Ocean, CCachedMatchesStacheOnNonCommutativeWork) {
+  // Ocean declares no commutative regions, so ccached must degrade to
+  // Stache exactly: same simulated time, same message count, same faults.
+  const auto m = MachineConfig::cm5_blizzard(4, 32);
+  const auto st = run_ocean(small_ocean(), m, ProtocolKind::kStache, false);
+  const auto cc = run_ocean(small_ocean(), m, ProtocolKind::kCCached, false);
+  EXPECT_EQ(st.report.exec, cc.report.exec);
+  EXPECT_EQ(st.report.msgs, cc.report.msgs);
+  EXPECT_EQ(st.report.bytes, cc.report.bytes);
+  EXPECT_EQ(st.report.faults, cc.report.faults);
+  EXPECT_DOUBLE_EQ(st.checksum, cc.checksum);
+}
+
+TEST(Ocean, StaticStencilFavoursPredictive) {
+  // The boundary-row exchange repeats identically every sweep — predictive
+  // schedules converge and presends replace nearly all remote waits.
+  const auto m = MachineConfig::cm5_blizzard(4, 32);
+  const auto unopt = run_ocean(small_ocean(), m, ProtocolKind::kStache, false);
+  const auto opt = run_ocean(small_ocean(), m, ProtocolKind::kPredictive, true);
+  EXPECT_LT(opt.report.remote_wait, unopt.report.remote_wait);
+  EXPECT_GT(opt.report.presend_blocks, 0u);
+}
+
+TEST(Ranker, AllProtocolsAgreeExactly) {
+  // Integer fixed-point ranks: addition commutes exactly, so every
+  // protocol — including the privatized ccached merge and the write-update
+  // host-side reduction — lands on bit-identical ranks.
+  const auto m = MachineConfig::cm5_blizzard(4, 32);
+  const auto st = run_ranker(small_ranker(), m, ProtocolKind::kStache, false);
+  const auto pr =
+      run_ranker(small_ranker(), m, ProtocolKind::kPredictive, true);
+  const auto an =
+      run_ranker(small_ranker(), m, ProtocolKind::kPredictiveAnticipate, true);
+  const auto wu =
+      run_ranker(small_ranker(), m, ProtocolKind::kWriteUpdate, false);
+  const auto cc = run_ranker(small_ranker(), m, ProtocolKind::kCCached, false);
+  EXPECT_DOUBLE_EQ(st.checksum, pr.checksum);
+  EXPECT_DOUBLE_EQ(st.checksum, an.checksum);
+  EXPECT_DOUBLE_EQ(st.checksum, wu.checksum);
+  EXPECT_DOUBLE_EQ(st.checksum, cc.checksum);
+  EXPECT_GT(st.checksum, 0.0);
+}
+
+TEST(Ranker, CCachedCutsTheWriteStorm) {
+  // Under Stache every push is a remote read-modify-write and the power-law
+  // head blocks ping-pong between all nodes; ccached privatizes the adds
+  // and pays one merge round trip per touched block per node instead.
+  const auto m = MachineConfig::cm5_blizzard(4, 32);
+  const auto st = run_ranker(small_ranker(), m, ProtocolKind::kStache, false);
+  const auto cc = run_ranker(small_ranker(), m, ProtocolKind::kCCached, false);
+  EXPECT_LT(cc.report.faults, st.report.faults);
+  EXPECT_LT(cc.report.remote_wait, st.report.remote_wait);
+  EXPECT_LT(cc.report.exec, st.report.exec);
+}
+
+TEST(Ranker, DriftingEdgesDefeatPredictiveSchedules) {
+  // The edge set is re-drawn every iteration, so last iteration's learned
+  // schedule is always stale; ccached must beat predictive here.
+  const auto m = MachineConfig::cm5_blizzard(4, 32);
+  const auto pr =
+      run_ranker(small_ranker(), m, ProtocolKind::kPredictive, true);
+  const auto cc = run_ranker(small_ranker(), m, ProtocolKind::kCCached, false);
+  EXPECT_LT(cc.report.remote_wait, pr.report.remote_wait);
+}
+
+TEST(Ranker, DeterministicAcrossRuns) {
+  const auto m = MachineConfig::cm5_blizzard(4, 32);
+  const auto r1 = run_ranker(small_ranker(), m, ProtocolKind::kCCached, false);
+  const auto r2 = run_ranker(small_ranker(), m, ProtocolKind::kCCached, false);
+  EXPECT_DOUBLE_EQ(r1.checksum, r2.checksum);
+  EXPECT_EQ(r1.report.exec, r2.report.exec);
+  EXPECT_EQ(r1.report.msgs, r2.report.msgs);
 }
 
 TEST(Water, EnergyScaleIsPhysical) {

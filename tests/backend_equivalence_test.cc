@@ -77,18 +77,37 @@ TEST_P(BackendEquivalenceTest, MicroWorkloadWithQuantumFloorBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllProtocols, BackendEquivalenceTest,
-    ::testing::Values(ProtocolKind::kStache, ProtocolKind::kPredictive,
-                      ProtocolKind::kPredictiveAnticipate,
-                      ProtocolKind::kWriteUpdate),
+    ::testing::ValuesIn(runtime::kAllProtocolKinds),
     [](const ::testing::TestParamInfo<ProtocolKind>& info) -> std::string {
       switch (info.param) {
         case ProtocolKind::kStache: return "Stache";
         case ProtocolKind::kPredictive: return "Predictive";
         case ProtocolKind::kPredictiveAnticipate: return "PredictiveAnticipate";
         case ProtocolKind::kWriteUpdate: return "WriteUpdate";
+        case ProtocolKind::kCCached: return "CCached";
       }
       return "Unknown";
     });
+
+// The merge path across backends: the cc micro workload's flush/merge
+// scheduling must be bit-identical between fiber and thread control
+// transfer, counters and final merged image included.
+TEST(BackendEquivalenceCCached, ReductionWorkloadBitIdentical) {
+  for (const auto bsz : {32u, 128u}) {
+    SCOPED_TRACE("bsz=" + std::to_string(bsz));
+    const auto run = [&](sim::Backend backend) {
+      return testutil::run_cc_micro_workload(ProtocolKind::kCCached, bsz,
+                                             /*nodes=*/4, /*rounds=*/6,
+                                             /*traced=*/false, backend);
+    };
+    const WorkloadResult fiber = run(sim::Backend::kFiber);
+    const WorkloadResult thread = run(sim::Backend::kThread);
+    expect_equal(fiber, thread);
+    EXPECT_EQ(fiber.cc_flushes, thread.cc_flushes);
+    EXPECT_EQ(fiber.cc_entries, thread.cc_entries);
+    EXPECT_GT(fiber.cc_flushes, 0u);
+  }
+}
 
 TEST(BackendEquivalenceBarnes, ChecksumAndReportBitIdentical) {
   apps::BarnesParams params;

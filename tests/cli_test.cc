@@ -1,10 +1,14 @@
-// util::Cli flag parsing and the allocation-free lookup contract.
+// util::Cli flag parsing and the allocation-free lookup contract, plus the
+// bench-side --protocol selector that resolves names through the protocol
+// registry.
 #include <gtest/gtest.h>
 
 #include <initializer_list>
 #include <string_view>
 #include <vector>
 
+#include "bench/bench_common.h"
+#include "runtime/machine.h"
 #include "util/cli.h"
 
 using presto::util::Cli;
@@ -74,6 +78,41 @@ TEST(CliDeath, MalformedIntegerAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   const Cli cli = make_cli({"--blocks=12x"});
   EXPECT_DEATH((void)cli.get_int("blocks", 0), "expects an integer");
+}
+
+// The benches take their protocol sweep from the registry: no --protocol
+// means every registered protocol in canonical order, so a newly registered
+// protocol appears in every sweep without touching the bench binaries.
+TEST(ProtocolCli, DefaultsToFullRegistry) {
+  const Cli cli = make_cli({});
+  const auto protos = presto::bench::protocols_from_cli(cli);
+  ASSERT_EQ(protos.size(),
+            static_cast<std::size_t>(presto::runtime::kNumProtocolKinds));
+  for (int i = 0; i < presto::runtime::kNumProtocolKinds; ++i)
+    EXPECT_EQ(protos[static_cast<std::size_t>(i)],
+              presto::runtime::kAllProtocolKinds[i]);
+}
+
+// Every name protocol_kind_name() prints must round-trip back through the
+// selector to exactly that protocol — the spelling in bench output is the
+// spelling --protocol accepts.
+TEST(ProtocolCli, EveryRegistryNameSelectsItsProtocol) {
+  for (const auto kind : presto::runtime::kAllProtocolKinds) {
+    const Cli cli = make_cli(
+        {(std::string("--protocol=") +
+          presto::runtime::protocol_kind_name(kind)).c_str()});
+    const auto protos = presto::bench::protocols_from_cli(cli);
+    ASSERT_EQ(protos.size(), 1u);
+    EXPECT_EQ(protos.front(), kind);
+  }
+}
+
+TEST(ProtocolCliDeath, UnknownProtocolNameAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Cli cli = make_cli({"--protocol=bogus"});
+  // The abort message lists the valid names so a typo is self-correcting.
+  EXPECT_DEATH((void)presto::bench::protocols_from_cli(cli),
+               "unknown protocol 'bogus'.*stache.*ccached");
 }
 
 }  // namespace

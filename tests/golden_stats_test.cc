@@ -8,6 +8,8 @@
 // bit-identical; any drift here means simulated results changed.
 #include <gtest/gtest.h>
 
+#include "apps/ocean/ocean.h"
+#include "apps/ranker/ranker.h"
 #include "golden_workload.h"
 
 using namespace presto;
@@ -125,6 +127,7 @@ const char* kind_id(runtime::ProtocolKind k) {
     case runtime::ProtocolKind::kPredictiveAnticipate:
       return "kPredictiveAnticipate";
     case runtime::ProtocolKind::kWriteUpdate: return "kWriteUpdate";
+    case runtime::ProtocolKind::kCCached: return "kCCached";
   }
   return "?";
 }
@@ -156,6 +159,14 @@ TEST(GoldenStats, ProtocolBlockSizeMatrix) {
        255ull, 17181031399765319607ull},
       {ProtocolKind::kWriteUpdate, 1024, 318ull, 192480ull, 840ull, 11759960,
        45ull, 15502453886649105430ull},
+      // ccached on a workload with no commutative regions must reproduce the
+      // Stache rows above bit-for-bit (the fallback-path identity).
+      {ProtocolKind::kCCached, 32, 6903ull, 196368ull, 16749ull, 249736440,
+       2277ull, 14559042160599073619ull},
+      {ProtocolKind::kCCached, 128, 1850ull, 121376ull, 4607ull, 72437540,
+       611ull, 9683470072194729308ull},
+      {ProtocolKind::kCCached, 1024, 435ull, 166704ull, 1174ull, 26442760,
+       141ull, 5269624061003381707ull},
   };
   for (const auto& g : table) {
     SCOPED_TRACE(std::string(runtime::protocol_kind_name(g.kind)) + " bsz=" +
@@ -180,6 +191,132 @@ TEST(GoldenStats, ProtocolBlockSizeMatrix) {
                   (unsigned long long)faults, (unsigned long long)r.mem_hash);
     }
   }
+}
+
+// Golden pins for the commutative-update path itself: the cc micro workload
+// under ccached across the block-size sweep. Freezes the merge machinery's
+// simulated behavior — flush counts, log-entry counts, merge quiescing
+// traffic, execution time, and the final merged image.
+struct CcGolden {
+  std::uint32_t block_size;
+  std::uint64_t msgs, bytes, events;
+  sim::Time exec;
+  std::uint64_t faults, cc_flushes, cc_entries;
+  std::uint64_t mem_hash;
+};
+
+TEST(GoldenStats, CCachedReductionMatrix) {
+  const CcGolden table[] = {
+      {32, 9060ull, 218976ull, 27590ull, 106303980, 261ull, 4104ull, 4104ull,
+       610398598696613665ull},
+      {128, 8256ull, 271488ull, 26707ull, 103596880, 576ull, 3072ull, 4104ull,
+       13582391546771832539ull},
+      {1024, 1824ull, 389760ull, 9840ull, 32277880, 288ull, 384ull, 4104ull,
+       2918967825027301891ull},
+  };
+  for (const auto& g : table) {
+    SCOPED_TRACE("bsz=" + std::to_string(g.block_size));
+    const auto r = testutil::run_cc_micro_workload(
+        runtime::ProtocolKind::kCCached, g.block_size);
+    std::uint64_t faults = 0;
+    for (const auto& c : r.counters) faults += c.read_faults + c.write_faults;
+    EXPECT_EQ(r.msgs, g.msgs);
+    EXPECT_EQ(r.bytes, g.bytes);
+    EXPECT_EQ(r.events, g.events);
+    EXPECT_EQ(r.exec, g.exec);
+    EXPECT_EQ(faults, g.faults);
+    EXPECT_EQ(r.cc_flushes, g.cc_flushes);
+    EXPECT_EQ(r.cc_entries, g.cc_entries);
+    EXPECT_EQ(r.mem_hash, g.mem_hash);
+    if (::testing::Test::HasFailure()) {
+      std::printf("ACTUAL: {%u, %lluull, %lluull, %lluull, %lld, %lluull, "
+                  "%lluull, %lluull, %lluull},\n",
+                  g.block_size, (unsigned long long)r.msgs,
+                  (unsigned long long)r.bytes, (unsigned long long)r.events,
+                  (long long)r.exec, (unsigned long long)faults,
+                  (unsigned long long)r.cc_flushes,
+                  (unsigned long long)r.cc_entries,
+                  (unsigned long long)r.mem_hash);
+    }
+  }
+}
+
+// Application-level pins: ocean and ranker under every protocol. The
+// checksum is pinned once (all five protocols must agree exactly — the
+// cross-protocol assertion lives in apps_test.cc); the per-protocol rows
+// freeze each protocol's simulated traffic and timing on the new workloads.
+struct AppGolden {
+  runtime::ProtocolKind kind;
+  sim::Time exec;
+  std::uint64_t msgs, bytes, faults;
+};
+
+template <typename RunFn>
+void check_app_pins(const AppGolden (&table)[5], double golden_checksum,
+                    RunFn run) {
+  for (const auto& g : table) {
+    SCOPED_TRACE(runtime::protocol_kind_name(g.kind));
+    const auto r = run(g.kind);
+    EXPECT_EQ(r.report.exec, g.exec);
+    EXPECT_EQ(r.report.msgs, g.msgs);
+    EXPECT_EQ(r.report.bytes, g.bytes);
+    EXPECT_EQ(r.report.faults, g.faults);
+    EXPECT_DOUBLE_EQ(r.checksum, golden_checksum);
+    if (::testing::Test::HasFailure()) {
+      std::printf("ACTUAL: {ProtocolKind::%s, %lld, %lluull, %lluull, "
+                  "%lluull},  // checksum %.17g\n",
+                  kind_id(g.kind), (long long)r.report.exec,
+                  (unsigned long long)r.report.msgs,
+                  (unsigned long long)r.report.bytes,
+                  (unsigned long long)r.report.faults, r.checksum);
+    }
+  }
+}
+
+TEST(GoldenStats, OceanProtocolPins) {
+  using runtime::ProtocolKind;
+  const AppGolden table[5] = {
+      {ProtocolKind::kStache, 7025760, 444ull, 10176ull, 180ull},
+      {ProtocolKind::kPredictive, 3304760, 252ull, 7104ull, 48ull},
+      {ProtocolKind::kPredictiveAnticipate, 3304760, 252ull, 7104ull, 48ull},
+      {ProtocolKind::kWriteUpdate, 2234880, 224ull, 9984ull, 24ull},
+      // No commutative regions: identical to the Stache row by construction.
+      {ProtocolKind::kCCached, 7025760, 444ull, 10176ull, 180ull},
+  };
+  apps::OceanParams params;
+  params.n = 16;
+  params.iters = 4;
+  const auto m = runtime::MachineConfig::cm5_blizzard(4, 32);
+  check_app_pins(table, 1674.0921020507812, [&](ProtocolKind kind) {
+    const bool directives = kind == ProtocolKind::kPredictive ||
+                            kind == ProtocolKind::kPredictiveAnticipate;
+    return apps::run_ocean(params, m, kind, directives);
+  });
+}
+
+TEST(GoldenStats, RankerProtocolPins) {
+  using runtime::ProtocolKind;
+  // The ranker rows are the protocol's thesis in numbers: the rmw push storm
+  // costs Stache 1196 faults / 55.2ms; privatized logs + merges bring
+  // ccached to 0 faults / 8.2ms. (Write-update's row is all-private
+  // accumulation + reduce — no shared push traffic at all.)
+  const AppGolden table[5] = {
+      {ProtocolKind::kStache, 55205420, 3758ull, 111712ull, 1196ull},
+      {ProtocolKind::kPredictive, 52793200, 3582ull, 109088ull, 1106ull},
+      {ProtocolKind::kPredictiveAnticipate, 52793200, 3582ull, 109088ull,
+       1106ull},
+      {ProtocolKind::kWriteUpdate, 291680, 0ull, 0ull, 0ull},
+      {ProtocolKind::kCCached, 8201640, 676ull, 22784ull, 0ull},
+  };
+  apps::RankerParams params;
+  params.vertices = 96;
+  params.iters = 4;
+  const auto m = runtime::MachineConfig::cm5_blizzard(4, 32);
+  check_app_pins(table, 23224662.0, [&](ProtocolKind kind) {
+    const bool directives = kind == ProtocolKind::kPredictive ||
+                            kind == ProtocolKind::kPredictiveAnticipate;
+    return apps::run_ranker(params, m, kind, directives);
+  });
 }
 
 }  // namespace

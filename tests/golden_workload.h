@@ -24,6 +24,9 @@ struct WorkloadResult {
   std::uint64_t events = 0;
   sim::Time exec = 0;
   std::uint64_t mem_hash = 0;  // FNV-1a over every node's view + tags
+  // ccached flush counters (zero under every other protocol).
+  std::uint64_t cc_flushes = 0;
+  std::uint64_t cc_entries = 0;
   // Host-side counters (never part of equivalence — they describe how the
   // host ran the simulation, not what was simulated). Tests use the win_*
   // fields to prove a parallel run actually released helpers / elided lanes
@@ -129,6 +132,87 @@ inline WorkloadResult run_micro_workload(runtime::ProtocolKind kind,
   for (int n = 0; n < nodes; ++n) {
     for (std::uint64_t b = 0; b < space.num_blocks(); ++b) {
       h = fnv1a(h, space.block_data(n, b), bsz);
+      const auto t = static_cast<std::uint8_t>(space.tag(n, b));
+      h = fnv1a(h, &t, 1);
+    }
+  }
+  res.mem_hash = h;
+  if (sys.tracer() != nullptr) {
+    res.traced = true;
+    res.trace_digest = sys.tracer()->digest();
+    res.trace_summary = sys.tracer()->summary();
+    res.trace_data = sys.tracer()->build(cfg.costs, cfg.net);
+  }
+  return res;
+}
+
+// Commutative-update micro workload for the ccached golden pins: one page
+// per node (homed round-robin), the whole region reduction-tagged. Each
+// round every node pushes deltas into a disjoint strided word set and
+// flushes; then all nodes read a strided sample, installing copies the next
+// round's merges must quiesce through the home's transaction engine. The
+// word sets are disjoint, so every protocol computes the same final image
+// (under non-ccached kinds cc_add degrades to an rmw) — but only ccached
+// rows are pinned: the rmw write storm is the baseline the protocol exists
+// to remove, not a behavior worth freezing.
+inline WorkloadResult run_cc_micro_workload(runtime::ProtocolKind kind,
+                                            std::uint32_t block_size = 32,
+                                            int nodes = 4, int rounds = 6,
+                                            bool traced = false,
+                                            sim::Backend backend =
+                                                sim::default_backend(),
+                                            sim::Time window = 0,
+                                            int workers = 0) {
+  runtime::MachineConfig cfg =
+      runtime::MachineConfig::cm5_blizzard(nodes, block_size);
+  cfg.trace.enabled = traced;
+  cfg.backend = backend;
+  cfg.window = window;
+  cfg.workers = workers;
+  runtime::System sys(cfg, kind);
+  auto& space = sys.space();
+
+  const std::size_t region =
+      static_cast<std::size_t>(nodes) * cfg.mem.page_size;
+  const mem::Addr base = space.alloc(
+      region, [nodes](mem::PageId p) { return static_cast<int>(p) % nodes; });
+  space.set_commutative(base, region);
+  const std::size_t words = region / 8;
+
+  sys.run([&](runtime::NodeCtx& c) {
+    for (int r = 0; r < rounds; ++r) {
+      c.phase(0);
+      const auto stride = static_cast<std::size_t>(3) * c.nodes();
+      for (std::size_t w = static_cast<std::size_t>(c.id()); w < words;
+           w += stride)
+        c.cc_add(base + w * 8,
+                 r * 1000 + c.id() * 10 + static_cast<std::int64_t>(w % 7) + 1);
+      c.cc_flush();
+      c.barrier();
+      c.phase(1);
+      for (std::size_t w = 0; w < words; w += 64) {
+        volatile std::int64_t v = c.read<std::int64_t>(base + w * 8);
+        (void)v;
+      }
+      c.barrier();
+    }
+  });
+
+  WorkloadResult res;
+  for (int n = 0; n < nodes; ++n) res.counters.push_back(sys.recorder().node(n));
+  res.msgs = sys.network().messages_sent();
+  res.bytes = sys.network().bytes_sent();
+  res.events = sys.engine().events_executed();
+  res.exec = sys.exec_time();
+  res.host = sys.recorder().host();
+  if (auto* cc = sys.ccached(); cc != nullptr) {
+    res.cc_flushes = cc->cc_stats().flushes;
+    res.cc_entries = cc->cc_stats().flushed_entries;
+  }
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int n = 0; n < nodes; ++n) {
+    for (std::uint64_t b = 0; b < space.num_blocks(); ++b) {
+      h = fnv1a(h, space.block_data(n, b), cfg.mem.block_size);
       const auto t = static_cast<std::uint8_t>(space.tag(n, b));
       h = fnv1a(h, &t, 1);
     }

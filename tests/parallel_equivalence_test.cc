@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "apps/ranker/ranker.h"
 #include "check/bughook.h"
 #include "runtime/machine.h"
 #include "golden_workload.h"
@@ -98,6 +99,7 @@ std::string protocol_suffix(ProtocolKind k) {
     case ProtocolKind::kPredictive: return "Predictive";
     case ProtocolKind::kPredictiveAnticipate: return "PredictiveAnticipate";
     case ProtocolKind::kWriteUpdate: return "WriteUpdate";
+    case ProtocolKind::kCCached: return "CCached";
   }
   return "Unknown";
 }
@@ -158,6 +160,18 @@ constexpr WindowedPin kWindowedPins[] = {
     {ProtocolKind::kWriteUpdate, 1024,
      318ull, 192480ull, 11759960ull, 0xd723c7aca497fc16ull,
      1689ull, 0x0d1d0557112e81f3ull},
+    // ccached under the windowed canon, no commutative regions: must equal
+    // the Stache rows above exactly (same fallback-path identity the legacy
+    // canon pins in golden_stats_test.cc).
+    {ProtocolKind::kCCached, 32,
+     6903ull, 196368ull, 249729320ull, 0xca0c1bb53c718353ull,
+     32886ull, 0xd93535fc91dc9e95ull},
+    {ProtocolKind::kCCached, 128,
+     1850ull, 121376ull, 72437540ull, 0x866298b9b64b055cull,
+     9095ull, 0x05c13bd0bdb5cf92ull},
+    {ProtocolKind::kCCached, 1024,
+     435ull, 166704ull, 26442760ull, 0x49217729eff53bcbull,
+     2409ull, 0xc192915d833bf0abull},
     // PINS_END
 };
 // clang-format on
@@ -212,12 +226,58 @@ TEST_P(ParallelEquivalenceTest, ThreadWindowedMatchesFiberWindowed) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllProtocols, ParallelEquivalenceTest,
-    ::testing::Values(ProtocolKind::kStache, ProtocolKind::kPredictive,
-                      ProtocolKind::kPredictiveAnticipate,
-                      ProtocolKind::kWriteUpdate),
+    ::testing::ValuesIn(runtime::kAllProtocolKinds),
     [](const ::testing::TestParamInfo<ProtocolKind>& info) -> std::string {
       return protocol_suffix(info.param);
     });
+
+// The merge path under the worker pool: the cc micro workload's flush round
+// trips and home-side merge quiescing must land on the serial windowed
+// canon at every worker count — counters, merged image, flush stats and the
+// full trace digest.
+TEST(ParallelEquivalenceCCached, ReductionWorkloadMatchesSerialAcrossWorkers) {
+  const WorkloadResult serial = testutil::run_cc_micro_workload(
+      ProtocolKind::kCCached, 32, /*nodes=*/4, /*rounds=*/6, /*traced=*/true,
+      sim::Backend::kFiber, kWindow);
+  EXPECT_GT(serial.cc_flushes, 0u);
+  for (int workers : {1, 2, 4, 7}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const WorkloadResult par = testutil::run_cc_micro_workload(
+        ProtocolKind::kCCached, 32, /*nodes=*/4, /*rounds=*/6, /*traced=*/true,
+        sim::Backend::kParallel, kWindow, workers);
+    expect_equal(serial, par);
+    EXPECT_EQ(serial.cc_flushes, par.cc_flushes);
+    EXPECT_EQ(serial.cc_entries, par.cc_entries);
+  }
+}
+
+// And at application level: ranker's drifting-graph push phase under ccached,
+// serial fiber-windowed vs the worker pool.
+TEST(ParallelEquivalenceRanker, CCachedChecksumAndReportBitIdentical) {
+  apps::RankerParams params;
+  params.vertices = 96;
+  params.iters = 4;
+  runtime::MachineConfig m = runtime::MachineConfig::cm5_blizzard(4, 32);
+  m.window = kWindow;
+  m.backend = sim::Backend::kFiber;
+  const auto serial = apps::run_ranker(params, m, ProtocolKind::kCCached,
+                                       false);
+  EXPECT_GT(serial.report.cc_flushes, 0u);
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    m.backend = sim::Backend::kParallel;
+    m.workers = workers;
+    const auto par = apps::run_ranker(params, m, ProtocolKind::kCCached,
+                                      false);
+    EXPECT_EQ(serial.checksum, par.checksum);
+    EXPECT_EQ(serial.report.exec, par.report.exec);
+    EXPECT_EQ(serial.report.msgs, par.report.msgs);
+    EXPECT_EQ(serial.report.bytes, par.report.bytes);
+    EXPECT_EQ(serial.report.faults, par.report.faults);
+    EXPECT_EQ(serial.report.cc_flushes, par.report.cc_flushes);
+    EXPECT_EQ(serial.report.cc_entries, par.report.cc_entries);
+  }
+}
 
 // ---- Randomized-worker soak -------------------------------------------------
 // Twenty parallel runs with PRNG-drawn worker counts (seeded — the draw

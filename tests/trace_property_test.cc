@@ -14,6 +14,8 @@
 
 #include "apps/adaptive/adaptive.h"
 #include "apps/barnes/barnes.h"
+#include "apps/ocean/ocean.h"
+#include "apps/ranker/ranker.h"
 #include "apps/water/water.h"
 #include "check/fuzz.h"
 #include "golden_workload.h"
@@ -48,12 +50,13 @@ void expect_reconciles(const check::TraceCapture& cap,
   EXPECT_EQ(s.presend_hits + s.presend_waste + s.presend_unused,
             presend_received);
 
-  // One miss window per access fault, and the windows bracket the protocol's
-  // remote_wait accumulation exactly.
+  // One miss window per access fault — plus one per ccached flush round
+  // trip, which blocks like a miss without a tag fault — and the windows
+  // bracket the protocol's remote_wait accumulation exactly.
   if (upgrades_in_place)
     EXPECT_LE(s.misses, faults);
   else
-    EXPECT_EQ(s.misses, faults);
+    EXPECT_EQ(s.misses, faults + cap.cc_flushes);
   EXPECT_EQ(s.miss_latency_total, remote_wait);
   std::uint64_t by_class = 0;
   for (const auto n : s.miss_by_class) by_class += n;
@@ -127,9 +130,10 @@ TEST_P(TracePropertyFuzz, ReconcilesWithProtocolCounters) {
 INSTANTIATE_TEST_SUITE_P(
     Corpus, TracePropertyFuzz,
     ::testing::Combine(
-        ::testing::Values(1ull, 2ull, 5ull, 11ull, 17ull, 29ull),
+        ::testing::Values(1ull, 2ull, 5ull, 11ull, 13ull, 17ull, 29ull),
         ::testing::Values(ProtocolKind::kStache, ProtocolKind::kPredictive,
-                          ProtocolKind::kPredictiveAnticipate)),
+                          ProtocolKind::kPredictiveAnticipate,
+                          ProtocolKind::kCCached)),
     [](const ::testing::TestParamInfo<FuzzParam>& info) -> std::string {
       const std::uint64_t seed = std::get<0>(info.param);
       std::string k;
@@ -138,6 +142,7 @@ INSTANTIATE_TEST_SUITE_P(
         case ProtocolKind::kPredictive: k = "Predictive"; break;
         case ProtocolKind::kPredictiveAnticipate: k = "Anticipate"; break;
         case ProtocolKind::kWriteUpdate: k = "WriteUpdate"; break;
+        case ProtocolKind::kCCached: k = "CCached"; break;
       }
       return "Seed" + std::to_string(seed) + k;
     });
@@ -168,8 +173,9 @@ void expect_report_reconciles(const stats::Report& r) {
   ASSERT_TRUE(r.traced);
   EXPECT_EQ(r.trace_dropped, 0u);
   EXPECT_GT(r.trace_events, 0u);
-  EXPECT_EQ(r.miss_cold + r.miss_invalidation + r.miss_presend_waste,
-            r.faults);
+  EXPECT_EQ(r.miss_cold + r.miss_invalidation + r.miss_presend_waste +
+                r.miss_merge,
+            r.faults + r.cc_flushes);
   // Every presend-sent block is delivered, so sent == received == resolved.
   EXPECT_EQ(r.presend_hits + r.presend_waste + r.presend_unused,
             r.presend_blocks);
@@ -205,6 +211,44 @@ TEST(TraceProperty, AdaptiveSmallReconciles) {
   const auto r =
       apps::run_adaptive(params, m, ProtocolKind::kPredictive, true);
   expect_report_reconciles(r.report);
+}
+
+TEST(TraceProperty, OceanSmallReconciles) {
+  apps::OceanParams params;
+  params.n = 16;
+  params.iters = 4;
+  auto m = runtime::MachineConfig::cm5_blizzard(4, 32);
+  m.trace.enabled = true;
+  for (const auto kind : {ProtocolKind::kPredictive, ProtocolKind::kCCached}) {
+    SCOPED_TRACE(runtime::protocol_kind_name(kind));
+    const auto r = apps::run_ocean(params, m, kind,
+                                   kind == ProtocolKind::kPredictive);
+    expect_report_reconciles(r.report);
+    // No commutative regions: nothing may classify as a merge miss.
+    EXPECT_EQ(r.report.miss_merge, 0u);
+    EXPECT_EQ(r.report.cc_flushes, 0u);
+  }
+}
+
+TEST(TraceProperty, RankerMergeTrafficReconciles) {
+  apps::RankerParams params;
+  params.vertices = 96;
+  params.iters = 4;
+  auto m = runtime::MachineConfig::cm5_blizzard(4, 32);
+  m.trace.enabled = true;
+  const auto cc = apps::run_ranker(params, m, ProtocolKind::kCCached, false);
+  expect_report_reconciles(cc.report);
+  // The push phase is all merge traffic: flush round trips classify as
+  // merge misses, and there were real flushes carrying real entries.
+  EXPECT_GT(cc.report.cc_flushes, 0u);
+  EXPECT_GT(cc.report.cc_entries, 0u);
+  EXPECT_GE(cc.report.miss_merge, cc.report.cc_flushes);
+  // Under Stache the same pushes are remote rmw faults on commutative
+  // blocks — still attributed to the merge class, with no flushes.
+  const auto st = apps::run_ranker(params, m, ProtocolKind::kStache, false);
+  expect_report_reconciles(st.report);
+  EXPECT_GT(st.report.miss_merge, 0u);
+  EXPECT_EQ(st.report.cc_flushes, 0u);
 }
 
 }  // namespace

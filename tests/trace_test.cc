@@ -36,6 +36,7 @@ const char* kind_id(ProtocolKind k) {
     case ProtocolKind::kPredictive: return "kPredictive";
     case ProtocolKind::kPredictiveAnticipate: return "kPredictiveAnticipate";
     case ProtocolKind::kWriteUpdate: return "kWriteUpdate";
+    case ProtocolKind::kCCached: return "kCCached";
   }
   return "?";
 }
@@ -64,6 +65,10 @@ TEST(GoldenTrace, ProtocolBlockSizeMatrix) {
       {ProtocolKind::kWriteUpdate, 32, 28215ull, 1370948740937214943ull},
       {ProtocolKind::kWriteUpdate, 128, 7674ull, 15265046264242563208ull},
       {ProtocolKind::kWriteUpdate, 1024, 1689ull, 5235928189218007447ull},
+      // No commutative regions here: ccached streams must equal Stache's.
+      {ProtocolKind::kCCached, 32, 32886ull, 162990686239271016ull},
+      {ProtocolKind::kCCached, 128, 9095ull, 13729410509484923606ull},
+      {ProtocolKind::kCCached, 1024, 2409ull, 8552695599676855083ull},
   };
   for (const auto& g : table) {
     SCOPED_TRACE(std::string(runtime::protocol_kind_name(g.kind)) +
@@ -76,6 +81,35 @@ TEST(GoldenTrace, ProtocolBlockSizeMatrix) {
     if (::testing::Test::HasFailure()) {
       std::printf("ACTUAL: {ProtocolKind::%s, %u, %lluull, %lluull},\n",
                   kind_id(g.kind), g.block_size,
+                  (unsigned long long)r.trace_digest.events,
+                  (unsigned long long)r.trace_digest.hash);
+    }
+  }
+}
+
+// The merge path's own stream: the cc micro workload under ccached pins the
+// CcFlush/merge/quiesce event sequences across the block-size sweep.
+TEST(GoldenTrace, CCachedReductionMatrix) {
+  struct CcTraceGolden {
+    std::uint32_t block_size;
+    std::uint64_t events, hash;
+  };
+  const CcTraceGolden table[] = {
+      {32, 45229ull, 15725342464231031464ull},
+      {128, 40374ull, 7466565440510190254ull},
+      {1024, 8896ull, 8264576188898585960ull},
+  };
+  for (const auto& g : table) {
+    SCOPED_TRACE("bsz=" + std::to_string(g.block_size));
+    const auto r = testutil::run_cc_micro_workload(
+        ProtocolKind::kCCached, g.block_size, /*nodes=*/4, /*rounds=*/6,
+        /*traced=*/true);
+    ASSERT_TRUE(r.traced);
+    EXPECT_EQ(r.trace_summary.dropped, 0u);
+    EXPECT_EQ(r.trace_digest.events, g.events);
+    EXPECT_EQ(r.trace_digest.hash, g.hash);
+    if (::testing::Test::HasFailure()) {
+      std::printf("ACTUAL: {%u, %lluull, %lluull},\n", g.block_size,
                   (unsigned long long)r.trace_digest.events,
                   (unsigned long long)r.trace_digest.hash);
     }
@@ -119,17 +153,9 @@ TEST_P(TraceBackendTest, BackendsByteIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllProtocols, TraceBackendTest,
-    ::testing::Values(ProtocolKind::kStache, ProtocolKind::kPredictive,
-                      ProtocolKind::kPredictiveAnticipate,
-                      ProtocolKind::kWriteUpdate),
+    ::testing::ValuesIn(runtime::kAllProtocolKinds),
     [](const ::testing::TestParamInfo<ProtocolKind>& info) -> std::string {
-      switch (info.param) {
-        case ProtocolKind::kStache: return "Stache";
-        case ProtocolKind::kPredictive: return "Predictive";
-        case ProtocolKind::kPredictiveAnticipate: return "PredictiveAnticipate";
-        case ProtocolKind::kWriteUpdate: return "WriteUpdate";
-      }
-      return "Unknown";
+      return kind_id(info.param) + 1;  // strip the "k" prefix
     });
 
 // Zero perturbation: attaching the tracer must not move a single simulated
@@ -172,17 +198,9 @@ TEST_P(TracePurityTest, TracedRunBitIdenticalToUntraced) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllProtocols, TracePurityTest,
-    ::testing::Values(ProtocolKind::kStache, ProtocolKind::kPredictive,
-                      ProtocolKind::kPredictiveAnticipate,
-                      ProtocolKind::kWriteUpdate),
+    ::testing::ValuesIn(runtime::kAllProtocolKinds),
     [](const ::testing::TestParamInfo<ProtocolKind>& info) -> std::string {
-      switch (info.param) {
-        case ProtocolKind::kStache: return "Stache";
-        case ProtocolKind::kPredictive: return "Predictive";
-        case ProtocolKind::kPredictiveAnticipate: return "PredictiveAnticipate";
-        case ProtocolKind::kWriteUpdate: return "WriteUpdate";
-      }
-      return "Unknown";
+      return kind_id(info.param) + 1;  // strip the "k" prefix
     });
 
 // Category filters drop whole kinds but must not perturb or reorder what
